@@ -1,0 +1,278 @@
+package incod
+
+// One benchmark per paper table/figure (regenerating the artifact each
+// iteration), plus hot-path micro-benchmarks and the DESIGN.md ablations.
+// Shape assertions live in the package test suites; these benches measure
+// the cost of regeneration and report headline metrics.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/dns"
+	"incod/internal/experiments"
+	"incod/internal/fpga"
+	"incod/internal/kvs"
+	"incod/internal/memcache"
+	"incod/internal/paxos"
+	"incod/internal/power"
+	"incod/internal/simnet"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tab := e.Run(); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// Figure and table regenerators.
+
+func BenchmarkFig3aKVS(b *testing.B)            { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bPaxos(b *testing.B)          { benchExperiment(b, "fig3b") }
+func BenchmarkFig3cDNS(b *testing.B)            { benchExperiment(b, "fig3c") }
+func BenchmarkFig4Gating(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5OnDemand(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6KVSTransition(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7PaxosTransition(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkASICPower(b *testing.B)           { benchExperiment(b, "asic") }
+func BenchmarkOpsPerWatt(b *testing.B)          { benchExperiment(b, "opswatt") }
+func BenchmarkXeonLoad(b *testing.B)            { benchExperiment(b, "xeon") }
+func BenchmarkMemoryLatency(b *testing.B)       { benchExperiment(b, "memories") }
+func BenchmarkCrossover(b *testing.B)           { benchExperiment(b, "crossover") }
+func BenchmarkDynamoVariance(b *testing.B)      { benchExperiment(b, "dynamo") }
+func BenchmarkGoogleTrace(b *testing.B)         { benchExperiment(b, "google") }
+func BenchmarkToRSwitch(b *testing.B)           { benchExperiment(b, "tor") }
+func BenchmarkLatencyTable(b *testing.B)        { benchExperiment(b, "latency") }
+func BenchmarkPlacementGuide(b *testing.B)      { benchExperiment(b, "place") }
+func BenchmarkInfraSensitivity(b *testing.B)    { benchExperiment(b, "infra") }
+func BenchmarkIdleStrategies(b *testing.B)      { benchExperiment(b, "strategies") }
+func BenchmarkModelValidation(b *testing.B)     { benchExperiment(b, "validate") }
+
+// Hot-path micro-benchmarks.
+
+func BenchmarkMemcacheParseGet(b *testing.B) {
+	dg := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: "key-123456"}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, body, err := memcache.DecodeFrame(dg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := memcache.ParseRequest(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaxosCodec(b *testing.B) {
+	m := paxos.Msg{Type: paxos.MsgPhase2A, Instance: 1 << 30, Ballot: 7,
+		ClientAddr: "client-0", Value: make([]byte, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := paxos.Decode(paxos.Encode(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSCodec(b *testing.B) {
+	q, err := dns.Encode(dns.NewQuery(9, "host42.example.com"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dns.Decode(q, dns.MaxLabels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLRUCache(b *testing.B) {
+	c := kvs.NewCache(1024)
+	for i := 0; i < 1024; i++ {
+		c.Put(fmt.Sprint(i), kvs.Entry{Value: []byte("v")})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(fmt.Sprint(i & 1023))
+	}
+}
+
+func BenchmarkSimulatorEvents(b *testing.B) {
+	b.ReportAllocs()
+	sim := simnet.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.Schedule(time.Microsecond, tick)
+		}
+	}
+	sim.Schedule(time.Microsecond, tick)
+	b.ResetTimer()
+	sim.Run()
+}
+
+// Ablation benches for the DESIGN.md design choices. Each reports its
+// headline quantity as a custom metric.
+
+// Hysteresis (mirrored threshold pairs) vs a single threshold, on load
+// oscillating inside the hysteresis band: flaps per simulated minute.
+func BenchmarkAblationHysteresis(b *testing.B) {
+	run := func(toHostKpps float64) int {
+		sim := simnet.New(1)
+		svc := &core.FuncService{ServiceName: "x", Where: core.Host}
+		rate := 0.0
+		ctl := core.NewNetworkController(sim, svc, func() float64 { return rate },
+			core.NetworkControllerConfig{
+				ToNetworkKpps: 100, ToNetworkWindow: 500 * time.Millisecond,
+				ToHostKpps: toHostKpps, ToHostWindow: 500 * time.Millisecond,
+				SamplePeriod: 50 * time.Millisecond,
+			})
+		ctl.Start()
+		// Load oscillates 80..120 kpps around the 100 kpps threshold.
+		for t := 0; t < 60; t++ {
+			if t%2 == 0 {
+				rate = 120
+			} else {
+				rate = 80
+			}
+			sim.RunFor(time.Second)
+		}
+		return len(ctl.Transitions)
+	}
+	var withHyst, without int
+	for i := 0; i < b.N; i++ {
+		withHyst = run(60)    // mirrored pair well below the up-threshold
+		without = run(99.999) // effectively a single threshold
+	}
+	b.ReportMetric(float64(withHyst), "flaps/min(hysteresis)")
+	b.ReportMetric(float64(without), "flaps/min(single-threshold)")
+}
+
+// Number of LaKe PEs vs service capacity and power.
+func BenchmarkAblationPEs(b *testing.B) {
+	for pes := 1; pes <= 5; pes++ {
+		pes := pes
+		b.Run(fmt.Sprintf("pes-%d", pes), func(b *testing.B) {
+			var peak, watts float64
+			for i := 0; i < b.N; i++ {
+				board := newLakeBoard(pes)
+				peak = board.PeakKpps()
+				watts = board.CardWatts(1)
+			}
+			b.ReportMetric(peak, "peak-kpps")
+			b.ReportMetric(watts, "card-watts")
+		})
+	}
+}
+
+// The three §9.2 idle strategies: keep-warm (instant shift, most power),
+// the paper's reset-and-gate choice, and partial reconfiguration back to
+// the plain NIC (least power, momentary traffic halt on shift).
+func BenchmarkAblationIdleStrategy(b *testing.B) {
+	var keepWarm, parked, reconf float64
+	for i := 0; i < b.N; i++ {
+		warm := newLakeBoard(5)
+		warm.SetModuleActive(false)
+		keepWarm = warm.CardWatts(0)
+		cold := newLakeBoard(5)
+		cold.SetModuleActive(false)
+		cold.SetMemoryReset(true)
+		cold.SetClockGating(true)
+		parked = cold.CardWatts(0)
+		nic := newLakeBoard(5)
+		nic.Reprogram(fpga.ReferenceNIC)
+		reconf = nic.CardWatts(0)
+	}
+	b.ReportMetric(keepWarm, "idle-watts(keep-warm)")
+	b.ReportMetric(parked, "idle-watts(reset+gated)")
+	b.ReportMetric(reconf, "idle-watts(partial-reconfig)")
+	b.ReportMetric(float64(kvs.ReconfigHalt.Milliseconds()), "reconfig-halt-ms")
+}
+
+// Client-timeout tuning for the Paxos leader shift: stall vs timeout.
+func BenchmarkAblationPaxosTimeout(b *testing.B) {
+	for _, timeout := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
+		timeout := timeout
+		b.Run(timeout.String(), func(b *testing.B) {
+			var stall float64
+			for i := 0; i < b.N; i++ {
+				stall = measureShiftStall(timeout)
+			}
+			b.ReportMetric(stall, "stall-ms")
+		})
+	}
+}
+
+// measureShiftStall returns how long consensus throughput stays below half
+// its pre-shift rate after a leader shift. (A lucky client whose decision
+// was in flight at the shift can keep its closed loop alive, so the window
+// degrades rather than reaching exactly zero; the duration still tracks
+// the client timeout, the paper's Figure 7 observation.)
+func measureShiftStall(timeout time.Duration) float64 {
+	sim := simnet.New(7)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	dep := paxos.NewDeployment(net, paxos.Config{NumClients: 4})
+	for _, c := range dep.Clients {
+		c.RetryTimeout = timeout
+		c.StartClosedLoop(1)
+	}
+	sim.Schedule(time.Second, func() { dep.ShiftLeader(dep.HWLeader) })
+	var last uint64
+	var preShift float64
+	stall, run := 0.0, 0.0
+	const interval = 10 * time.Millisecond
+	for t := time.Duration(0); t < 2*time.Second; t += interval {
+		sim.RunFor(interval)
+		decided := dep.Learner.Counters.Get("decided")
+		rate := float64(decided - last)
+		last = decided
+		if sim.Now() <= simnet.Time(time.Second) {
+			preShift = rate
+			continue
+		}
+		if rate < preShift/2 {
+			run += interval.Seconds() * 1000
+			if run > stall {
+				stall = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	for _, c := range dep.Clients {
+		c.Stop()
+	}
+	return stall
+}
+
+func newLakeBoard(pes int) *fpga.Board {
+	b := fpga.NewBoard(fpga.LaKeDesign)
+	b.SetActivePEs(pes)
+	return b
+}
+
+// DPDK polling vs interrupt-driven software runtime: idle watts.
+func BenchmarkAblationDPDKPolling(b *testing.B) {
+	var dpdk, libp float64
+	for i := 0; i < b.N; i++ {
+		dpdk = power.DPDKLeader.Power(0)
+		libp = power.LibpaxosLeader.Power(0)
+	}
+	b.ReportMetric(dpdk, "idle-watts(dpdk)")
+	b.ReportMetric(libp, "idle-watts(libpaxos)")
+}

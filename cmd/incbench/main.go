@@ -1,0 +1,80 @@
+// Command incbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	incbench -list           # catalog of experiments
+//	incbench fig3a fig4      # run selected experiments
+//	incbench all             # run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incod/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	format := flag.String("format", "text", "output format: text | csv")
+	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.{txt,csv} instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: incbench [-list] [-format text|csv] [-o dir] <experiment-id>... | all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	render := func(t *experiments.Table) (string, string) {
+		if *format == "csv" {
+			return t.CSV(), "csv"
+		}
+		return t.Render(), "txt"
+	}
+	emit := func(e experiments.Experiment) error {
+		body, ext := render(e.Run())
+		if *outDir == "" {
+			fmt.Println(body)
+			return nil
+		}
+		path := fmt.Sprintf("%s/%s.%s", *outDir, e.ID, ext)
+		return os.WriteFile(path, []byte(body), 0o644)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	var selected []experiments.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "incbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		if err := emit(e); err != nil {
+			fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

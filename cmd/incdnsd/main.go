@@ -1,0 +1,114 @@
+// Command incdnsd is a runnable authoritative DNS UDP server (A records
+// only, like Emu DNS) built from the repository's wire codec and zone,
+// with the on-demand advisor attached.
+//
+// Zone files are simple "name ipv4 [ttl]" lines:
+//
+//	host0.example.com 10.0.0.1 300
+//
+// Try it:
+//
+//	incdnsd -addr :5353 -zone zone.txt &
+//	dig @localhost -p 5353 host0.example.com A
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"incod/internal/daemon"
+	"incod/internal/dns"
+)
+
+func main() {
+	addr := flag.String("addr", ":5353", "UDP listen address")
+	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
+	crossKpps := flag.Float64("crossover", 150, "advisory software/hardware crossover (kpps)")
+	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8081); empty disables")
+	flag.Parse()
+
+	zone := dns.NewZone()
+	if *zonePath == "" {
+		zone.PopulateSequential(16)
+		log.Printf("incdnsd: no -zone given; serving %d demo records (host0.example.com ...)", zone.Len())
+	} else if err := loadZone(zone, *zonePath); err != nil {
+		log.Fatalf("incdnsd: %v", err)
+	}
+
+	conn, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		log.Fatalf("incdnsd: %v", err)
+	}
+	defer conn.Close()
+	log.Printf("incdnsd: serving %d records on %s", zone.Len(), *addr)
+
+	adv := daemon.New("incdnsd", *crossKpps)
+	defer adv.Close()
+	if *ctrl != "" {
+		adv.ServeCtrl(*ctrl)
+		log.Printf("incdnsd: control plane on http://%s/status", *ctrl)
+	}
+
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			log.Printf("incdnsd: read: %v", err)
+			return
+		}
+		adv.Observe()
+		q, err := dns.Decode(buf[:n], 0)
+		if err != nil || q.Response {
+			continue
+		}
+		resp := zone.Resolve(q)
+		out, err := dns.Encode(resp)
+		if err != nil {
+			continue
+		}
+		if _, err := conn.WriteTo(out, from); err != nil {
+			log.Printf("incdnsd: write: %v", err)
+		}
+	}
+}
+
+func loadZone(zone *dns.Zone, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return fmt.Errorf("%s:%d: want 'name ipv4 [ttl]'", path, line)
+		}
+		ip := net.ParseIP(fields[1]).To4()
+		if ip == nil {
+			return fmt.Errorf("%s:%d: bad IPv4 %q", path, line, fields[1])
+		}
+		ttl := uint32(300)
+		if len(fields) >= 3 {
+			v, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad TTL %q", path, line, fields[2])
+			}
+			ttl = uint32(v)
+		}
+		zone.Add(fields[0], [4]byte{ip[0], ip[1], ip[2], ip[3]}, ttl)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,88 @@
+// Command inckvsd is a runnable memcached-protocol UDP server built from
+// the same store and codec the simulator uses, with an embedded on-demand
+// advisor: it meters the live query rate and reports when the §9.1
+// network-controller policy would shift the service between host and
+// network (advisory, since this process has no FPGA attached).
+//
+// Try it:
+//
+//	inckvsd -addr :11211 &
+//	# framed clients (memcached UDP mode) and raw ASCII both work:
+//	printf 'set k 0 0 5\r\nhello\r\n' | socat - UDP:localhost:11211
+//	printf 'get k\r\n' | socat - UDP:localhost:11211
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"incod/internal/daemon"
+	"incod/internal/kvs"
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+)
+
+func main() {
+	addr := flag.String("addr", ":11211", "UDP listen address")
+	crossKpps := flag.Float64("crossover", 80, "advisory software/hardware crossover (kpps)")
+	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8080); empty disables")
+	flag.Parse()
+
+	conn, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		log.Fatalf("inckvsd: %v", err)
+	}
+	defer conn.Close()
+	log.Printf("inckvsd: serving memcached UDP on %s (advisory crossover %.0f kpps)", *addr, *crossKpps)
+
+	store := kvs.NewStore()
+	adv := daemon.New("inckvsd", *crossKpps)
+	defer adv.Close()
+	if *ctrl != "" {
+		adv.ServeCtrl(*ctrl)
+		log.Printf("inckvsd: control plane on http://%s/status", *ctrl)
+	}
+
+	start := time.Now()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			log.Printf("inckvsd: read: %v", err)
+			return
+		}
+		adv.Observe()
+		// The 8-byte UDP frame header is all-binary, so framing is
+		// ambiguous; prefer the framed interpretation, but fall back to
+		// raw ASCII so manual testing with socat/netcat works.
+		framed := false
+		var frame memcache.Frame
+		var req memcache.Request
+		parseErr := memcache.ErrMalformed
+		if f, body, err := memcache.DecodeFrame(buf[:n]); err == nil {
+			if r, err := memcache.ParseRequest(body); err == nil {
+				framed, frame, req, parseErr = true, f, r, nil
+			}
+		}
+		if parseErr != nil {
+			if r, err := memcache.ParseRequest(buf[:n]); err == nil {
+				req, parseErr = r, nil
+			}
+		}
+		var resp memcache.Response
+		if parseErr != nil {
+			resp = memcache.Response{Status: memcache.StatusError}
+		} else {
+			resp = store.Apply(req, simnet.Time(time.Since(start)))
+		}
+		out := memcache.EncodeResponse(resp)
+		if framed {
+			out = memcache.EncodeFrame(memcache.Frame{RequestID: frame.RequestID, Total: 1}, out)
+		}
+		if _, err := conn.WriteTo(out, from); err != nil {
+			log.Printf("inckvsd: write: %v", err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command incloadgen drives real-UDP load against inckvsd or incdnsd — a
+// software stand-in for the paper's OSNT traffic generator: controlled
+// rate, Zipf key popularity, and client-side latency percentiles.
+//
+//	incloadgen -proto kvs -target localhost:11211 -rate 5000 -keys 1000 -duration 5s
+//	incloadgen -proto dns -target localhost:5353  -rate 2000 -keys 16   -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"incod/internal/dns"
+	"incod/internal/memcache"
+	"incod/internal/trafficgen"
+)
+
+func main() {
+	proto := flag.String("proto", "kvs", "protocol: kvs | dns")
+	target := flag.String("target", "localhost:11211", "server address")
+	rate := flag.Float64("rate", 1000, "requests per second")
+	duration := flag.Duration("duration", 5*time.Second, "run duration")
+	keys := flag.Uint64("keys", 1000, "key-space size (Zipf popularity)")
+	preload := flag.Bool("preload", true, "kvs: SET every key before the run")
+	flag.Parse()
+
+	conn, err := net.Dial("udp", *target)
+	if err != nil {
+		log.Fatalf("incloadgen: %v", err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	sampler := trafficgen.NewZipfKeys(rng, *keys, 1.06)
+
+	var mu sync.Mutex
+	sent := make(map[uint16]time.Time)
+	var lats []time.Duration
+	var recv, errs uint64
+
+	// Receiver.
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			now := time.Now()
+			id, ok := responseID(*proto, buf[:n])
+			mu.Lock()
+			if ok {
+				if t0, pending := sent[id]; pending {
+					delete(sent, id)
+					lats = append(lats, now.Sub(t0))
+					recv++
+				}
+			} else {
+				errs++
+			}
+			mu.Unlock()
+		}
+	}()
+
+	if *proto == "kvs" && *preload {
+		for i := uint64(0); i < *keys; i++ {
+			payload := memcache.EncodeFrame(memcache.Frame{RequestID: 0, Total: 1},
+				memcache.EncodeRequest(memcache.Request{
+					Op: memcache.OpSet, Key: fmt.Sprintf("key-%d", i), Value: []byte("value")}))
+			if _, err := conn.Write(payload); err != nil {
+				log.Fatalf("incloadgen: preload: %v", err)
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+		log.Printf("incloadgen: preloaded %d keys", *keys)
+	}
+
+	log.Printf("incloadgen: %s load on %s at %.0f req/s for %v", *proto, *target, *rate, *duration)
+	gap := time.Duration(float64(time.Second) / *rate)
+	deadline := time.Now().Add(*duration)
+	var id uint16
+	var total uint64
+	for time.Now().Before(deadline) {
+		id++
+		total++
+		payload, err := request(*proto, id, sampler)
+		if err != nil {
+			log.Fatalf("incloadgen: %v", err)
+		}
+		mu.Lock()
+		sent[id] = time.Now()
+		mu.Unlock()
+		if _, err := conn.Write(payload); err != nil {
+			log.Fatalf("incloadgen: %v", err)
+		}
+		time.Sleep(gap)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	log.Printf("incloadgen: sent %d, answered %d (%.1f%%), outstanding %d, bad %d",
+		total, recv, float64(recv)/float64(total)*100, len(sent), errs)
+	log.Printf("incloadgen: latency p50=%v p99=%v max=%v", pct(0.5), pct(0.99), pct(1))
+}
+
+func request(proto string, id uint16, sampler *trafficgen.KeySampler) ([]byte, error) {
+	switch proto {
+	case "kvs":
+		return memcache.EncodeFrame(memcache.Frame{RequestID: id, Total: 1},
+			memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: sampler.Next()})), nil
+	case "dns":
+		return dns.Encode(dns.NewQuery(id, dns.SequentialName(int(sampler.NextIndex()))))
+	}
+	return nil, fmt.Errorf("unknown protocol %q", proto)
+}
+
+func responseID(proto string, payload []byte) (uint16, bool) {
+	switch proto {
+	case "kvs":
+		frame, _, err := memcache.DecodeFrame(payload)
+		if err != nil {
+			return 0, false
+		}
+		return frame.RequestID, true
+	case "dns":
+		m, err := dns.Decode(payload, 0)
+		if err != nil || !m.Response {
+			return 0, false
+		}
+		return m.ID, true
+	}
+	return 0, false
+}

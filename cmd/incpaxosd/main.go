@@ -1,0 +1,69 @@
+// Command incpaxosd runs one Paxos role over real UDP, using the same
+// wire format and protocol rules as the simulated deployment — including
+// the §9.2 hand-off machinery (last-voted piggybacks, fresh leaders
+// starting at sequence 1, client retries). A full system on one machine:
+//
+//	incpaxosd -role acceptor -id 0 -addr :7000 -learners localhost:7100 &
+//	incpaxosd -role acceptor -id 1 -addr :7001 -learners localhost:7100 &
+//	incpaxosd -role acceptor -id 2 -addr :7002 -learners localhost:7100 &
+//	incpaxosd -role learner  -addr :7100 -quorum 2 -leader localhost:7200 &
+//	incpaxosd -role leader   -addr :7200 -ballot 1 \
+//	    -acceptors localhost:7000,localhost:7001,localhost:7002 &
+//	incpaxosd -role client   -leader localhost:7200 -rate 1000 -duration 5s
+//
+// Shifting leadership to a second leader process (higher -ballot) and
+// re-pointing clients at it reproduces the Figure 7 hand-off on real
+// sockets.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	role := flag.String("role", "", "acceptor | leader | learner | client")
+	addr := flag.String("addr", ":0", "UDP listen address")
+	id := flag.Int("id", 0, "acceptor id")
+	ballot := flag.Int("ballot", 1, "leader ballot (epoch); a replacement leader must use a higher one")
+	acceptors := flag.String("acceptors", "", "comma-separated acceptor addresses (leader)")
+	learners := flag.String("learners", "", "comma-separated learner addresses (acceptor)")
+	leader := flag.String("leader", "", "leader address (learner: gap requests; client: request target)")
+	quorum := flag.Int("quorum", 2, "learner quorum size")
+	rate := flag.Float64("rate", 100, "client request rate (req/s)")
+	duration := flag.Duration("duration", 5*time.Second, "client run duration")
+	timeout := flag.Duration("timeout", 100*time.Millisecond, "client retry timeout (the §9.2 knob)")
+	flag.Parse()
+
+	switch *role {
+	case "acceptor":
+		runAcceptor(*addr, uint16(*id), splitAddrs(*learners))
+	case "leader":
+		runLeader(*addr, uint32(*ballot), splitAddrs(*acceptors))
+	case "learner":
+		runLearner(*addr, *quorum, *leader)
+	case "client":
+		runClient(*leader, *rate, *duration, *timeout)
+	default:
+		log.Println("incpaxosd: -role must be acceptor, leader, learner or client")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package incod is a reproduction of "The Case For In-Network Computing
+// On Demand" (Tokusashi, Dang, Pedone, Soulé, Zilberman — EuroSys 2019):
+// a power-vs-performance study of in-network computing (KVS, Paxos, DNS on
+// NetFPGA SUME and a Tofino-class ASIC) and the on-demand controllers that
+// shift those services between host software and network hardware.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable daemons under cmd/, and worked examples under
+// examples/. The benchmarks in this package regenerate every table and
+// figure in the paper's evaluation; EXPERIMENTS.md records paper-vs-
+// measured results.
+package incod

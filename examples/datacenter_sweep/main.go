@@ -1,0 +1,37 @@
+// datacenter_sweep runs the paper's analytical sweeps in one shot: the
+// Figure 5 on-demand envelopes, the §4/§8 crossover table, the §9.3 trace
+// analyses and the §9.4 top-of-rack arithmetic. It is the "which of my
+// services should move into the network, and when?" tool.
+//
+// Run: go run ./examples/datacenter_sweep
+package main
+
+import (
+	"fmt"
+
+	"incod/internal/cluster"
+	"incod/internal/experiments"
+	"incod/internal/power"
+)
+
+func main() {
+	for _, id := range []string{"crossover", "fig5", "tor", "dynamo", "google"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			panic("missing experiment " + id)
+		}
+		fmt.Println(e.Run().Render())
+	}
+
+	// A bespoke what-if: how much does one server save per day if its KVS
+	// tier runs on demand instead of always-in-software?
+	d := experiments.DemandCurves()["kvs"]
+	trace := cluster.DiurnalLoad(20, 500)
+	swKWh, odKWh, saved := cluster.DaySaving(trace, d.SW, d.Power)
+	shifts := cluster.ShiftCount(trace, d.CrossKpps*1.1, d.CrossKpps*0.7)
+	fmt.Printf("diurnal KVS day: software %.2f kWh vs on-demand %.2f kWh (%.0f%% saved, %d shifts)\n",
+		swKWh, odKWh, saved*100, shifts)
+
+	saving := cluster.LastJobSaving(power.XeonE52660v4Dual, 0.5, 10)
+	fmt.Printf("offloading the last job from a Xeon host saves %.1f W (§9.3 usage model)\n", saving)
+}

@@ -1,0 +1,62 @@
+// dns_ondemand runs the DNS case study under the network-controlled
+// on-demand policy: a query ramp crosses the software/hardware power
+// crossover, the classifier's controller shifts resolution into the Emu
+// DNS pipeline (syncing the on-chip zone), and shifts back as load fades.
+//
+// Run: go run ./examples/dns_ondemand
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/dns"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+	"incod/internal/trafficgen"
+)
+
+func main() {
+	sim := simnet.New(5)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	zone := dns.NewZone()
+	zone.PopulateSequential(1000)
+	host := dns.NewSoftServer(net, "host", zone)
+	emu := dns.NewEmuDNS(net, "emu", host)
+	emu.Deactivate()
+	client := dns.NewClient(net, "client", "emu")
+	keys := trafficgen.NewZipfKeys(sim.Rand(), 1000, 1.1)
+	client.NameFunc = func() string { return dns.SequentialName(int(keys.NextIndex())) }
+
+	svc := core.NewDNSService(emu)
+	ctl := core.NewNetworkController(sim, svc, emu.RateKpps, core.DefaultNetworkConfig(150))
+	ctl.Start()
+
+	combined := telemetry.SumPower{host, emu}
+
+	// Ramp up 20 -> 400 kpps, hold, ramp down.
+	profile := trafficgen.Profile{
+		{Duration: 3 * time.Second, Kpps: 20},
+		{Duration: 5 * time.Second, Kpps: 400},
+		{Duration: 6 * time.Second, Kpps: 20},
+	}
+	profile.Apply(sim, func(kpps float64) { client.Stop(); client.Start(kpps) })
+
+	fmt.Println("t[s]  rate[kpps]  p50-latency  power[W]  placement")
+	var last uint64
+	for t := 0; t < 14; t++ {
+		sim.RunFor(time.Second)
+		recv := client.Counters.Get("recv")
+		med := client.Latency.Median()
+		client.Latency.Reset()
+		fmt.Printf("%4d  %10.1f  %11v  %8.1f  %s\n",
+			t+1, float64(recv-last)/1000, med, combined.PowerWatts(sim.Now()), svc.Placement())
+		last = recv
+	}
+	client.Stop()
+	fmt.Println("\ncontroller transitions:")
+	for _, tr := range ctl.Transitions {
+		fmt.Printf("  %s\n", tr)
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"incod/internal/power"
+)
+
+func TestDiurnalLoadShape(t *testing.T) {
+	tr := DiurnalLoad(20, 500)
+	if len(tr) != 24*3600 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if tr[3*3600] != 20 {
+		t.Errorf("3am load = %v, want night level", tr[3*3600])
+	}
+	peak := tr[15*3600]
+	if math.Abs(peak-500) > 1 {
+		t.Errorf("3pm load = %v, want ~500", peak)
+	}
+	if tr[10*3600] <= 20 || tr[10*3600] >= 500 {
+		t.Errorf("10am load = %v, want between night and peak", tr[10*3600])
+	}
+}
+
+func TestDaySaving(t *testing.T) {
+	tr := DiurnalLoad(20, 500)
+	lake := func(float64) float64 { return 59.2 }
+	onDemand := func(kpps float64) float64 {
+		sw := power.MemcachedMellanox.Power(kpps)
+		if hw := lake(kpps); hw < sw {
+			return hw
+		}
+		return sw
+	}
+	swKWh, odKWh, saved := DaySaving(tr, power.MemcachedMellanox.Power, onDemand)
+	if odKWh >= swKWh {
+		t.Fatalf("on-demand %v kWh should beat software %v", odKWh, swKWh)
+	}
+	// Busy daytime sits above the crossover for most of the day; the
+	// saving should be substantial but below the instantaneous max (~47%).
+	if saved < 0.10 || saved > 0.50 {
+		t.Errorf("day saving = %.0f%%, want 10-50%%", saved*100)
+	}
+}
+
+func TestShiftCountHysteresis(t *testing.T) {
+	tr := DiurnalLoad(20, 500)
+	// One clean excursion above the crossover: exactly 2 shifts.
+	if got := ShiftCount(tr, 88, 56); got != 2 {
+		t.Errorf("diurnal shifts = %d, want 2", got)
+	}
+	// A trace that never crosses: zero shifts.
+	if got := ShiftCount(DiurnalLoad(5, 50), 88, 56); got != 0 {
+		t.Errorf("low trace shifts = %d, want 0", got)
+	}
+}
+
+func TestEnergyKWhConstant(t *testing.T) {
+	tr := make(LoadTrace, 3600) // one hour at any load
+	got := tr.EnergyKWh(func(float64) float64 { return 1000 })
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("1kW for 1h = %v kWh, want 1", got)
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"incod/internal/asic"
+	"incod/internal/energy"
+	"incod/internal/power"
+)
+
+// §9.4 analysis: a ToR switch serving a rack of n nodes. For the switch,
+// Pi_N = Pi_S (the device forwards regardless), so the tipping point
+// compares dynamic power only — and switch dynamic power is so small
+// (<5 W per 100G port) that the tipping point "R is almost zero".
+
+// ToRConfig describes the rack.
+type ToRConfig struct {
+	// Nodes in the rack.
+	Nodes int
+	// PacketBytes sizes the application's packets.
+	PacketBytes int
+	// ServerCurve is the per-server software power curve.
+	ServerCurve power.SoftwareCurve
+}
+
+// SwitchTippingKpps returns the rate at which running the workload on the
+// ToR switch becomes cheaper than one server running it, using the §9.4
+// per-port dynamic-power arithmetic for the switch side.
+func SwitchTippingKpps(cfg ToRConfig, limitKpps float64) float64 {
+	sw := energy.Profile{
+		Name: cfg.ServerCurve.Name,
+		DynamicWatts: func(kpps float64) float64 {
+			return cfg.ServerCurve.Power(kpps) - cfg.ServerCurve.Power(0)
+		},
+	}
+	nw := energy.Profile{
+		Name: "tor-switch",
+		DynamicWatts: func(kpps float64) float64 {
+			return asic.PortDynamicWatts(kpps*1000, cfg.PacketBytes)
+		},
+	}
+	return energy.TippingPointKpps(sw, nw, limitKpps)
+}
+
+// CacheSplitPower models the §9.4 partial-offload case: the switch serves
+// hitRatio of the aggregate rack request rate (in kpps) and the host
+// serves the rest. It returns total dynamic watts for the split and for
+// the host-only deployment, so callers can see the efficiency as a
+// function of the hit:miss ratio.
+func CacheSplitPower(cfg ToRConfig, rackKpps, hitRatio float64) (split, hostOnly float64) {
+	if hitRatio < 0 {
+		hitRatio = 0
+	}
+	if hitRatio > 1 {
+		hitRatio = 1
+	}
+	missKpps := rackKpps * (1 - hitRatio)
+	perServerMiss := missKpps
+	if cfg.Nodes > 0 {
+		perServerMiss = missKpps / float64(cfg.Nodes)
+	}
+	hostDyn := func(kpps float64) float64 {
+		return cfg.ServerCurve.Power(kpps) - cfg.ServerCurve.Power(0)
+	}
+	switchDyn := asic.PortDynamicWatts(rackKpps*hitRatio*1000, cfg.PacketBytes)
+	split = switchDyn + float64(max(cfg.Nodes, 1))*hostDyn(perServerMiss)
+	perServerAll := rackKpps
+	if cfg.Nodes > 0 {
+		perServerAll = rackKpps / float64(cfg.Nodes)
+	}
+	hostOnly = float64(max(cfg.Nodes, 1)) * hostDyn(perServerAll)
+	return split, hostOnly
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RequestHalving quantifies the §10 observation that running in a switch
+// halves the application-specific packets through it: request and reply
+// traverse as one packet (in as the request, out as the reply) instead of
+// two.
+func RequestHalving(requestsPerSec float64) (switchPackets, serverPackets float64) {
+	return requestsPerSec, 2 * requestsPerSec
+}

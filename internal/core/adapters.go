@@ -1,0 +1,111 @@
+package core
+
+import (
+	"incod/internal/dns"
+	"incod/internal/kvs"
+	"incod/internal/paxos"
+)
+
+// KVSService adapts a LaKe card to the Service interface. The §9.2 KVS
+// transition task: activating brings the memories out of reset with cold
+// caches (queries keep flowing to software until the cache warms, so the
+// query rate is maintained); deactivating parks the card in the
+// reset+gated low-power state.
+type KVSService struct {
+	lake *kvs.LaKe
+}
+
+// NewKVSService wraps lake, aligning the initial placement with the
+// board's module state.
+func NewKVSService(lake *kvs.LaKe) *KVSService { return &KVSService{lake: lake} }
+
+// Name implements Service.
+func (s *KVSService) Name() string { return "kvs" }
+
+// Placement implements Service.
+func (s *KVSService) Placement() Placement {
+	if s.lake.Active() {
+		return Network
+	}
+	return Host
+}
+
+// Shift implements Service.
+func (s *KVSService) Shift(to Placement) {
+	if to == s.Placement() {
+		return
+	}
+	if to == Network {
+		s.lake.Activate()
+	} else {
+		s.lake.Deactivate()
+	}
+}
+
+// DNSService adapts an Emu DNS card. Its transition task syncs the
+// on-chip resolution table before enabling hardware service (§9.2: the
+// DNS shift "is much the same as shifting KVS", with a simpler host-side
+// task).
+type DNSService struct {
+	emu *dns.EmuDNS
+}
+
+// NewDNSService wraps emu.
+func NewDNSService(emu *dns.EmuDNS) *DNSService { return &DNSService{emu: emu} }
+
+// Name implements Service.
+func (s *DNSService) Name() string { return "dns" }
+
+// Placement implements Service.
+func (s *DNSService) Placement() Placement {
+	if s.emu.Active() {
+		return Network
+	}
+	return Host
+}
+
+// Shift implements Service.
+func (s *DNSService) Shift(to Placement) {
+	if to == s.Placement() {
+		return
+	}
+	if to == Network {
+		s.emu.SyncZone()
+		s.emu.Activate()
+	} else {
+		s.emu.Deactivate()
+	}
+}
+
+// PaxosService adapts a Paxos deployment: shifting runs the §9.2 leader
+// election (ballot bump, sequence restart, forwarding-rule rewrite), with
+// convergence via acceptor piggybacks, client retries and gap recovery.
+type PaxosService struct {
+	dep *paxos.Deployment
+}
+
+// NewPaxosService wraps dep.
+func NewPaxosService(dep *paxos.Deployment) *PaxosService { return &PaxosService{dep: dep} }
+
+// Name implements Service.
+func (s *PaxosService) Name() string { return "paxos" }
+
+// Placement implements Service.
+func (s *PaxosService) Placement() Placement {
+	if s.dep.CurrentLeader() == s.dep.HWLeader {
+		return Network
+	}
+	return Host
+}
+
+// Shift implements Service.
+func (s *PaxosService) Shift(to Placement) {
+	if to == s.Placement() {
+		return
+	}
+	if to == Network {
+		s.dep.ShiftLeader(s.dep.HWLeader)
+	} else {
+		s.dep.ShiftLeader(s.dep.SWLeader)
+	}
+}

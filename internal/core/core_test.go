@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"incod/internal/power"
+	"incod/internal/simnet"
+)
+
+func TestNetworkControllerShiftsUpAndBack(t *testing.T) {
+	sim := simnet.New(1)
+	svc := &FuncService{ServiceName: "test", Where: Host}
+	rate := 0.0
+	ctl := NewNetworkController(sim, svc, func() float64 { return rate }, NetworkControllerConfig{
+		ToNetworkKpps: 100, ToNetworkWindow: time.Second,
+		ToHostKpps: 50, ToHostWindow: time.Second,
+		SamplePeriod: 100 * time.Millisecond,
+	})
+	ctl.Start()
+
+	// Low rate: stays on host.
+	rate = 20
+	sim.RunFor(3 * time.Second)
+	if svc.Placement() != Host {
+		t.Fatal("low rate should stay on host")
+	}
+	// High rate: shifts to network after a full window.
+	rate = 200
+	sim.RunFor(2 * time.Second)
+	if svc.Placement() != Network {
+		t.Fatal("high sustained rate should shift to network")
+	}
+	// Mid rate (between thresholds): hysteresis holds it in the network.
+	rate = 80
+	sim.RunFor(5 * time.Second)
+	if svc.Placement() != Network {
+		t.Fatal("hysteresis band should not shift back")
+	}
+	// Low rate: returns to host.
+	rate = 10
+	sim.RunFor(2 * time.Second)
+	if svc.Placement() != Host {
+		t.Fatal("low sustained rate should shift back to host")
+	}
+	if len(ctl.Transitions) != 2 {
+		t.Errorf("transitions = %v, want 2", ctl.Transitions)
+	}
+	if ctl.Flaps() != 1 {
+		t.Errorf("flaps = %d, want 1", ctl.Flaps())
+	}
+	ctl.Stop()
+}
+
+func TestNetworkControllerNeedsFullWindow(t *testing.T) {
+	sim := simnet.New(2)
+	svc := &FuncService{ServiceName: "test", Where: Host}
+	rate := 1000.0
+	ctl := NewNetworkController(sim, svc, func() float64 { return rate }, NetworkControllerConfig{
+		ToNetworkKpps: 100, ToNetworkWindow: 2 * time.Second,
+		ToHostKpps: 50, ToHostWindow: 2 * time.Second,
+		SamplePeriod: 100 * time.Millisecond,
+	})
+	ctl.Start()
+	sim.RunFor(1 * time.Second)
+	if svc.Placement() != Host {
+		t.Error("must not shift on a partial averaging window")
+	}
+	sim.RunFor(1500 * time.Millisecond)
+	if svc.Placement() != Network {
+		t.Error("should shift once the window has fully elapsed")
+	}
+}
+
+func TestNetworkControllerSpikeSuppression(t *testing.T) {
+	sim := simnet.New(3)
+	svc := &FuncService{ServiceName: "test", Where: Host}
+	rate := 10.0
+	ctl := NewNetworkController(sim, svc, func() float64 { return rate }, NetworkControllerConfig{
+		ToNetworkKpps: 100, ToNetworkWindow: 2 * time.Second,
+		ToHostKpps: 50, ToHostWindow: 2 * time.Second,
+		SamplePeriod: 100 * time.Millisecond,
+	})
+	ctl.Start()
+	sim.RunFor(3 * time.Second)
+	// A 300ms spike must not trigger: the 2s average stays low.
+	rate = 500
+	sim.RunFor(300 * time.Millisecond)
+	rate = 10
+	sim.RunFor(3 * time.Second)
+	if svc.Placement() != Host {
+		t.Error("short spike should be averaged away")
+	}
+	if len(ctl.Transitions) != 0 {
+		t.Errorf("transitions = %v, want none", ctl.Transitions)
+	}
+}
+
+func TestHostControllerPowerAndCPU(t *testing.T) {
+	sim := simnet.New(4)
+	svc := &FuncService{ServiceName: "test", Where: Host}
+	powerW, cpu, netRate := 40.0, 0.1, 500.0
+	ctl := NewHostController(sim, svc,
+		func() float64 { return powerW },
+		func() float64 { return cpu },
+		func() float64 { return netRate },
+		HostControllerConfig{
+			ToNetworkPowerWatts: 55, ToNetworkCPUUtil: 0.6, ToNetworkSustain: 3 * time.Second,
+			ToHostKpps: 50, ToHostSustain: 3 * time.Second,
+			SamplePeriod: 100 * time.Millisecond,
+		})
+	ctl.Start()
+
+	// High power alone is not sufficient (§9.1: could be another app).
+	powerW = 90
+	sim.RunFor(5 * time.Second)
+	if svc.Placement() != Host {
+		t.Fatal("power without CPU must not shift")
+	}
+	// High CPU too: shift after the sustain period.
+	cpu = 0.9
+	sim.RunFor(2 * time.Second)
+	if svc.Placement() != Host {
+		t.Fatal("must hold for the full 3s sustain")
+	}
+	sim.RunFor(2 * time.Second)
+	if svc.Placement() != Network {
+		t.Fatal("sustained power+CPU should shift to network")
+	}
+	// Shift back requires network-side rate info to stay low.
+	netRate = 10
+	sim.RunFor(4 * time.Second)
+	if svc.Placement() != Host {
+		t.Fatal("low device rate should shift back to host")
+	}
+	if ctl.RAPLReads() == 0 {
+		t.Error("controller should be reading RAPL")
+	}
+	if len(ctl.Transitions) != 2 {
+		t.Errorf("transitions = %v", ctl.Transitions)
+	}
+}
+
+func TestHostControllerSpikeSuppression(t *testing.T) {
+	sim := simnet.New(5)
+	svc := &FuncService{ServiceName: "test", Where: Host}
+	powerW, cpu := 40.0, 0.1
+	ctl := NewHostController(sim, svc,
+		func() float64 { return powerW },
+		func() float64 { return cpu },
+		func() float64 { return 0 },
+		DefaultHostConfig(55, 50))
+	ctl.Start()
+	sim.RunFor(time.Second)
+	// 1s spike < 3s sustain: no shift.
+	powerW, cpu = 100, 1
+	sim.RunFor(time.Second)
+	powerW, cpu = 40, 0.1
+	sim.RunFor(5 * time.Second)
+	if svc.Placement() != Host || len(ctl.Transitions) != 0 {
+		t.Error("spike shorter than the sustain window must not shift")
+	}
+}
+
+func TestDemandCurveEnvelope(t *testing.T) {
+	lake := func(float64) float64 { return 59.2 }
+	d := NewDemandCurve("kvs", power.MemcachedMellanox.Power, lake, 2000)
+	if d.CrossKpps < 60 || d.CrossKpps > 100 {
+		t.Fatalf("KVS crossover = %v, want ~80", d.CrossKpps)
+	}
+	// Below the crossover: software power, host placement.
+	if d.Power(10) != power.MemcachedMellanox.Power(10) || d.Placement(10) != Host {
+		t.Error("below crossover should be software")
+	}
+	// Above: hardware power, network placement.
+	if d.Power(1000) != 59.2 || d.Placement(1000) != Network {
+		t.Error("above crossover should be hardware")
+	}
+	// The envelope never exceeds the software curve.
+	for r := 0.0; r <= 2000; r += 50 {
+		if d.Power(r) > power.MemcachedMellanox.Power(r)+1e-9 {
+			t.Fatalf("envelope above software at %v kpps", r)
+		}
+	}
+	// §9/Fig 5: on-demand saves roughly half the software power at high
+	// rate (111W -> 59W is ~47%).
+	frac, at := d.MaxSaving(1000, 200)
+	if frac < 0.40 || frac > 0.60 {
+		t.Errorf("max saving = %.0f%% at %v kpps, want ~50%%", frac*100, at)
+	}
+}
+
+func TestDemandCurveNoCrossover(t *testing.T) {
+	d := NewDemandCurve("never", func(float64) float64 { return 10 }, func(float64) float64 { return 100 }, 1000)
+	if d.CrossKpps != -1 {
+		t.Fatalf("CrossKpps = %v, want -1", d.CrossKpps)
+	}
+	if d.Placement(500) != Host || d.Power(500) != 10 {
+		t.Error("no-crossover envelope should always be software")
+	}
+	if d.SavingFraction(500) != 0 {
+		t.Error("no saving without a crossover")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Host.String() != "host" || Network.String() != "network" {
+		t.Error("Placement names wrong")
+	}
+}
+
+func TestFuncServiceShiftNoop(t *testing.T) {
+	calls := 0
+	svc := &FuncService{ServiceName: "x", Where: Host, OnShift: func(Placement) { calls++ }}
+	svc.Shift(Host)
+	if calls != 0 {
+		t.Error("shift to current placement must be a no-op")
+	}
+	svc.Shift(Network)
+	if calls != 1 || svc.Placement() != Network {
+		t.Error("shift should apply")
+	}
+}
+
+func TestTransitionString(t *testing.T) {
+	tr := Transition{At: simnet.Time(time.Second), To: Network, Reason: "r"}
+	if tr.String() != "1s -> network (r)" {
+		t.Errorf("String() = %q", tr.String())
+	}
+}
+
+func TestDefaultConfigsHaveHysteresis(t *testing.T) {
+	nc := DefaultNetworkConfig(150)
+	if nc.ToHostKpps >= nc.ToNetworkKpps {
+		t.Error("network config lacks hysteresis gap")
+	}
+	if math.Abs(nc.ToNetworkKpps-165) > 1 {
+		t.Errorf("to-network threshold = %v, want crossover*1.1", nc.ToNetworkKpps)
+	}
+	hc := DefaultHostConfig(55, 50)
+	if hc.ToNetworkSustain != 3*time.Second {
+		t.Error("default sustain should match the Figure 6 experiment (3s)")
+	}
+}

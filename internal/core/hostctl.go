@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"incod/internal/simnet"
+)
+
+func fmtReason(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// HostControllerConfig holds the §9.1 host-controlled parameters: one set
+// for shifting to the network (power + CPU, sustained) and one for
+// shifting back (network-observed rate, sustained).
+type HostControllerConfig struct {
+	// ToNetworkPowerWatts: RAPL package power that must be exceeded...
+	ToNetworkPowerWatts float64
+	// ToNetworkCPUUtil: ...together with this CPU utilization ("monitoring
+	// the power consumption alone is not sufficient, as a high power
+	// consumption can be triggered by multiple applications").
+	ToNetworkCPUUtil float64
+	// ToNetworkSustain is how long both must hold ("the information is
+	// inspected over time, avoiding harsh decisions based on spikes and
+	// outliers"). Figure 6 uses three seconds.
+	ToNetworkSustain time.Duration
+	// ToHostKpps: shift back when the device-reported application rate
+	// stays below this ("the controller needs information from the
+	// network ... otherwise the shift may ... bounce back and forth").
+	ToHostKpps float64
+	// ToHostSustain is the mirrored sustain window.
+	ToHostSustain time.Duration
+	// SamplePeriod is the monitoring tick (RAPL read cadence).
+	SamplePeriod time.Duration
+}
+
+// DefaultHostConfig returns the Figure 6 parameters: 3 s sustained high
+// power+CPU to offload, mirrored to return.
+func DefaultHostConfig(powerWatts, toHostKpps float64) HostControllerConfig {
+	return HostControllerConfig{
+		ToNetworkPowerWatts: powerWatts,
+		ToNetworkCPUUtil:    0.7,
+		ToNetworkSustain:    3 * time.Second,
+		ToHostKpps:          toHostKpps,
+		ToHostSustain:       3 * time.Second,
+		SamplePeriod:        100 * time.Millisecond,
+	}
+}
+
+// HostController implements the §9.1 host-controlled design. It reads the
+// host's power (RAPL) and CPU usage, plus the device's application packet
+// rate for the return path.
+type HostController struct {
+	sim *simnet.Simulator
+	svc Service
+	cfg HostControllerConfig
+
+	// powerFn reads host package power in watts (simulated RAPL window).
+	powerFn func() float64
+	// cpuFn reads the application host's CPU utilization (0..1).
+	cpuFn func() float64
+	// netRateFn reads the device's application rate in kpps.
+	netRateFn func() float64
+
+	condSince simnet.Time
+	condOn    bool
+	cancel    func()
+	raplReads uint64
+
+	Transitions []Transition
+}
+
+// NewHostController binds the controller to its three monitors.
+func NewHostController(sim *simnet.Simulator, svc Service, powerFn, cpuFn, netRateFn func() float64, cfg HostControllerConfig) *HostController {
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 100 * time.Millisecond
+	}
+	if cfg.ToNetworkSustain <= 0 {
+		cfg.ToNetworkSustain = 3 * time.Second
+	}
+	if cfg.ToHostSustain <= 0 {
+		cfg.ToHostSustain = cfg.ToNetworkSustain
+	}
+	return &HostController{
+		sim: sim, svc: svc, cfg: cfg,
+		powerFn: powerFn, cpuFn: cpuFn, netRateFn: netRateFn,
+	}
+}
+
+// Start begins monitoring.
+func (c *HostController) Start() {
+	c.Stop()
+	c.cancel = c.sim.Every(c.cfg.SamplePeriod, c.tick)
+}
+
+// Stop halts the controller.
+func (c *HostController) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+}
+
+// RAPLReads counts power-counter reads (the paper attributes the
+// controller's 0.3% CPU cost "mainly" to these).
+func (c *HostController) RAPLReads() uint64 { return c.raplReads }
+
+// Flaps counts transitions beyond the first.
+func (c *HostController) Flaps() int {
+	if len(c.Transitions) <= 1 {
+		return 0
+	}
+	return len(c.Transitions) - 1
+}
+
+func (c *HostController) tick() {
+	now := c.sim.Now()
+	switch c.svc.Placement() {
+	case Host:
+		c.raplReads++
+		power := c.powerFn()
+		cpu := c.cpuFn()
+		hot := power > c.cfg.ToNetworkPowerWatts && cpu > c.cfg.ToNetworkCPUUtil
+		if c.holdCondition(hot, now, c.cfg.ToNetworkSustain) {
+			c.svc.Shift(Network)
+			c.Transitions = append(c.Transitions, Transition{
+				At: now, To: Network,
+				Reason: fmtReason("power %.1fW cpu %.0f%% sustained %v", power, cpu*100, c.cfg.ToNetworkSustain),
+			})
+			c.condOn = false
+		}
+	case Network:
+		rate := c.netRateFn()
+		cold := rate < c.cfg.ToHostKpps
+		if c.holdCondition(cold, now, c.cfg.ToHostSustain) {
+			c.svc.Shift(Host)
+			c.Transitions = append(c.Transitions, Transition{
+				At: now, To: Host,
+				Reason: fmtReason("network rate %.1f kpps sustained %v below threshold", rate, c.cfg.ToHostSustain),
+			})
+			c.condOn = false
+		}
+	}
+}
+
+// holdCondition tracks how long cond has held continuously and reports
+// whether it has been true for at least sustain.
+func (c *HostController) holdCondition(cond bool, now simnet.Time, sustain time.Duration) bool {
+	if !cond {
+		c.condOn = false
+		return false
+	}
+	if !c.condOn {
+		c.condOn = true
+		c.condSince = now
+		return sustain == 0
+	}
+	return now.Sub(c.condSince) >= sustain
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"time"
+
+	"incod/internal/simnet"
+)
+
+// NetworkControllerConfig holds the two mirrored parameter pairs of the
+// §9.1 network-controlled design. "Using two sets of parameters provides
+// hysteresis, and attends to concerns of rapidly shifting workloads
+// back-and-forth."
+type NetworkControllerConfig struct {
+	// ToNetworkKpps: shift to the network when the average rate over
+	// ToNetworkWindow exceeds this.
+	ToNetworkKpps   float64
+	ToNetworkWindow time.Duration
+	// ToHostKpps: shift back when the average rate over ToHostWindow
+	// falls below this. Must be below ToNetworkKpps for hysteresis.
+	ToHostKpps   float64
+	ToHostWindow time.Duration
+	// SamplePeriod is how often the classifier's rate counter is read.
+	SamplePeriod time.Duration
+}
+
+// DefaultNetworkConfig returns thresholds bracketing a crossover rate,
+// with the paper-style hysteresis gap.
+func DefaultNetworkConfig(crossKpps float64) NetworkControllerConfig {
+	return NetworkControllerConfig{
+		ToNetworkKpps:   crossKpps * 1.1,
+		ToNetworkWindow: time.Second,
+		ToHostKpps:      crossKpps * 0.7,
+		ToHostWindow:    2 * time.Second,
+		SamplePeriod:    100 * time.Millisecond,
+	}
+}
+
+// NetworkController implements the §9.1 network-controlled design: the
+// decision kernel lives in the device's classifier and sees only the
+// application message rate. All parameters are configurable; "the control
+// is not entirely automatic".
+type NetworkController struct {
+	sim *simnet.Simulator
+	svc Service
+	cfg NetworkControllerConfig
+	// rateFn reads the classifier's application message rate in kpps.
+	rateFn func() float64
+
+	samples []sample
+	cancel  func()
+
+	// Transitions is the decision log.
+	Transitions []Transition
+}
+
+type sample struct {
+	at   simnet.Time
+	kpps float64
+}
+
+// NewNetworkController binds a controller to svc, reading load from
+// rateFn. Call Start to begin deciding.
+func NewNetworkController(sim *simnet.Simulator, svc Service, rateFn func() float64, cfg NetworkControllerConfig) *NetworkController {
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 100 * time.Millisecond
+	}
+	if cfg.ToNetworkWindow <= 0 {
+		cfg.ToNetworkWindow = time.Second
+	}
+	if cfg.ToHostWindow <= 0 {
+		cfg.ToHostWindow = cfg.ToNetworkWindow
+	}
+	return &NetworkController{sim: sim, svc: svc, cfg: cfg, rateFn: rateFn}
+}
+
+// Start begins periodic sampling and deciding.
+func (c *NetworkController) Start() {
+	c.Stop()
+	c.cancel = c.sim.Every(c.cfg.SamplePeriod, c.tick)
+}
+
+// Stop halts the controller.
+func (c *NetworkController) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+}
+
+// Flaps counts transitions beyond the first — the quantity hysteresis is
+// meant to minimize.
+func (c *NetworkController) Flaps() int {
+	if len(c.Transitions) <= 1 {
+		return 0
+	}
+	return len(c.Transitions) - 1
+}
+
+// tick is the ~40-line decision kernel: sample the rate, average over the
+// relevant window, compare against the relevant threshold.
+func (c *NetworkController) tick() {
+	now := c.sim.Now()
+	c.samples = append(c.samples, sample{at: now, kpps: c.rateFn()})
+	// Trim beyond the longer window.
+	keep := c.cfg.ToNetworkWindow
+	if c.cfg.ToHostWindow > keep {
+		keep = c.cfg.ToHostWindow
+	}
+	for len(c.samples) > 1 && now.Sub(c.samples[0].at) > keep {
+		c.samples = c.samples[1:]
+	}
+	switch c.svc.Placement() {
+	case Host:
+		avg, full := c.average(now, c.cfg.ToNetworkWindow)
+		if full && avg > c.cfg.ToNetworkKpps {
+			c.shift(Network, now, avg)
+		}
+	case Network:
+		avg, full := c.average(now, c.cfg.ToHostWindow)
+		if full && avg < c.cfg.ToHostKpps {
+			c.shift(Host, now, avg)
+		}
+	}
+}
+
+// average returns the mean rate over the trailing window and whether the
+// window has fully elapsed (no decisions on partial windows).
+func (c *NetworkController) average(now simnet.Time, w time.Duration) (float64, bool) {
+	var sum float64
+	n := 0
+	for _, s := range c.samples {
+		if now.Sub(s.at) <= w {
+			sum += s.kpps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	full := now.Sub(c.samples[0].at) >= w
+	return sum / float64(n), full
+}
+
+func (c *NetworkController) shift(to Placement, now simnet.Time, avg float64) {
+	c.svc.Shift(to)
+	c.Transitions = append(c.Transitions, Transition{
+		At: now, To: to,
+		Reason: formatRate(avg, to),
+	})
+	// Restart the window so the mirrored rule evaluates fresh data.
+	c.samples = c.samples[:0]
+}
+
+func formatRate(kpps float64, to Placement) string {
+	if to == Network {
+		return fmtReason("avg rate %.1f kpps above to-network threshold", kpps)
+	}
+	return fmtReason("avg rate %.1f kpps below to-host threshold", kpps)
+}

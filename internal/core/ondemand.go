@@ -1,0 +1,91 @@
+// Package core implements the paper's contribution: in-network computing
+// on demand (§9) — dynamically shifting a service between the host CPU and
+// a programmable network device so the system always sits on the
+// power-optimal side of the software/hardware crossover.
+//
+// Two controller designs are provided, exactly as proposed in §9.1:
+//
+//   - NetworkController: decides in the network device from traffic load
+//     alone. A pair of (rate threshold, averaging window) parameters moves
+//     the workload to the network; a mirrored pair moves it back,
+//     providing hysteresis. The paper's version is "40 lines of code
+//     within the FPGA's classifier module".
+//
+//   - HostController: decides on the host from CPU usage and RAPL power
+//     readings, with dual parameter sets and spike suppression; shifting
+//     back also consults the device's observed packet rate. The paper's
+//     version is "204 lines of code ... 0.3% CPU usage, mainly for
+//     performing RAPL reads".
+package core
+
+import (
+	"fmt"
+
+	"incod/internal/simnet"
+)
+
+// Placement is where a service currently runs.
+type Placement int
+
+// Placements.
+const (
+	Host Placement = iota
+	Network
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == Network {
+		return "network"
+	}
+	return "host"
+}
+
+// Service is a workload that can run on either substrate. Implementations
+// perform the §9.2 application-specific transition task inside Shift
+// (LaKe cache activation, Paxos leader election, DNS table sync).
+type Service interface {
+	// Name identifies the service in transition logs.
+	Name() string
+	// Placement reports where the service currently runs.
+	Placement() Placement
+	// Shift moves the service. Shifting to the current placement must be
+	// a no-op.
+	Shift(to Placement)
+}
+
+// Transition records one controller decision.
+type Transition struct {
+	At     simnet.Time
+	To     Placement
+	Reason string
+}
+
+// String renders the transition for logs.
+func (t Transition) String() string {
+	return fmt.Sprintf("%v -> %s (%s)", t.At, t.To, t.Reason)
+}
+
+// FuncService adapts closures to Service, for tests and simple bindings.
+type FuncService struct {
+	ServiceName string
+	Where       Placement
+	OnShift     func(to Placement)
+}
+
+// Name implements Service.
+func (f *FuncService) Name() string { return f.ServiceName }
+
+// Placement implements Service.
+func (f *FuncService) Placement() Placement { return f.Where }
+
+// Shift implements Service.
+func (f *FuncService) Shift(to Placement) {
+	if to == f.Where {
+		return
+	}
+	f.Where = to
+	if f.OnShift != nil {
+		f.OnShift(to)
+	}
+}

@@ -1,0 +1,142 @@
+// Package daemon provides shared plumbing for the runnable UDP daemons:
+// a concurrency-safe, wall-clock on-demand advisor that applies the §9.1
+// network-controller policy to a live request stream. The daemons have no
+// FPGA attached, so the advisor reports where the service *would* run and
+// when it would shift — the controller logic is the same code path the
+// simulation validates.
+package daemon
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"incod/internal/core"
+)
+
+// Advisor meters request rate in wall time and applies the mirrored
+// threshold pairs of core.NetworkControllerConfig.
+type Advisor struct {
+	name string
+	cfg  core.NetworkControllerConfig
+
+	mu        sync.Mutex
+	count     uint64
+	samples   []advSample
+	placement core.Placement
+	shifts    int
+	stop      chan struct{}
+	stopOnce  sync.Once
+}
+
+type advSample struct {
+	at   time.Time
+	kpps float64
+}
+
+// New starts an advisor with thresholds bracketing crossKpps and begins
+// its evaluation loop.
+func New(name string, crossKpps float64) *Advisor {
+	a := &Advisor{
+		name: name,
+		cfg:  core.DefaultNetworkConfig(crossKpps),
+		stop: make(chan struct{}),
+	}
+	go a.loop()
+	return a
+}
+
+// Observe records one served request.
+func (a *Advisor) Observe() {
+	a.mu.Lock()
+	a.count++
+	a.mu.Unlock()
+}
+
+// Placement returns the advised placement.
+func (a *Advisor) Placement() core.Placement {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.placement
+}
+
+// Shifts returns how many advisory transitions have occurred.
+func (a *Advisor) Shifts() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shifts
+}
+
+// Close stops the evaluation loop.
+func (a *Advisor) Close() { a.stopOnce.Do(func() { close(a.stop) }) }
+
+func (a *Advisor) loop() {
+	tick := time.NewTicker(a.cfg.SamplePeriod)
+	defer tick.Stop()
+	var last uint64
+	lastAt := time.Now()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case now := <-tick.C:
+			last, lastAt = a.Tick(now, last, lastAt)
+		}
+	}
+}
+
+// Tick performs one sampling + decision step at wall time now, given the
+// previous tick's count and timestamp, and returns the new ones. The
+// background loop calls it; tests can drive it directly with synthetic
+// clocks.
+func (a *Advisor) Tick(now time.Time, last uint64, lastAt time.Time) (uint64, time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	served := a.count - last
+	dt := now.Sub(lastAt).Seconds()
+	if dt > 0 {
+		a.samples = append(a.samples, advSample{at: now, kpps: float64(served) / dt / 1000})
+	}
+	keep := a.cfg.ToNetworkWindow
+	if a.cfg.ToHostWindow > keep {
+		keep = a.cfg.ToHostWindow
+	}
+	for len(a.samples) > 1 && now.Sub(a.samples[0].at) > keep {
+		a.samples = a.samples[1:]
+	}
+	a.evaluateLocked(now)
+	return a.count, now
+}
+
+func (a *Advisor) evaluateLocked(now time.Time) {
+	avg := func(w time.Duration) (float64, bool) {
+		var sum float64
+		n := 0
+		for _, s := range a.samples {
+			if now.Sub(s.at) <= w {
+				sum += s.kpps
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, false
+		}
+		return sum / float64(n), now.Sub(a.samples[0].at) >= w
+	}
+	switch a.placement {
+	case core.Host:
+		if r, full := avg(a.cfg.ToNetworkWindow); full && r > a.cfg.ToNetworkKpps {
+			a.placement = core.Network
+			a.shifts++
+			a.samples = a.samples[:0]
+			log.Printf("%s: on-demand advisor: shift to NETWORK (avg %.1f kpps > %.1f)", a.name, r, a.cfg.ToNetworkKpps)
+		}
+	case core.Network:
+		if r, full := avg(a.cfg.ToHostWindow); full && r < a.cfg.ToHostKpps {
+			a.placement = core.Host
+			a.shifts++
+			a.samples = a.samples[:0]
+			log.Printf("%s: on-demand advisor: shift to HOST (avg %.1f kpps < %.1f)", a.name, r, a.cfg.ToHostKpps)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"incod/internal/core"
+)
+
+// drive feeds the advisor a synthetic request stream at kpps for d of
+// synthetic wall time, stepping the decision tick manually.
+func drive(a *Advisor, start time.Time, last uint64, kpps float64, d time.Duration) (time.Time, uint64) {
+	step := a.cfg.SamplePeriod
+	now := start
+	lastAt := start
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		now = now.Add(step)
+		// Deliver the requests that arrived during this step.
+		n := uint64(kpps * 1000 * step.Seconds())
+		for i := uint64(0); i < n; i++ {
+			a.Observe()
+		}
+		last, lastAt = a.Tick(now, last, lastAt)
+	}
+	return now, last
+}
+
+func newTestAdvisor(t *testing.T, cross float64) *Advisor {
+	t.Helper()
+	a := New("test", cross)
+	a.Close() // kill the background loop; tests drive Tick directly
+	return a
+}
+
+func TestAdvisorShiftsUpAndBack(t *testing.T) {
+	a := newTestAdvisor(t, 100)
+	start := time.Unix(0, 0)
+
+	if a.Placement() != core.Host {
+		t.Fatal("advisor should start on the host")
+	}
+	// Low rate: stays.
+	now, last := drive(a, start, 0, 20, 3*time.Second)
+	if a.Placement() != core.Host {
+		t.Fatal("low rate must stay on host")
+	}
+	// Sustained high rate: shifts.
+	now, last = drive(a, now, last, 200, 2*time.Second)
+	if a.Placement() != core.Network {
+		t.Fatal("sustained high rate should shift to network")
+	}
+	// Inside the hysteresis band: holds.
+	now, last = drive(a, now, last, 90, 5*time.Second)
+	if a.Placement() != core.Network {
+		t.Fatal("hysteresis band must not shift back")
+	}
+	// Low: returns.
+	_, _ = drive(a, now, last, 5, 3*time.Second)
+	if a.Placement() != core.Host {
+		t.Fatal("low sustained rate should shift back")
+	}
+	if a.Shifts() != 2 {
+		t.Errorf("shifts = %d, want 2", a.Shifts())
+	}
+}
+
+func TestAdvisorSpikeSuppression(t *testing.T) {
+	a := newTestAdvisor(t, 100)
+	now, last := drive(a, time.Unix(0, 0), 0, 20, 3*time.Second)
+	// A 200ms 300 kpps spike, then quiet: the 1s window averages it to
+	// ~76 kpps, below the 110 kpps up-threshold.
+	now, last = drive(a, now, last, 300, 200*time.Millisecond)
+	_, _ = drive(a, now, last, 20, 3*time.Second)
+	if a.Placement() != core.Host || a.Shifts() != 0 {
+		t.Errorf("spike should not shift (placement %v, shifts %d)", a.Placement(), a.Shifts())
+	}
+}
+
+func TestAdvisorCloseIdempotent(t *testing.T) {
+	a := New("x", 50)
+	a.Close()
+	a.Close() // must not panic
+}

@@ -1,0 +1,114 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Status is the control-plane view of a daemon's on-demand advisor — the
+// role the P4Runtime/gRPC channel plays for a hardware deployment's
+// controller: read placement and counters, adjust the §9.1 thresholds at
+// runtime.
+type Status struct {
+	Name       string  `json:"name"`
+	Placement  string  `json:"placement"`
+	Shifts     int     `json:"shifts"`
+	Requests   uint64  `json:"requests"`
+	WindowKpps float64 `json:"window_kpps"`
+
+	ToNetworkKpps   float64 `json:"to_network_kpps"`
+	ToNetworkWindow string  `json:"to_network_window"`
+	ToHostKpps      float64 `json:"to_host_kpps"`
+	ToHostWindow    string  `json:"to_host_window"`
+}
+
+// Thresholds is the runtime-adjustable §9.1 parameter set ("all of its
+// parameters are configurable").
+type Thresholds struct {
+	ToNetworkKpps float64 `json:"to_network_kpps"`
+	ToHostKpps    float64 `json:"to_host_kpps"`
+}
+
+// Status snapshots the advisor.
+func (a *Advisor) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var window float64
+	if n := len(a.samples); n > 0 {
+		for _, s := range a.samples {
+			window += s.kpps
+		}
+		window /= float64(n)
+	}
+	return Status{
+		Name:            a.name,
+		Placement:       a.placement.String(),
+		Shifts:          a.shifts,
+		Requests:        a.count,
+		WindowKpps:      window,
+		ToNetworkKpps:   a.cfg.ToNetworkKpps,
+		ToNetworkWindow: a.cfg.ToNetworkWindow.String(),
+		ToHostKpps:      a.cfg.ToHostKpps,
+		ToHostWindow:    a.cfg.ToHostWindow.String(),
+	}
+}
+
+// SetThresholds updates the shift thresholds. Values <= 0 keep the
+// current setting; to preserve hysteresis the to-host threshold is
+// clamped below the to-network one.
+func (a *Advisor) SetThresholds(t Thresholds) Thresholds {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t.ToNetworkKpps > 0 {
+		a.cfg.ToNetworkKpps = t.ToNetworkKpps
+	}
+	if t.ToHostKpps > 0 {
+		a.cfg.ToHostKpps = t.ToHostKpps
+	}
+	if a.cfg.ToHostKpps >= a.cfg.ToNetworkKpps {
+		a.cfg.ToHostKpps = a.cfg.ToNetworkKpps * 0.7
+	}
+	return Thresholds{ToNetworkKpps: a.cfg.ToNetworkKpps, ToHostKpps: a.cfg.ToHostKpps}
+}
+
+// Handler returns the control-plane HTTP API:
+//
+//	GET  /status      -> Status JSON
+//	GET  /thresholds  -> Thresholds JSON
+//	POST /thresholds  <- Thresholds JSON (partial updates allowed)
+func (a *Advisor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.Status())
+	})
+	mux.HandleFunc("/thresholds", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			s := a.Status()
+			writeJSON(w, Thresholds{ToNetworkKpps: s.ToNetworkKpps, ToHostKpps: s.ToHostKpps})
+		case http.MethodPost:
+			var t Thresholds
+			if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, a.SetThresholds(t))
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// ServeCtrl starts the control-plane API on addr in the background.
+func (a *Advisor) ServeCtrl(addr string) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.ListenAndServe() }()
+	return srv
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,98 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStatusEndpoint(t *testing.T) {
+	a := newTestAdvisor(t, 100)
+	for i := 0; i < 5; i++ {
+		a.Observe()
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Status
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test" || s.Placement != "host" || s.Requests != 5 {
+		t.Errorf("status = %+v", s)
+	}
+	// DefaultNetworkConfig(100) = crossover*1.1 (floating point).
+	if s.ToNetworkKpps < 109.9 || s.ToNetworkKpps > 110.1 {
+		t.Errorf("to-network threshold = %v, want ~110", s.ToNetworkKpps)
+	}
+}
+
+func TestThresholdsRoundTrip(t *testing.T) {
+	a := newTestAdvisor(t, 100)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	// Partial update: only the up-threshold.
+	resp, err := http.Post(srv.URL+"/thresholds", "application/json",
+		strings.NewReader(`{"to_network_kpps": 200}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Thresholds
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.ToNetworkKpps != 200 {
+		t.Errorf("to-network = %v, want 200", got.ToNetworkKpps)
+	}
+	if got.ToHostKpps >= got.ToNetworkKpps {
+		t.Error("hysteresis invariant violated")
+	}
+
+	// GET reflects the change.
+	resp, err = http.Get(srv.URL + "/thresholds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var read Thresholds
+	_ = json.NewDecoder(resp.Body).Decode(&read)
+	resp.Body.Close()
+	if read.ToNetworkKpps != 200 {
+		t.Errorf("read back %v", read.ToNetworkKpps)
+	}
+}
+
+func TestThresholdsClampHysteresis(t *testing.T) {
+	a := newTestAdvisor(t, 100)
+	got := a.SetThresholds(Thresholds{ToHostKpps: 500}) // above to-network
+	if got.ToHostKpps >= got.ToNetworkKpps {
+		t.Errorf("to-host %v must stay below to-network %v", got.ToHostKpps, got.ToNetworkKpps)
+	}
+}
+
+func TestThresholdsBadRequests(t *testing.T) {
+	a := newTestAdvisor(t, 100)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, _ := http.Post(srv.URL+"/thresholds", "application/json", strings.NewReader("not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON -> %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/thresholds", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE -> %d, want 405", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

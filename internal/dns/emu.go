@@ -1,0 +1,181 @@
+package dns
+
+import (
+	"time"
+
+	"incod/internal/fpga"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// EmuDNS is the §3.3 Emu-compiled DNS accelerator on NetFPGA SUME, amended
+// (as the paper does) with a LaKe-style packet classifier so the board also
+// serves as a NIC for non-DNS traffic. It resolves A/IN queries from an
+// on-chip copy of the zone; names deeper than its fixed parse depth, and
+// all traffic while the module is inactive, go to the host software.
+type EmuDNS struct {
+	addr    simnet.Addr
+	sim     *simnet.Simulator
+	net     *simnet.Network
+	board   *fpga.Board
+	backend *SoftServer
+
+	// zone is the on-chip table, a copy of (a subset of) the backend's.
+	zone *Zone
+
+	rate     *telemetry.RateMeter
+	Latency  *telemetry.Histogram
+	Counters *telemetry.Counters
+}
+
+// NewEmuDNS programs a board with the Emu DNS design at addr, forwarding
+// software-path queries to backend. The on-chip zone starts as a snapshot
+// of the backend's zone.
+func NewEmuDNS(net *simnet.Network, addr simnet.Addr, backend *SoftServer) *EmuDNS {
+	e := &EmuDNS{
+		addr:     addr,
+		sim:      net.Sim(),
+		net:      net,
+		board:    fpga.NewBoard(fpga.EmuDNSDesign),
+		backend:  backend,
+		zone:     NewZone(),
+		rate:     telemetry.NewRateMeter(10*time.Millisecond, 100),
+		Latency:  telemetry.NewHistogram(),
+		Counters: telemetry.NewCounters(),
+	}
+	e.SyncZone()
+	e.board.SetLoadFunc(func() float64 {
+		peak := e.board.PeakKpps()
+		if peak <= 0 {
+			return 0
+		}
+		return e.RateKpps() / peak
+	})
+	net.Attach(e)
+	return e
+}
+
+// Addr implements simnet.Node.
+func (e *EmuDNS) Addr() simnet.Addr { return e.addr }
+
+// Board exposes the underlying FPGA board.
+func (e *EmuDNS) Board() *fpga.Board { return e.board }
+
+// Zone returns the on-chip resolution table.
+func (e *EmuDNS) Zone() *Zone { return e.zone }
+
+// SyncZone refreshes the on-chip table from the backend's zone (the
+// application-specific transition task when shifting DNS to hardware).
+func (e *EmuDNS) SyncZone() {
+	e.zone = NewZone()
+	for _, name := range e.backend.Zone().Names() {
+		if rec, ok := e.backend.Zone().Lookup(name); ok {
+			e.zone.Add(name, rec.Addr, rec.TTL)
+		}
+	}
+}
+
+// RateKpps is the DNS query rate seen by the classifier.
+func (e *EmuDNS) RateKpps() float64 { return e.rate.Rate(e.sim.Now()) / 1000 }
+
+// PowerWatts implements telemetry.PowerSource (card increment only).
+func (e *EmuDNS) PowerWatts(now simnet.Time) float64 { return e.board.PowerWatts(now) }
+
+// Active reports whether the DNS module is serving.
+func (e *EmuDNS) Active() bool { return e.board.ModuleActive() }
+
+// Activate enables hardware service; the zone must be synced first (DNS is
+// read-mostly, so unlike LaKe there is no warm-up miss phase — §9.2 notes
+// shifting DNS "is much the same as shifting KVS" but with a simpler
+// host-side task).
+func (e *EmuDNS) Activate() {
+	e.board.SetClockGating(false)
+	e.board.SetModuleActive(true)
+}
+
+// Deactivate parks the module; the card keeps forwarding as a NIC. Emu DNS
+// has no external memories, so only clock gating applies.
+func (e *EmuDNS) Deactivate() {
+	e.board.SetModuleActive(false)
+	e.board.SetClockGating(true)
+}
+
+func (e *EmuDNS) utilization() float64 {
+	peak := e.board.PeakKpps()
+	if peak <= 0 {
+		return 0
+	}
+	u := e.RateKpps() / peak
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Receive implements simnet.Node.
+func (e *EmuDNS) Receive(pkt *simnet.Packet) {
+	if pkt.DstPort != Port {
+		e.Counters.Inc("passthrough", 1)
+		e.sim.Schedule(600*time.Nanosecond, func() { e.backend.Receive(pkt) })
+		return
+	}
+	e.rate.Add(e.sim.Now(), 1)
+	if !e.board.ModuleActive() {
+		e.Counters.Inc("to_software", 1)
+		e.sim.Schedule(600*time.Nanosecond, func() { e.backend.Receive(pkt) })
+		return
+	}
+	// Overload shedding: the non-pipelined design saturates at ~1 Mqps.
+	if u := e.utilization(); u >= 1 {
+		rate := e.RateKpps()
+		peak := e.board.PeakKpps()
+		if rate > peak && e.sim.Rand().Float64() > peak/rate {
+			e.Counters.Inc("dropped", 1)
+			return
+		}
+	}
+	q, err := Decode(pkt.Payload, MaxLabels)
+	if err == ErrNameTooDeep {
+		// Deeper than the pipeline parses: hand to the software (§9.2's
+		// "worst case ... treated as iterative requests").
+		e.Counters.Inc("too_deep", 1)
+		e.forwardToSoftware(pkt)
+		return
+	}
+	if err != nil || q.Response {
+		e.Counters.Inc("bad_query", 1)
+		return
+	}
+	e.Counters.Inc("queries", 1)
+	resp := e.zone.Resolve(q)
+	if resp.RCode == RCodeNXDomain {
+		e.Counters.Inc("nxdomain", 1)
+	}
+	lat := emuLatency(e.sim.Rand())
+	e.Latency.Observe(lat)
+	e.reply(pkt, resp, lat)
+}
+
+func (e *EmuDNS) forwardToSoftware(pkt *simnet.Packet) {
+	q, err := Decode(pkt.Payload, 0)
+	if err != nil || q.Response {
+		e.Counters.Inc("bad_query", 1)
+		return
+	}
+	resp, lat := e.backend.Process(q)
+	e.reply(pkt, resp, lat+300*time.Nanosecond)
+}
+
+func (e *EmuDNS) reply(pkt *simnet.Packet, resp Message, after time.Duration) {
+	payload, err := Encode(resp)
+	if err != nil {
+		e.Counters.Inc("encode_error", 1)
+		return
+	}
+	src, srcPort := pkt.Src, pkt.SrcPort
+	e.sim.Schedule(after, func() {
+		e.net.Send(&simnet.Packet{
+			Src: e.addr, Dst: src, SrcPort: Port, DstPort: srcPort, Payload: payload,
+		})
+	})
+}

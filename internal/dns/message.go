@@ -1,0 +1,230 @@
+// Package dns implements the DNS case study (§3.3): a real DNS wire codec
+// (header, question, A answers with name compression), an NSD-style
+// authoritative software server, and Emu DNS — the FPGA implementation
+// supporting non-recursive name -> IPv4 resolution, amended with the
+// packet classifier so the card also serves as a NIC.
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Port is the DNS UDP port the packet classifier matches.
+const Port = 53
+
+// Record types and classes (only what Emu DNS supports, §3.3).
+const (
+	TypeA   = 1
+	ClassIN = 1
+)
+
+// RCodes.
+const (
+	RCodeNoError  = 0
+	RCodeFormErr  = 1
+	RCodeServFail = 2
+	RCodeNXDomain = 3
+	RCodeNotImpl  = 4
+)
+
+// Header flag bits.
+const (
+	flagQR = 1 << 15 // response
+	flagAA = 1 << 10 // authoritative answer
+	flagRD = 1 << 8  // recursion desired
+)
+
+// Message is a parsed DNS message restricted to a single question and
+// (optionally) a single A answer — the shape Emu DNS handles.
+type Message struct {
+	ID        uint16
+	Response  bool
+	Authority bool
+	RecDes    bool
+	RCode     int
+	Name      string // question name, dot-separated, no trailing dot
+	QType     uint16
+	QClass    uint16
+	// Answer (responses with RCodeNoError and HasAnswer).
+	HasAnswer bool
+	TTL       uint32
+	Addr      [4]byte
+}
+
+// Codec errors.
+var (
+	ErrTruncatedMessage = errors.New("dns: truncated message")
+	ErrBadName          = errors.New("dns: malformed name")
+	ErrLabelTooLong     = errors.New("dns: label exceeds 63 bytes")
+	ErrNameTooDeep      = errors.New("dns: name exceeds supported label depth")
+)
+
+// MaxLabels is the parse depth Emu DNS's fixed pipeline supports (§9.2
+// discusses "queries that require parsing deeper than the maximum
+// supported depth"). Software servers have no such limit.
+const MaxLabels = 8
+
+// appendName encodes a dot-separated name as DNS labels.
+func appendName(b []byte, name string) ([]byte, error) {
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if label == "" {
+				return nil, ErrBadName
+			}
+			if len(label) > 63 {
+				return nil, ErrLabelTooLong
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// parseName decodes labels at off, enforcing depthLimit (0 = unlimited).
+// Compression pointers are accepted for robustness even though queries in
+// practice never need them.
+func parseName(msg []byte, off int, depthLimit int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, ErrBadName
+		}
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			if depthLimit > 0 && len(labels) > depthLimit {
+				return "", 0, ErrNameTooDeep
+			}
+			return strings.Join(labels, "."), end, nil
+		case l&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(msg[off:]) & 0x3FFF)
+			if !jumped {
+				end = off + 2
+			}
+			jumped = true
+			off = ptr
+		case l&0xC0 != 0:
+			return "", 0, ErrBadName
+		default:
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			labels = append(labels, string(msg[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}
+
+// Encode serializes the message. Responses carrying an answer use a
+// compression pointer to the question name, like real servers do.
+func Encode(m Message) ([]byte, error) {
+	var flags uint16
+	if m.Response {
+		flags |= flagQR
+	}
+	if m.Authority {
+		flags |= flagAA
+	}
+	if m.RecDes {
+		flags |= flagRD
+	}
+	flags |= uint16(m.RCode & 0xF)
+	an := 0
+	if m.HasAnswer {
+		an = 1
+	}
+	b := make([]byte, 12, 12+len(m.Name)+2+4+16)
+	binary.BigEndian.PutUint16(b[0:], m.ID)
+	binary.BigEndian.PutUint16(b[2:], flags)
+	binary.BigEndian.PutUint16(b[4:], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(b[6:], uint16(an))
+	var err error
+	b, err = appendName(b, m.Name)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, m.QType)
+	b = binary.BigEndian.AppendUint16(b, m.QClass)
+	if m.HasAnswer {
+		b = append(b, 0xC0, 12) // pointer to the question name
+		b = binary.BigEndian.AppendUint16(b, TypeA)
+		b = binary.BigEndian.AppendUint16(b, ClassIN)
+		b = binary.BigEndian.AppendUint32(b, m.TTL)
+		b = binary.BigEndian.AppendUint16(b, 4)
+		b = append(b, m.Addr[:]...)
+	}
+	return b, nil
+}
+
+// Decode parses a message with at most one question and one A answer.
+// depthLimit bounds question-name label depth (0 = unlimited); hardware
+// callers pass MaxLabels.
+func Decode(msg []byte, depthLimit int) (Message, error) {
+	if len(msg) < 12 {
+		return Message{}, ErrTruncatedMessage
+	}
+	var m Message
+	m.ID = binary.BigEndian.Uint16(msg[0:])
+	flags := binary.BigEndian.Uint16(msg[2:])
+	m.Response = flags&flagQR != 0
+	m.Authority = flags&flagAA != 0
+	m.RecDes = flags&flagRD != 0
+	m.RCode = int(flags & 0xF)
+	qd := binary.BigEndian.Uint16(msg[4:])
+	an := binary.BigEndian.Uint16(msg[6:])
+	if qd != 1 {
+		return Message{}, fmt.Errorf("dns: unsupported question count %d", qd)
+	}
+	name, off, err := parseName(msg, 12, depthLimit)
+	if err != nil {
+		return Message{}, err
+	}
+	m.Name = name
+	if off+4 > len(msg) {
+		return Message{}, ErrTruncatedMessage
+	}
+	m.QType = binary.BigEndian.Uint16(msg[off:])
+	m.QClass = binary.BigEndian.Uint16(msg[off+2:])
+	off += 4
+	if an >= 1 {
+		_, off, err = parseName(msg, off, 0)
+		if err != nil {
+			return Message{}, err
+		}
+		if off+10 > len(msg) {
+			return Message{}, ErrTruncatedMessage
+		}
+		rtype := binary.BigEndian.Uint16(msg[off:])
+		m.TTL = binary.BigEndian.Uint32(msg[off+4:])
+		rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+		off += 10
+		if off+rdlen > len(msg) {
+			return Message{}, ErrTruncatedMessage
+		}
+		if rtype == TypeA && rdlen == 4 {
+			copy(m.Addr[:], msg[off:off+4])
+			m.HasAnswer = true
+		}
+	}
+	return m, nil
+}
+
+// NewQuery builds a standard A/IN query for name.
+func NewQuery(id uint16, name string) Message {
+	return Message{ID: id, Name: name, QType: TypeA, QClass: ClassIN}
+}

@@ -1,0 +1,153 @@
+package dns
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(42, "www.example.com")
+	b, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Name != "www.example.com" || got.QType != TypeA ||
+		got.QClass != ClassIN || got.Response {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := Message{
+		ID: 7, Response: true, Authority: true, Name: "a.b.c",
+		QType: TypeA, QClass: ClassIN, HasAnswer: true,
+		TTL: 300, Addr: [4]byte{10, 1, 2, 3},
+	}
+	b, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || !got.Authority || !got.HasAnswer {
+		t.Errorf("flags lost: %+v", got)
+	}
+	if got.Addr != resp.Addr || got.TTL != 300 || got.Name != "a.b.c" {
+		t.Errorf("answer lost: %+v", got)
+	}
+}
+
+func TestNXDomainRoundTrip(t *testing.T) {
+	resp := Message{ID: 9, Response: true, RCode: RCodeNXDomain, Name: "no.such", QType: TypeA, QClass: ClassIN}
+	b, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RCode != RCodeNXDomain || got.HasAnswer {
+		t.Errorf("NXDOMAIN lost: %+v", got)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	deep := strings.Repeat("x.", MaxLabels+2) + "com"
+	b, err := Encode(NewQuery(1, deep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(b, MaxLabels); err != ErrNameTooDeep {
+		t.Errorf("deep name err = %v, want ErrNameTooDeep", err)
+	}
+	// Software (unlimited) parses it fine.
+	if _, err := Decode(b, 0); err != nil {
+		t.Errorf("unlimited decode failed: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}, 0); err != ErrTruncatedMessage {
+		t.Errorf("short message err = %v", err)
+	}
+	// Bad label length byte (0x80 is a reserved prefix).
+	msg := append(make([]byte, 12), 0x80)
+	msg[5] = 1 // QDCOUNT=1
+	if _, err := Decode(msg, 0); err != ErrBadName {
+		t.Errorf("reserved label err = %v", err)
+	}
+	// Question count != 1.
+	q, _ := Encode(NewQuery(1, "a"))
+	q[5] = 2
+	if _, err := Decode(q, 0); err == nil {
+		t.Error("qdcount=2 should fail")
+	}
+	// Truncated question section.
+	q2, _ := Encode(NewQuery(1, "abc"))
+	if _, err := Decode(q2[:len(q2)-2], 0); err != ErrTruncatedMessage {
+		t.Errorf("truncated question err = %v", err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(NewQuery(1, "a..b")); err != ErrBadName {
+		t.Errorf("empty label err = %v", err)
+	}
+	if _, err := Encode(NewQuery(1, strings.Repeat("a", 64)+".com")); err != ErrLabelTooLong {
+		t.Errorf("long label err = %v", err)
+	}
+}
+
+func TestCompressionPointerLoopRejected(t *testing.T) {
+	// A name that points at itself must not hang the parser.
+	msg := make([]byte, 16)
+	msg[5] = 1                  // QDCOUNT=1
+	msg[12], msg[13] = 0xC0, 12 // pointer to itself
+	if _, err := Decode(msg, 0); err == nil {
+		t.Error("self-referencing pointer should error")
+	}
+}
+
+func TestRootNameRoundTrip(t *testing.T) {
+	b, err := Encode(NewQuery(5, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b, 0)
+	if err != nil || got.Name != "" {
+		t.Errorf("root query: %+v, %v", got, err)
+	}
+}
+
+// Property: any well-formed name round-trips through encode/decode.
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		// Build a valid name from the fuzz input.
+		var labels []string
+		for _, b := range raw {
+			n := int(b%20) + 1
+			labels = append(labels, strings.Repeat("a", n))
+			if len(labels) == 6 {
+				break
+			}
+		}
+		name := strings.Join(labels, ".")
+		enc, err := Encode(NewQuery(3, name))
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc, 0)
+		return err == nil && got.Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package dns
+
+import (
+	"math/rand"
+	"time"
+
+	"incod/internal/power"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// nsdLatency is the software (NSD) service latency: ~70x Emu DNS's, per
+// the §3.3 benchmark ("approximately x70 average and 99th percentile
+// latency improvement"), stretching toward saturation.
+func nsdLatency(rng *rand.Rand, util float64) time.Duration {
+	d := 88*time.Microsecond + time.Duration(rng.ExpFloat64()*float64(2*time.Microsecond))
+	if util > 0.5 {
+		q := util
+		if q > 0.99 {
+			q = 0.99
+		}
+		d += time.Duration(float64(30*time.Microsecond) * (q - 0.5) / (1 - q))
+	}
+	return d
+}
+
+// emuLatency is the Emu DNS hardware latency: a non-pipelined but shallow
+// on-chip design, ~1/70th of NSD's.
+func emuLatency(rng *rand.Rand) time.Duration {
+	return 1250*time.Nanosecond + time.Duration(rng.ExpFloat64()*float64(40*time.Nanosecond))
+}
+
+// SoftServer is the NSD-style authoritative software server of §4.4.
+type SoftServer struct {
+	addr simnet.Addr
+	sim  *simnet.Simulator
+	net  *simnet.Network
+	zone *Zone
+
+	curve    power.SoftwareCurve
+	rate     *telemetry.RateMeter
+	Latency  *telemetry.Histogram
+	Counters *telemetry.Counters
+}
+
+// NewSoftServer attaches an NSD-style server at addr serving zone.
+func NewSoftServer(net *simnet.Network, addr simnet.Addr, zone *Zone) *SoftServer {
+	s := &SoftServer{
+		addr:     addr,
+		sim:      net.Sim(),
+		net:      net,
+		zone:     zone,
+		curve:    power.NSDServer,
+		rate:     telemetry.NewRateMeter(10*time.Millisecond, 100),
+		Latency:  telemetry.NewHistogram(),
+		Counters: telemetry.NewCounters(),
+	}
+	net.Attach(s)
+	return s
+}
+
+// Addr implements simnet.Node.
+func (s *SoftServer) Addr() simnet.Addr { return s.addr }
+
+// Zone returns the served zone.
+func (s *SoftServer) Zone() *Zone { return s.zone }
+
+// RateKpps returns the query rate over the 1s window.
+func (s *SoftServer) RateKpps() float64 { return s.rate.Rate(s.sim.Now()) / 1000 }
+
+// Utilization returns the fraction of the NSD peak rate in use.
+func (s *SoftServer) Utilization() float64 { return s.curve.Utilization(s.RateKpps()) }
+
+// PowerWatts implements telemetry.PowerSource (whole server, §4.4 curve).
+func (s *SoftServer) PowerWatts(now simnet.Time) float64 {
+	return s.curve.Power(s.rate.Rate(now) / 1000)
+}
+
+// Process resolves one query and returns the response with the software
+// service latency. Emu DNS calls this for queries it cannot parse.
+func (s *SoftServer) Process(q Message) (Message, time.Duration) {
+	s.rate.Add(s.sim.Now(), 1)
+	resp := s.zone.Resolve(q)
+	lat := nsdLatency(s.sim.Rand(), s.Utilization())
+	s.Latency.Observe(lat)
+	return resp, lat
+}
+
+// Receive implements simnet.Node.
+func (s *SoftServer) Receive(pkt *simnet.Packet) {
+	if pkt.DstPort != Port {
+		s.Counters.Inc("non_dns", 1)
+		return
+	}
+	if u := s.Utilization(); u >= 1 {
+		rate := s.RateKpps()
+		if rate > s.curve.PeakKpps && s.sim.Rand().Float64() > s.curve.PeakKpps/rate {
+			s.Counters.Inc("dropped", 1)
+			return
+		}
+	}
+	q, err := Decode(pkt.Payload, 0)
+	if err != nil || q.Response {
+		s.Counters.Inc("bad_query", 1)
+		return
+	}
+	s.Counters.Inc("queries", 1)
+	resp, lat := s.Process(q)
+	if resp.RCode == RCodeNXDomain {
+		s.Counters.Inc("nxdomain", 1)
+	}
+	s.reply(pkt, resp, lat)
+}
+
+func (s *SoftServer) reply(pkt *simnet.Packet, resp Message, after time.Duration) {
+	payload, err := Encode(resp)
+	if err != nil {
+		s.Counters.Inc("encode_error", 1)
+		return
+	}
+	src, srcPort := pkt.Src, pkt.SrcPort
+	s.sim.Schedule(after, func() {
+		s.net.Send(&simnet.Packet{
+			Src: s.addr, Dst: src, SrcPort: Port, DstPort: srcPort, Payload: payload,
+		})
+	})
+}

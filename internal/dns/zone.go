@@ -1,0 +1,94 @@
+package dns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Zone is an authoritative resolution table from names to IPv4 addresses
+// (§3.3: "the design supports resolution queries from names to IPv4
+// addresses"). Lookups are case-insensitive per RFC 1035.
+type Zone struct {
+	records map[string]ARecord
+}
+
+// ARecord is one address record.
+type ARecord struct {
+	Addr [4]byte
+	TTL  uint32
+}
+
+// NewZone returns an empty zone.
+func NewZone() *Zone {
+	return &Zone{records: make(map[string]ARecord)}
+}
+
+// Len returns the number of records.
+func (z *Zone) Len() int { return len(z.records) }
+
+// Add installs or replaces the A record for name.
+func (z *Zone) Add(name string, addr [4]byte, ttl uint32) {
+	z.records[strings.ToLower(name)] = ARecord{Addr: addr, TTL: ttl}
+}
+
+// Remove deletes the record for name, reporting whether it existed.
+func (z *Zone) Remove(name string) bool {
+	key := strings.ToLower(name)
+	_, ok := z.records[key]
+	delete(z.records, key)
+	return ok
+}
+
+// Lookup resolves name.
+func (z *Zone) Lookup(name string) (ARecord, bool) {
+	r, ok := z.records[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names returns all record names (order unspecified).
+func (z *Zone) Names() []string {
+	out := make([]string, 0, len(z.records))
+	for n := range z.records {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PopulateSequential fills the zone with n records named
+// "hostN.example.com" mapping to 10.x.y.z, for load generation.
+func (z *Zone) PopulateSequential(n int) {
+	for i := 0; i < n; i++ {
+		z.Add(SequentialName(i), [4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}, 300)
+	}
+}
+
+// SequentialName returns the i'th generated zone name.
+func SequentialName(i int) string { return fmt.Sprintf("host%d.example.com", i) }
+
+// Resolve answers query q against the zone: an authoritative A answer on
+// success, NXDOMAIN for unknown names ("Emu DNS informs the client that it
+// cannot resolve the name", §3.3), NOTIMPL for non-A/IN questions.
+func (z *Zone) Resolve(q Message) Message {
+	resp := Message{
+		ID:        q.ID,
+		Response:  true,
+		Authority: true,
+		RecDes:    q.RecDes,
+		Name:      q.Name,
+		QType:     q.QType,
+		QClass:    q.QClass,
+	}
+	if q.QType != TypeA || q.QClass != ClassIN {
+		resp.RCode = RCodeNotImpl
+		return resp
+	}
+	rec, ok := z.Lookup(q.Name)
+	if !ok {
+		resp.RCode = RCodeNXDomain
+		return resp
+	}
+	resp.HasAnswer = true
+	resp.Addr = rec.Addr
+	resp.TTL = rec.TTL
+	return resp
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"incod/internal/fpga"
+	"incod/internal/power"
+)
+
+// serverIdleWatts is the §4 i7 server's idle wall power including NIC.
+const serverIdleWatts = 39
+
+// lakePower returns the §4.2 combined LaKe measurement: server + card.
+// With a warm cache every query is a hit, so the server stays idle.
+func lakePower(kpps float64) float64 {
+	b := fpga.NewBoard(fpga.LaKeDesign)
+	return serverIdleWatts + b.CardWatts(kpps/b.PeakKpps())
+}
+
+// lakeStandalone is the host-less board.
+func lakeStandalone(kpps float64) float64 {
+	b := fpga.NewBoard(fpga.LaKeDesign)
+	b.SetStandalone(true)
+	return b.CardWatts(kpps / b.PeakKpps())
+}
+
+func p4xosPower(kpps float64) float64 {
+	b := fpga.NewBoard(fpga.P4xosDesign)
+	return serverIdleWatts + b.CardWatts(kpps/b.PeakKpps())
+}
+
+func p4xosStandalone(kpps float64) float64 {
+	b := fpga.NewBoard(fpga.P4xosDesign)
+	b.SetStandalone(true)
+	return b.CardWatts(kpps / b.PeakKpps())
+}
+
+func emuPower(kpps float64) float64 {
+	b := fpga.NewBoard(fpga.EmuDNSDesign)
+	return serverIdleWatts + b.CardWatts(kpps/b.PeakKpps())
+}
+
+func emuStandalone(kpps float64) float64 {
+	b := fpga.NewBoard(fpga.EmuDNSDesign)
+	b.SetStandalone(true)
+	return b.CardWatts(kpps / b.PeakKpps())
+}
+
+func init() {
+	register("fig3a", "KVS power vs throughput (memcached vs LaKe)", fig3a)
+	register("fig3b", "Paxos power vs throughput (libpaxos/DPDK/P4xos)", fig3b)
+	register("fig3c", "DNS power vs throughput (NSD vs Emu)", fig3c)
+}
+
+func fig3a() *Table {
+	t := &Table{
+		ID:      "fig3a",
+		Title:   "Figure 3(a): KVS power vs throughput",
+		Columns: []string{"kpps", "memcached[W]", "LaKe[W]", "LaKe-standalone[W]"},
+	}
+	for kpps := 0.0; kpps <= 2000; kpps += 100 {
+		t.AddRow(kpps, power.MemcachedMellanox.Power(kpps), lakePower(kpps), lakeStandalone(kpps))
+	}
+	// §4.2: LaKe reaches full line rate at the same power.
+	t.AddRow(float64(fpga.LineRateKpps), "n/a (sw peak 1000)", lakePower(fpga.LineRateKpps), lakeStandalone(fpga.LineRateKpps))
+	cross := power.Crossover(power.MemcachedMellanox.Power, lakePower, 2000)
+	t.AddNote("crossover at %.0f kpps (paper: ~80 kpps)", cross)
+	crossIntel := power.Crossover(power.MemcachedIntelX520.Power, lakePower, 2000)
+	t.AddNote("with Intel X520 NIC the crossover moves to %.0f kpps (paper: >300 kpps)", crossIntel)
+	// §3.1: LaKe provides "x24 power efficiency improvement compared to
+	// software-based memcached" — queries/W at each system's peak.
+	lakeEff := fpga.LineRateKpps / lakePower(fpga.LineRateKpps)
+	swEff := power.MemcachedMellanox.PeakKpps / power.MemcachedMellanox.Power(power.MemcachedMellanox.PeakKpps)
+	t.AddNote("peak efficiency: LaKe %.0f qps/W vs memcached %.0f qps/W = x%.0f (paper: x24)",
+		lakeEff*1000, swEff*1000, lakeEff/swEff)
+	return t
+}
+
+func fig3b() *Table {
+	t := &Table{
+		ID:    "fig3b",
+		Title: "Figure 3(b): Paxos power vs throughput",
+		Columns: []string{"kpps", "libpaxos-leader[W]", "dpdk-leader[W]", "p4xos-leader[W]",
+			"standalone-leader[W]", "libpaxos-acceptor[W]", "dpdk-acceptor[W]",
+			"p4xos-acceptor[W]", "standalone-acceptor[W]"},
+	}
+	for kpps := 0.0; kpps <= 1000; kpps += 50 {
+		t.AddRow(kpps,
+			power.LibpaxosLeader.Power(kpps), power.DPDKLeader.Power(kpps),
+			p4xosPower(kpps), p4xosStandalone(kpps),
+			power.LibpaxosAcceptor.Power(kpps), power.DPDKAcceptor.Power(kpps),
+			p4xosPower(kpps), p4xosStandalone(kpps))
+	}
+	cross := power.Crossover(power.LibpaxosLeader.Power, p4xosPower, 1000)
+	t.AddNote("crossover at %.0f kpps (paper: ~150 kpps)", cross)
+	t.AddNote("P4xos standalone idle %.1f W, dynamic <= 1.2 W (paper: 18.2 W, 1.2 W)", p4xosStandalone(0))
+	return t
+}
+
+func fig3c() *Table {
+	t := &Table{
+		ID:      "fig3c",
+		Title:   "Figure 3(c): DNS power vs throughput",
+		Columns: []string{"kpps", "NSD[W]", "Emu[W]", "Emu-standalone[W]"},
+	}
+	for kpps := 0.0; kpps <= 1000; kpps += 50 {
+		t.AddRow(kpps, power.NSDServer.Power(kpps), emuPower(kpps), emuStandalone(kpps))
+	}
+	cross := power.Crossover(power.NSDServer.Power, emuPower, 1000)
+	t.AddNote("crossover at %.0f kpps (paper: <200 kpps)", cross)
+	t.AddNote("Emu total %.1f-%.1f W idle->full (paper: 47.5 -> <48 W)", emuPower(0), emuPower(1000))
+	t.AddNote("NSD at peak %.1f W ~ 2x Emu's (paper: twice Emu's power)", power.NSDServer.Power(956))
+	return t
+}

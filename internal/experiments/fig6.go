@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/kvs"
+	"incod/internal/power"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+	"incod/internal/trafficgen"
+)
+
+func init() {
+	register("fig6", "KVS software<->hardware transition timeline (Figure 6)", fig6)
+}
+
+// Fig6Result carries the timeline for tests and the CLI.
+type Fig6Result struct {
+	Table       *Table
+	Transitions []core.Transition
+	// ThroughputDipFraction is the worst per-interval throughput during
+	// the shift relative to the steady rate (1.0 = no dip).
+	ThroughputDipFraction float64
+	// LatencyImprovement is software-phase median / hardware-phase median.
+	LatencyImprovement float64
+}
+
+// RunFig6 reproduces the §9.2 experiment: an ETC-distribution memcached
+// client at ~16 kpps, ChainerMN as a second workload raising host power,
+// and the host controller (3 s sustained condition) shifting the KVS to
+// LaKe and back as ChainerMN stops.
+func RunFig6() *Fig6Result {
+	sim := simnet.New(1234)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	backend := kvs.NewSoftServer(net, "host", power.MemcachedMellanox)
+	lake := kvs.NewLaKe(net, "lake", backend)
+	lake.Deactivate() // start of the day: everything in software
+	client := kvs.NewClient(net, "client", "lake")
+
+	// ETC key popularity over a modest pool (cache-warmable).
+	etc := trafficgen.NewETC(sim.Rand(), 5000)
+	for i := uint64(0); i < 5000; i++ {
+		backend.Store().Set(fmt.Sprintf("key-%d", i), kvs.Entry{Value: make([]byte, 64)})
+	}
+	client.KeyFunc = etc.Keys.Next
+
+	// ChainerMN (deep learning) as background load: active from 5 s until
+	// 20 s, drawing CPU and power on the same host.
+	chainerOn := false
+	sim.Schedule(5*time.Second, func() { chainerOn = true })
+	sim.Schedule(20*time.Second, func() { chainerOn = false })
+	chainerPower := func() float64 {
+		if chainerOn {
+			return 45 // additional package watts while training
+		}
+		return 0
+	}
+	chainerCPU := func() float64 {
+		if chainerOn {
+			return 0.8
+		}
+		return 0
+	}
+
+	svc := core.NewKVSService(lake)
+	ctl := core.NewHostController(sim, svc,
+		func() float64 { return backend.PowerWatts(sim.Now()) + chainerPower() },
+		func() float64 { return backend.Utilization() + chainerCPU() },
+		lake.RateKpps,
+		core.HostControllerConfig{
+			ToNetworkPowerWatts: 70,
+			ToNetworkCPUUtil:    0.5,
+			ToNetworkSustain:    3 * time.Second, // the paper's trigger
+			// The generic rate-based return rule is disabled (threshold 0
+			// never fires): the §9.2 experiment shifts back "as ChainerMN
+			// stops", which the explicit monitor below implements.
+			ToHostKpps:    0,
+			ToHostSustain: 3 * time.Second,
+			SamplePeriod:  100 * time.Millisecond,
+		})
+	// The §9.2 experiment shifts back "as ChainerMN stops": model the
+	// return path as its own monitor (the host controller's network-rate
+	// input in the paper includes host state; our config above disables
+	// the generic return rule in favour of this explicit one).
+	backHot := simnet.Time(0)
+	sim.Every(100*time.Millisecond, func() {
+		if svc.Placement() == core.Network && !chainerOn {
+			if backHot == 0 {
+				backHot = sim.Now()
+			} else if sim.Now().Sub(backHot) >= 3*time.Second {
+				svc.Shift(core.Host)
+				ctl.Transitions = append(ctl.Transitions, core.Transition{
+					At: sim.Now(), To: core.Host, Reason: "background workload stopped"})
+				backHot = 0
+			}
+		} else {
+			backHot = 0
+		}
+	})
+	ctl.Start()
+
+	combined := telemetry.SumPower{backend, lake,
+		telemetry.PowerSourceFunc(func(simnet.Time) float64 { return chainerPower() })}
+
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Figure 6: transitioning KVS between software and hardware",
+		Columns: []string{"t[ms]", "throughput[kpps]", "latency[us]", "power[W]", "placement"},
+	}
+
+	client.Start(16) // ~16 kpps as in Figure 6
+	const interval = 500 * time.Millisecond
+	var (
+		lastRecv uint64
+		samples  []float64
+		swLat    time.Duration
+		hwLat    time.Duration
+	)
+	for now := time.Duration(0); now < 30*time.Second; now += interval {
+		sim.RunFor(interval)
+		recv := client.Counters.Get("recv")
+		kppsNow := float64(recv-lastRecv) / interval.Seconds() / 1000
+		lastRecv = recv
+		med := client.Latency.Median()
+		client.Latency.Reset()
+		if svc.Placement() == core.Host && med > 0 {
+			swLat = med
+		}
+		if svc.Placement() == core.Network && med > 0 && lake.HitRatio() > 0.9 {
+			hwLat = med
+		}
+		samples = append(samples, kppsNow)
+		t.AddRow(sim.Now().Seconds()*1000, kppsNow, float64(med)/1000, // µs
+			combined.PowerWatts(sim.Now()), svc.Placement().String())
+	}
+	client.Stop()
+
+	// Worst throughput after warm-up relative to the offered 16 kpps.
+	dip := 1.0
+	for _, s := range samples[2:] {
+		if f := s / 16; f < dip {
+			dip = f
+		}
+	}
+	res := &Fig6Result{Table: t, Transitions: ctl.Transitions, ThroughputDipFraction: dip}
+	if hwLat > 0 {
+		res.LatencyImprovement = float64(swLat) / float64(hwLat)
+	}
+	for _, tr := range ctl.Transitions {
+		t.AddNote("transition: %s", tr)
+	}
+	t.AddNote("worst-interval throughput = %.0f%% of offered (paper: 'no effect on KVS throughput')", dip*100)
+	t.AddNote("median latency improved %.1fx after warm-up (paper: 'ten-fold within tens of microseconds')", res.LatencyImprovement)
+	return res
+}
+
+func fig6() *Table { return RunFig6().Table }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"incod/internal/fpga"
+	"incod/internal/kvs"
+	"incod/internal/power"
+	"incod/internal/simnet"
+)
+
+func init() {
+	register("infra", "Host-platform and FPGA-generation sensitivity (§5.4)", infraTable)
+	register("strategies", "Idle strategies for the parked accelerator (§9.2)", strategiesTable)
+}
+
+// infraTable reproduces §5.4: the accelerator's absolute cost is fixed,
+// but its relative cost depends on the host — and on the FPGA generation.
+func infraTable() *Table {
+	t := &Table{
+		ID:      "infra",
+		Title:   "§5.4: the same card in different hosts / FPGA generations",
+		Columns: []string{"configuration", "idle[W]", "with-LaKe-idle[W]", "card-share[%]"},
+	}
+	card := fpga.NewBoard(fpga.LaKeDesign).CardWatts(0)
+	hosts := []struct {
+		name string
+		idle float64
+	}{
+		{"Intel i7-6700K (base setup)", 37.5},
+		{"Xeon E5-2637 v4 / X10-DRG-Q", power.XeonE52637v4.IdleWatts},
+		{"low-power ARM-class node", 15},
+	}
+	for _, h := range hosts {
+		total := h.idle + card
+		t.AddRow(h.name, h.idle, total, card/total*100)
+	}
+	// FPGA generation: UltraScale+ at x2.4 perf/W (§5.4).
+	scaled := fpga.NewBoard(fpga.LaKeDesign.Scaled(fpga.UltraScalePlusFactor))
+	t.AddRow("LaKe logic on UltraScale+ (x2.4 perf/W)", "-", fmt.Sprintf("card %.1f W", scaled.CardWatts(0)), "-")
+	t.AddNote("§5.4: the Xeon idles at 83 W — 20 W more than LaKe at full load on the base setup")
+	t.AddNote("§5.4: on low-power hosts the FPGA's relative cost is higher; the power difference of installing the card is constant")
+	return t
+}
+
+// strategiesTable measures the §9.2 idle-strategy trade-off live: parked
+// power vs reactivation cost (warm-up misses, halted packets).
+func strategiesTable() *Table {
+	t := &Table{
+		ID:      "strategies",
+		Title:   "§9.2: idle strategies for the parked LaKe card",
+		Columns: []string{"strategy", "parked-card[W]", "reactivation-misses", "halted-packets"},
+	}
+	for _, s := range []kvs.IdleStrategy{kvs.ParkReset, kvs.KeepWarm, kvs.PartialReconfig} {
+		watts, misses, halted := measureStrategy(s)
+		t.AddRow(s.String(), watts, misses, halted)
+	}
+	t.AddNote("the paper picks park-reset: 'the best of both performance and power efficiency worlds' (§9.2)")
+	t.AddNote("keep-warm shifts instantly but forfeits the memory-reset saving; partial reconfiguration saves the most but halts traffic for ~%v", kvs.ReconfigHalt)
+	return t
+}
+
+// measureStrategy warms a LaKe card, parks it with the strategy, then
+// reactivates under load and reports the costs.
+func measureStrategy(s kvs.IdleStrategy) (parkedWatts float64, misses, halted uint64) {
+	sim := simnet.New(92)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	backend := kvs.NewSoftServer(net, "host", power.MemcachedMellanox)
+	lake := kvs.NewLaKe(net, "lake", backend)
+	lake.Strategy = s
+	client := kvs.NewClient(net, "client", "lake")
+	for i := 0; i < 200; i++ {
+		backend.Store().Set(fmt.Sprintf("key-%d", i), kvs.Entry{Value: make([]byte, 64)})
+	}
+	i := 0
+	client.KeyFunc = func() string { i++; return fmt.Sprintf("key-%d", i%200) }
+
+	// Warm, park, measure, reactivate under load.
+	client.Start(50)
+	sim.RunFor(100 * time.Millisecond)
+	lake.Deactivate()
+	sim.RunFor(100 * time.Millisecond)
+	parkedWatts = lake.PowerWatts(sim.Now())
+	preMisses := lake.Counters.Get("miss")
+	preHalted := lake.Counters.Get("reconfig_dropped")
+	lake.Activate()
+	sim.RunFor(200 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	return parkedWatts, lake.Counters.Get("miss") - preMisses, lake.Counters.Get("reconfig_dropped") - preHalted
+}

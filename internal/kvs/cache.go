@@ -1,0 +1,111 @@
+// Package kvs implements the key-value store case study (§3.1): a
+// memcached-semantics software store and server, and LaKe, the layered
+// hardware key-value cache (L1 in on-chip BRAM, L2 in board DRAM, misses
+// forwarded to the host software).
+package kvs
+
+import (
+	"container/list"
+)
+
+// Entry is a stored value with its memcached metadata.
+type Entry struct {
+	Flags   uint32
+	Value   []byte
+	Expires int64 // virtual nanoseconds; 0 means no expiry
+}
+
+// Cache is a bounded LRU map used for LaKe's L1 (BRAM) and L2 (DRAM)
+// layers. A zero capacity means unbounded.
+type Cache struct {
+	capacity  int
+	items     map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheItem struct {
+	key   string
+	entry Entry
+}
+
+// NewCache returns an LRU cache bounded to capacity entries.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		items:    make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.items) }
+
+// Capacity returns the configured bound (0 = unbounded).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Get returns the entry for key and whether it was present, updating
+// recency. Expiry is the caller's concern (virtual time lives above).
+func (c *Cache) Get(key string) (Entry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// Peek returns the entry without updating recency or hit counters.
+func (c *Cache) Peek(key string) (Entry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return el.Value.(*cacheItem).entry, true
+}
+
+// Put inserts or updates key, evicting the least recently used entry if
+// the cache is full.
+func (c *Cache) Put(key string, e Entry) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.capacity > 0 && len(c.items) >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheItem).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.order.PushFront(&cacheItem{key: key, entry: e})
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cache) Delete(key string) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Flush removes every entry (the cache-cold state after LaKe's memories
+// come out of reset, §9.2).
+func (c *Cache) Flush() {
+	c.items = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+// Stats returns lifetime hits, misses and evictions.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,119 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(10)
+	c.Put("a", Entry{Value: []byte("1")})
+	e, ok := c.Get("a")
+	if !ok || string(e.Value) != "1" {
+		t.Fatalf("Get(a) = %+v, %v", e, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("Get(b) should miss")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestCacheUpdateKeepsSize(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", Entry{Value: []byte("1")})
+	c.Put("a", Entry{Value: []byte("2")})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	e, _ := c.Get("a")
+	if string(e.Value) != "2" {
+		t.Error("update did not replace value")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", Entry{})
+	c.Put("b", Entry{})
+	c.Get("a") // a is now most recent
+	c.Put("c", Entry{})
+	if _, ok := c.Peek("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCacheDeleteAndFlush(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", Entry{})
+	if !c.Delete("a") {
+		t.Error("Delete(a) should report true")
+	}
+	if c.Delete("a") {
+		t.Error("second Delete(a) should report false")
+	}
+	c.Put("x", Entry{})
+	c.Put("y", Entry{})
+	c.Flush()
+	if c.Len() != 0 {
+		t.Errorf("Len after Flush = %d", c.Len())
+	}
+	// Cache still usable after flush.
+	c.Put("z", Entry{})
+	if _, ok := c.Get("z"); !ok {
+		t.Error("cache broken after Flush")
+	}
+}
+
+func TestCacheUnbounded(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprint(i), Entry{})
+	}
+	if c.Len() != 1000 {
+		t.Errorf("unbounded cache evicted: Len = %d", c.Len())
+	}
+}
+
+func TestCachePeekDoesNotTouchRecency(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", Entry{})
+	c.Put("b", Entry{})
+	c.Peek("a") // must NOT refresh a
+	c.Put("c", Entry{})
+	if _, ok := c.Peek("a"); ok {
+		t.Error("Peek should not have protected a from eviction")
+	}
+}
+
+// Property: the cache never exceeds its capacity and a just-inserted key is
+// always retrievable.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(keys []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c := NewCache(capacity)
+		for _, k := range keys {
+			key := fmt.Sprint(k)
+			c.Put(key, Entry{Value: []byte{k}})
+			if c.Len() > capacity {
+				return false
+			}
+			if _, ok := c.Get(key); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"incod/internal/memcache"
+	"incod/internal/power"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// rig builds client -> LaKe -> backend on a 10GE network.
+func rig(t *testing.T) (*simnet.Simulator, *Client, *LaKe, *SoftServer) {
+	t.Helper()
+	sim := simnet.New(7)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	backend := NewSoftServer(net, "host", power.MemcachedMellanox)
+	lake := NewLaKe(net, "lake", backend)
+	client := NewClient(net, "client", "lake")
+	return sim, client, lake, backend
+}
+
+func TestLaKeMissThenHit(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	backend.Store().Set("key-1", Entry{Value: []byte("v1")})
+
+	client.KeyFunc = func() string { return "key-1" }
+	client.Start(10) // 10 kpps
+	sim.RunFor(50 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+
+	if lake.Counters.Get("miss") != 1 {
+		t.Errorf("misses = %d, want exactly 1 (first query warms the cache)", lake.Counters.Get("miss"))
+	}
+	hits := lake.Counters.Get("l1_hit") + lake.Counters.Get("l2_hit")
+	if hits < 100 {
+		t.Errorf("cache hits = %d, want hundreds", hits)
+	}
+	if got := client.Counters.Get("hit"); got != client.Counters.Get("recv") {
+		t.Errorf("client saw %d hits of %d responses", got, client.Counters.Get("recv"))
+	}
+	if client.Outstanding() != 0 {
+		t.Errorf("%d requests unanswered", client.Outstanding())
+	}
+}
+
+func TestLaKeLatencyAnchors(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	for i := 0; i < 100; i++ {
+		backend.Store().Set(fmt.Sprintf("key-%d", i), Entry{Value: []byte("v")})
+	}
+	i := 0
+	client.KeyFunc = func() string { i++; return fmt.Sprintf("key-%d", i%100) }
+	client.Start(100)
+	sim.RunFor(200 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+
+	// §5.3: hardware hits sit below 2µs more than an order of magnitude
+	// under the ~13.5µs software path.
+	if p50 := lake.HitLatency.Median(); p50 > 2*time.Microsecond {
+		t.Errorf("hit median = %v, want < 2µs", p50)
+	}
+	if p50 := lake.MissLatency.Median(); p50 < 12*time.Microsecond || p50 > 16*time.Microsecond {
+		t.Errorf("miss median = %v, want ~13.5µs", p50)
+	}
+	ratio := float64(lake.MissLatency.Median()) / float64(lake.HitLatency.Median())
+	if ratio < 5 {
+		t.Errorf("miss/hit latency ratio = %.1f, want ~10x", ratio)
+	}
+}
+
+func TestLaKeSetWriteThrough(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	client.KeyFunc = func() string { return "w" }
+	client.SetFraction = 1
+	client.Start(10)
+	sim.RunFor(10 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(5 * time.Millisecond)
+
+	if lake.Counters.Get("set") == 0 {
+		t.Fatal("no sets classified")
+	}
+	if _, ok := backend.Store().Get("w", sim.Now()); !ok {
+		t.Error("write-through did not reach the host store")
+	}
+	if _, ok := lake.l1.Peek("w"); !ok {
+		t.Error("set should populate L1")
+	}
+}
+
+func TestLaKeDeleteInvalidates(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	backend.Store().Set("d", Entry{Value: []byte("v")})
+	// Warm the cache.
+	client.KeyFunc = func() string { return "d" }
+	client.Start(10)
+	sim.RunFor(5 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(5 * time.Millisecond)
+	if _, ok := lake.l2.Peek("d"); !ok {
+		t.Fatal("cache did not warm")
+	}
+	// Now delete through the data path.
+	lake.Receive(&simnet.Packet{
+		Src: "client", Dst: "lake", SrcPort: 40000, DstPort: MemcachedPort,
+		Payload: clientDatagram(t, "delete d\r\n"),
+	})
+	sim.RunFor(5 * time.Millisecond)
+	if _, ok := lake.l1.Peek("d"); ok {
+		t.Error("delete should invalidate L1")
+	}
+	if _, ok := lake.l2.Peek("d"); ok {
+		t.Error("delete should invalidate L2")
+	}
+	if _, ok := backend.Store().Get("d", sim.Now()); ok {
+		t.Error("delete should reach the host store")
+	}
+}
+
+func TestLaKeInactivePassesToSoftware(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	backend.Store().Set("key-1", Entry{Value: []byte("v")})
+	lake.Deactivate()
+
+	client.KeyFunc = func() string { return "key-1" }
+	client.Start(20)
+	sim.RunFor(50 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+
+	if lake.Counters.Get("l1_hit")+lake.Counters.Get("l2_hit") != 0 {
+		t.Error("inactive module must not serve from cache")
+	}
+	if lake.Counters.Get("to_software") == 0 {
+		t.Error("queries should pass through to the host")
+	}
+	if client.Counters.Get("recv") == 0 {
+		t.Error("client got no responses via the software path")
+	}
+	// Latency through software is the ~13.5µs class, not the ~1.4µs class.
+	if client.Latency.Median() < 10*time.Microsecond {
+		t.Errorf("software-path median = %v, want > 10µs", client.Latency.Median())
+	}
+}
+
+func TestDeactivateFlushesAndActivateWarmsAgain(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	backend.Store().Set("key-1", Entry{Value: []byte("v")})
+	client.KeyFunc = func() string { return "key-1" }
+	client.Start(20)
+	sim.RunFor(20 * time.Millisecond)
+	if l1, l2 := lake.CacheSizes(); l1 == 0 || l2 == 0 {
+		t.Fatal("caches did not warm")
+	}
+	lake.Deactivate()
+	if l1, l2 := lake.CacheSizes(); l1 != 0 || l2 != 0 {
+		t.Error("Deactivate (memories in reset) must lose cached state")
+	}
+	if !lake.Board().MemoriesReset() || !lake.Board().ClockGated() {
+		t.Error("Deactivate should park the board in the low-power state")
+	}
+	lake.Activate()
+	sim.RunFor(50 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	if lake.HitRatio() == 0 {
+		t.Error("cache should re-warm after Activate")
+	}
+	if lake.Board().MemoriesReset() || lake.Board().ClockGated() {
+		t.Error("Activate should release reset and gating")
+	}
+}
+
+func TestCombinedPowerMatchesPaperShape(t *testing.T) {
+	sim, client, lake, backend := rig(t)
+	combined := telemetry.SumPower{backend, lake}
+	// Idle: 39 (server) + ~20 (card) = ~59 W (§4.2).
+	idle := combined.PowerWatts(sim.Now())
+	if idle < 58 || idle > 61 {
+		t.Errorf("idle combined power = %v W, want ~59", idle)
+	}
+	// Warm cache, then drive load: server stays near idle (all hits in
+	// hardware), so combined power barely moves (§4.2, Figure 3a).
+	backend.Store().Set("key-1", Entry{Value: []byte("v")})
+	client.KeyFunc = func() string { return "key-1" }
+	client.Start(500) // 500 kpps
+	sim.RunFor(300 * time.Millisecond)
+	loaded := combined.PowerWatts(sim.Now())
+	client.Stop()
+	if loaded > idle+3 {
+		t.Errorf("combined power under load = %v W, want close to idle %v (hits stay in hardware)", loaded, idle)
+	}
+	// Pure software at the same rate would cost far more.
+	sw := power.MemcachedMellanox.Power(500)
+	if sw < loaded+20 {
+		t.Errorf("software at 500kpps = %v W should far exceed LaKe's %v W", sw, loaded)
+	}
+}
+
+func TestSoftServerDirectService(t *testing.T) {
+	sim := simnet.New(3)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	server := NewSoftServer(net, "host", power.MemcachedMellanox)
+	client := NewClient(net, "client", "host")
+	server.Store().Set("k", Entry{Value: []byte("v")})
+	client.KeyFunc = func() string { return "k" }
+	client.Start(50)
+	// Run past the 1s averaging window so the measured rate converges
+	// (§4.1: "average throughput was measured at the granularity of a
+	// second").
+	sim.RunFor(1200 * time.Millisecond)
+	if server.RateKpps() < 40 {
+		t.Errorf("server rate = %v kpps, want ~50", server.RateKpps())
+	}
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	recv := client.Counters.Get("recv")
+	if recv == 0 || client.Counters.Get("hit") != recv {
+		t.Fatalf("recv=%d hit=%d", recv, client.Counters.Get("hit"))
+	}
+	if med := client.Latency.Median(); med < 12*time.Microsecond || med > 18*time.Microsecond {
+		t.Errorf("software median latency = %v, want ~13.5µs", med)
+	}
+}
+
+func TestSoftServerShedsOverload(t *testing.T) {
+	sim := simnet.New(3)
+	net := simnet.NewNetwork(sim, simnet.LinkConfig{})
+	curve := power.MemcachedMellanox
+	curve.PeakKpps = 20 // tiny server for the test
+	server := NewSoftServer(net, "host", curve)
+	client := NewClient(net, "client", "host")
+	client.KeyFunc = func() string { return "k" }
+	client.Start(200) // 10x peak
+	sim.RunFor(300 * time.Millisecond)
+	client.Stop()
+	if server.Counters.Get("dropped") == 0 {
+		t.Error("overloaded server should shed load")
+	}
+	if server.Utilization() < 0.9 {
+		t.Errorf("utilization = %v, want saturated", server.Utilization())
+	}
+}
+
+func TestSoftServerErrorPaths(t *testing.T) {
+	sim := simnet.New(3)
+	net := simnet.NewNetwork(sim, simnet.LinkConfig{})
+	server := NewSoftServer(net, "host", power.MemcachedMellanox)
+	// Non-KVS port.
+	server.Receive(&simnet.Packet{Dst: "host", DstPort: 53, Payload: []byte("x")})
+	if server.Counters.Get("non_kvs") != 1 {
+		t.Error("non-KVS packet not counted")
+	}
+	// Short frame.
+	server.Receive(&simnet.Packet{Dst: "host", DstPort: MemcachedPort, Payload: []byte{1}})
+	if server.Counters.Get("bad_frame") != 1 {
+		t.Error("bad frame not counted")
+	}
+	// Unparsable request gets an ERROR reply.
+	got := make(chan string, 1)
+	net.Attach(&simnet.NodeFunc{Address: "c", Handler: func(p *simnet.Packet) {
+		got <- string(p.Payload)
+	}})
+	server.Receive(&simnet.Packet{Src: "c", Dst: "host", SrcPort: 9, DstPort: MemcachedPort,
+		Payload: clientDatagram(t, "bogus\r\n")})
+	sim.RunFor(time.Millisecond)
+	select {
+	case s := <-got:
+		if len(s) < 8 || string(s[8:]) != "ERROR\r\n" {
+			t.Errorf("reply = %q, want ERROR", s)
+		}
+	default:
+		t.Error("no ERROR reply sent")
+	}
+}
+
+func TestLaKePowerStates(t *testing.T) {
+	sim, _, lake, _ := rig(t)
+	active := lake.PowerWatts(sim.Now())
+	lake.Deactivate()
+	parked := lake.PowerWatts(sim.Now())
+	if parked >= active {
+		t.Errorf("parked power %v W should be below active %v W", parked, active)
+	}
+	// §9.2: the parked card still costs a few watts more than a bare NIC
+	// (7 W card base).
+	if parked < 10 || parked > 16 {
+		t.Errorf("parked power = %v W, want ~12-15", parked)
+	}
+}
+
+func TestLaKeMultiGet(t *testing.T) {
+	sim, _, lake, backend := rig(t)
+	for _, k := range []string{"m1", "m2", "m3"} {
+		backend.Store().Set(k, Entry{Value: []byte("v-" + k)})
+	}
+	got := make(chan string, 4)
+	net := lake.net
+	net.Attach(&simnet.NodeFunc{Address: "mc", Handler: func(p *simnet.Packet) {
+		got <- string(p.Payload[8:])
+	}})
+	send := func() {
+		lake.Receive(&simnet.Packet{Src: "mc", Dst: "lake", SrcPort: 9, DstPort: MemcachedPort,
+			Payload: clientDatagram(t, "get m1 m2 missing m3\r\n")})
+		sim.RunFor(10 * time.Millisecond)
+	}
+	// First round: all three keys miss the cache and come from software.
+	send()
+	var body string
+	select {
+	case body = <-got:
+	default:
+		t.Fatal("no reply")
+	}
+	resp, err := memcache.ParseResponse([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 3 {
+		t.Fatalf("items = %d, want 3 (missing key omitted)", len(resp.Items))
+	}
+	if lake.Counters.Get("miss") != 4 { // m1 m2 m3 + "missing"
+		t.Errorf("misses = %d, want 4", lake.Counters.Get("miss"))
+	}
+	// Second round: the three live keys now hit the cache; only
+	// "missing" goes to software again.
+	before := lake.Counters.Get("miss")
+	send()
+	<-got
+	if hits := lake.Counters.Get("l1_hit"); hits != 3 {
+		t.Errorf("l1 hits = %d, want 3", hits)
+	}
+	if lake.Counters.Get("miss") != before+1 {
+		t.Errorf("second-round misses = %d, want +1", lake.Counters.Get("miss")-before)
+	}
+}
+
+// clientDatagram wraps an ASCII request body in a UDP frame.
+func clientDatagram(t *testing.T, body string) []byte {
+	t.Helper()
+	return append([]byte{0, 1, 0, 0, 0, 1, 0, 0}, body...)
+}

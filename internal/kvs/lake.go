@@ -1,0 +1,373 @@
+package kvs
+
+import (
+	"time"
+
+	"incod/internal/fpga"
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// LaKe is the layered hardware key-value cache of §3.1: a NetFPGA SUME
+// card that is simultaneously the host's NIC. Its packet classifier sends
+// memcached traffic through the two cache layers (L1 in on-chip BRAM, L2
+// in board DRAM) and everything else to the host unchanged. Queries that
+// miss both layers are serviced by the host software (the SoftServer
+// backend), which also remains the store of record for writes.
+type LaKe struct {
+	addr    simnet.Addr
+	sim     *simnet.Simulator
+	net     *simnet.Network
+	board   *fpga.Board
+	backend *SoftServer
+
+	l1 *Cache
+	l2 *Cache
+
+	// Strategy selects the §9.2 idle behaviour used by Deactivate.
+	Strategy IdleStrategy
+	// serving reports whether the KVS module handles memcached traffic
+	// (false while parked, whatever the strategy).
+	serving bool
+	// reconfUntil is the end of a partial-reconfiguration traffic halt.
+	reconfUntil simnet.Time
+
+	rate *telemetry.RateMeter
+
+	// HitLatency covers L1+L2 hits; MissLatency the software path.
+	HitLatency  *telemetry.Histogram
+	MissLatency *telemetry.Histogram
+	Counters    *telemetry.Counters
+}
+
+// L2DefaultCapacity bounds the simulated DRAM cache. The real board holds
+// 33M value entries (fpga.DRAMValueEntries); experiments use a smaller
+// default to stay memory-friendly while preserving hit/miss structure.
+const L2DefaultCapacity = 1 << 20
+
+// IdleStrategy selects how LaKe parks while the service runs in software.
+// §9.2 weighs three options and the paper picks ParkReset; the others are
+// implemented for the ablation study.
+type IdleStrategy int
+
+// Idle strategies from §9.2.
+const (
+	// ParkReset keeps LaKe programmed but inactive: memories in reset
+	// (cached state lost), module clocks gated. The paper's choice —
+	// "the best of both performance and power efficiency worlds".
+	ParkReset IdleStrategy = iota
+	// KeepWarm keeps the memories powered and the caches intact, for an
+	// instant shift at the cost of reduced power saving.
+	KeepWarm
+	// PartialReconfig reprograms the board to the plain reference NIC,
+	// maximizing the saving but causing "a momentary traffic halt" when
+	// shifting back.
+	PartialReconfig
+)
+
+// String names the strategy.
+func (s IdleStrategy) String() string {
+	switch s {
+	case KeepWarm:
+		return "keep-warm"
+	case PartialReconfig:
+		return "partial-reconfig"
+	}
+	return "park-reset"
+}
+
+// ReconfigHalt is how long partial reconfiguration stops all traffic
+// through the card (tens of milliseconds on a Virtex-7 class device).
+const ReconfigHalt = 40 * time.Millisecond
+
+// NewLaKe programs a board with the LaKe design, attaches it at addr and
+// wires misses to backend. The module starts active with warm-empty
+// caches.
+func NewLaKe(net *simnet.Network, addr simnet.Addr, backend *SoftServer) *LaKe {
+	l := &LaKe{
+		addr:        addr,
+		sim:         net.Sim(),
+		net:         net,
+		board:       fpga.NewBoard(fpga.LaKeDesign),
+		backend:     backend,
+		serving:     true,
+		l1:          NewCache(fpga.OnChipValueEntries),
+		l2:          NewCache(L2DefaultCapacity),
+		rate:        telemetry.NewRateMeter(10*time.Millisecond, 100),
+		HitLatency:  telemetry.NewHistogram(),
+		MissLatency: telemetry.NewHistogram(),
+		Counters:    telemetry.NewCounters(),
+	}
+	l.board.SetLoadFunc(func() float64 {
+		peak := l.board.PeakKpps()
+		if peak <= 0 {
+			return 0
+		}
+		return l.RateKpps() / peak
+	})
+	net.Attach(l)
+	return l
+}
+
+// Addr implements simnet.Node.
+func (l *LaKe) Addr() simnet.Addr { return l.addr }
+
+// Board exposes the underlying FPGA board (gating, PEs, power state).
+func (l *LaKe) Board() *fpga.Board { return l.board }
+
+// Backend returns the host software behind the card.
+func (l *LaKe) Backend() *SoftServer { return l.backend }
+
+// RateKpps is the memcached query rate observed by the classifier.
+func (l *LaKe) RateKpps() float64 { return l.rate.Rate(l.sim.Now()) / 1000 }
+
+// PowerWatts implements telemetry.PowerSource: the card's in-server power
+// increment. Compose with the backend server via telemetry.SumPower for
+// the §4.2 combined measurement.
+func (l *LaKe) PowerWatts(now simnet.Time) float64 { return l.board.PowerWatts(now) }
+
+// Active reports whether the KVS module is serving (vs plain NIC mode).
+func (l *LaKe) Active() bool { return l.serving }
+
+// Reconfiguring reports whether a partial-reconfiguration traffic halt is
+// in progress.
+func (l *LaKe) Reconfiguring() bool { return l.sim.Now() < l.reconfUntil }
+
+// Activate brings the module back to service according to the idle
+// strategy it was parked with: ParkReset releases reset/gating with cold
+// caches (queries keep flowing to the software until the caches warm);
+// KeepWarm resumes instantly with warm caches; PartialReconfig reloads
+// the LaKe bitstream, halting ALL traffic through the card for
+// ReconfigHalt (§9.2's "momentary traffic halt").
+func (l *LaKe) Activate() {
+	switch l.Strategy {
+	case PartialReconfig:
+		if l.board.Config().Name != fpga.LaKeDesign.Name {
+			l.board.Reprogram(fpga.LaKeDesign)
+			l.reconfUntil = l.sim.Now().Add(ReconfigHalt)
+		}
+	default:
+		l.board.SetMemoryReset(false)
+		l.board.SetClockGating(false)
+		l.board.SetModuleActive(true)
+	}
+	l.serving = true
+}
+
+// Deactivate parks the module per the configured strategy. The paper's
+// default (ParkReset) holds memories in reset — losing cached state — and
+// gates the clocks; the card keeps forwarding as a NIC.
+func (l *LaKe) Deactivate() {
+	l.serving = false
+	switch l.Strategy {
+	case KeepWarm:
+		// Memories stay powered, caches stay warm; only the module's
+		// dynamic activity stops.
+		l.board.SetModuleActive(false)
+	case PartialReconfig:
+		// Reload the plain NIC bitstream: maximum saving, cold restart.
+		l.board.Reprogram(fpga.ReferenceNIC)
+		l.reconfUntil = l.sim.Now().Add(ReconfigHalt)
+		l.l1.Flush()
+		l.l2.Flush()
+	default: // ParkReset
+		l.board.SetModuleActive(false)
+		l.board.SetMemoryReset(true)
+		l.board.SetClockGating(true)
+		l.l1.Flush()
+		l.l2.Flush()
+	}
+}
+
+// CacheSizes returns the current L1 and L2 entry counts.
+func (l *LaKe) CacheSizes() (l1, l2 int) { return l.l1.Len(), l.l2.Len() }
+
+// HitRatio returns the fraction of classified queries served from either
+// cache layer.
+func (l *LaKe) HitRatio() float64 {
+	hits := l.Counters.Get("l1_hit") + l.Counters.Get("l2_hit")
+	total := hits + l.Counters.Get("miss")
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// utilization of the hardware pipeline.
+func (l *LaKe) utilization() float64 {
+	peak := l.board.PeakKpps()
+	if peak <= 0 {
+		return 0
+	}
+	u := l.RateKpps() / peak
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Receive implements simnet.Node: classify, serve or forward.
+func (l *LaKe) Receive(pkt *simnet.Packet) {
+	if l.Reconfiguring() {
+		// Partial reconfiguration halts the whole card (§9.2).
+		l.Counters.Inc("reconfig_dropped", 1)
+		return
+	}
+	if pkt.DstPort != MemcachedPort {
+		// Normal traffic: the card is a NIC; hand it to the host.
+		l.Counters.Inc("passthrough", 1)
+		l.sim.Schedule(nicPassthrough, func() { l.backend.Receive(pkt) })
+		return
+	}
+	l.rate.Add(l.sim.Now(), 1)
+	if !l.serving {
+		// Module parked: memcached traffic goes to the software too.
+		l.Counters.Inc("to_software", 1)
+		l.sim.Schedule(nicPassthrough, func() { l.backend.Receive(pkt) })
+		return
+	}
+	frame, body, err := memcache.DecodeFrame(pkt.Payload)
+	if err != nil {
+		l.Counters.Inc("bad_frame", 1)
+		return
+	}
+	req, err := memcache.ParseRequest(body)
+	if err != nil {
+		l.Counters.Inc("bad_request", 1)
+		l.reply(pkt, frame, memcache.Response{Status: memcache.StatusError}, l2Latency(l.sim.Rand(), l.utilization()))
+		return
+	}
+	switch req.Op {
+	case memcache.OpGet:
+		l.serveGet(pkt, frame, req)
+	case memcache.OpSet:
+		l.serveSet(pkt, frame, req)
+	case memcache.OpDelete:
+		l.serveDelete(pkt, frame, req)
+	}
+}
+
+func (l *LaKe) serveGet(pkt *simnet.Packet, frame memcache.Frame, req memcache.Request) {
+	if len(req.Extra) > 0 {
+		l.serveMultiGet(pkt, frame, req)
+		return
+	}
+	if e, ok := l.l1.Get(req.Key); ok {
+		l.Counters.Inc("l1_hit", 1)
+		lat := l1Latency(l.sim.Rand())
+		l.HitLatency.Observe(lat)
+		l.reply(pkt, frame, memcache.Response{Key: req.Key, Flags: e.Flags, Value: e.Value, Hit: true}, lat)
+		return
+	}
+	if e, ok := l.l2.Get(req.Key); ok {
+		l.Counters.Inc("l2_hit", 1)
+		lat := l2Latency(l.sim.Rand(), l.utilization())
+		l.HitLatency.Observe(lat)
+		l.l1.Put(req.Key, e)
+		l.reply(pkt, frame, memcache.Response{Key: req.Key, Flags: e.Flags, Value: e.Value, Hit: true}, lat)
+		return
+	}
+	// Miss at both layers: the host software services the request
+	// (§3.1: "a query is only forwarded to software if there are misses
+	// at both layers") and the caches warm from the response.
+	l.Counters.Inc("miss", 1)
+	resp, backendLat := l.backend.Process(req)
+	lat := backendLat + 300*time.Nanosecond // PCIe round trip on top
+	l.MissLatency.Observe(lat)
+	if resp.Hit {
+		e := Entry{Flags: resp.Flags, Value: resp.Value}
+		l.l2.Put(req.Key, e)
+		l.l1.Put(req.Key, e)
+	}
+	l.reply(pkt, frame, resp, lat)
+}
+
+// serveMultiGet handles batched gets: every key is looked up in the cache
+// layers; the subset that misses both layers goes to the host software in
+// one request, and the reply carries every found item. Latency is the
+// slowest constituent path.
+func (l *LaKe) serveMultiGet(pkt *simnet.Packet, frame memcache.Frame, req memcache.Request) {
+	var items []memcache.Item
+	var misses []string
+	lat := time.Duration(0)
+	for _, k := range req.AllKeys() {
+		if e, ok := l.l1.Get(k); ok {
+			l.Counters.Inc("l1_hit", 1)
+			items = append(items, memcache.Item{Key: k, Flags: e.Flags, Value: e.Value})
+			lat = maxDuration(lat, l1Latency(l.sim.Rand()))
+			continue
+		}
+		if e, ok := l.l2.Get(k); ok {
+			l.Counters.Inc("l2_hit", 1)
+			l.l1.Put(k, e)
+			items = append(items, memcache.Item{Key: k, Flags: e.Flags, Value: e.Value})
+			lat = maxDuration(lat, l2Latency(l.sim.Rand(), l.utilization()))
+			continue
+		}
+		l.Counters.Inc("miss", 1)
+		misses = append(misses, k)
+	}
+	if len(misses) > 0 {
+		sub := memcache.Request{Op: memcache.OpGet, Key: misses[0], Extra: misses[1:]}
+		resp, backendLat := l.backend.Process(sub)
+		lat = maxDuration(lat, backendLat+300*time.Nanosecond)
+		l.MissLatency.Observe(backendLat + 300*time.Nanosecond)
+		for _, it := range resp.Items {
+			e := Entry{Flags: it.Flags, Value: it.Value}
+			l.l2.Put(it.Key, e)
+			l.l1.Put(it.Key, e)
+			items = append(items, it)
+		}
+	} else if lat > 0 {
+		l.HitLatency.Observe(lat)
+	}
+	resp := memcache.Response{Status: memcache.StatusEnd}
+	if len(items) > 0 {
+		resp = memcache.Response{
+			Status: memcache.StatusEnd,
+			Key:    items[0].Key, Flags: items[0].Flags, Value: items[0].Value,
+			Items: items, Hit: true,
+		}
+	}
+	l.reply(pkt, frame, resp, lat)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (l *LaKe) serveSet(pkt *simnet.Packet, frame memcache.Frame, req memcache.Request) {
+	l.Counters.Inc("set", 1)
+	e := Entry{Flags: req.Flags, Value: req.Value}
+	l.l2.Put(req.Key, e)
+	l.l1.Put(req.Key, e)
+	// Write-through: the host store stays authoritative.
+	l.backend.Process(req)
+	lat := l2Latency(l.sim.Rand(), l.utilization())
+	l.reply(pkt, frame, memcache.Response{Status: memcache.StatusStored}, lat)
+}
+
+func (l *LaKe) serveDelete(pkt *simnet.Packet, frame memcache.Frame, req memcache.Request) {
+	l.Counters.Inc("delete", 1)
+	l.l1.Delete(req.Key)
+	l.l2.Delete(req.Key)
+	resp, backendLat := l.backend.Process(req)
+	l.reply(pkt, frame, resp, backendLat+300*time.Nanosecond)
+}
+
+func (l *LaKe) reply(pkt *simnet.Packet, frame memcache.Frame, resp memcache.Response, after time.Duration) {
+	src, srcPort := pkt.Src, pkt.SrcPort
+	l.sim.Schedule(after, func() {
+		l.net.Send(&simnet.Packet{
+			Src:     l.addr,
+			Dst:     src,
+			SrcPort: MemcachedPort,
+			DstPort: srcPort,
+			Payload: memcache.EncodeFrame(memcache.Frame{RequestID: frame.RequestID, Total: 1}, memcache.EncodeResponse(resp)),
+		})
+	})
+}

@@ -1,0 +1,59 @@
+package kvs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Latency models calibrated to §5.3:
+//
+//   - on-chip (BRAM) hits take "no more than 1.4µs";
+//   - DRAM (L2) hits: 1.67µs median, 1.9µs p99 at 100 Kqps, p99 up to
+//     3µs at 10 Mqps;
+//   - a miss in the hardware (served by host software) is ~x10 longer:
+//     13.5µs median, 14.3µs p99.
+
+// expJitter returns an exponential jitter with the given mean.
+func expJitter(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// l1Latency is the end-to-end latency of an on-chip cache hit.
+func l1Latency(rng *rand.Rand) time.Duration {
+	d := 1300*time.Nanosecond + expJitter(rng, 30*time.Nanosecond)
+	if d > 1400*time.Nanosecond {
+		d = 1400 * time.Nanosecond
+	}
+	return d
+}
+
+// l2Latency is the end-to-end latency of a DRAM hit at the given
+// utilization of the hardware pipeline (0..1).
+func l2Latency(rng *rand.Rand, util float64) time.Duration {
+	d := 1600*time.Nanosecond + expJitter(rng, 65*time.Nanosecond)
+	if util > 0 {
+		d += time.Duration(util * float64(expJitter(rng, 250*time.Nanosecond)))
+	}
+	return d
+}
+
+// softLatency is the host software service latency at the given software
+// utilization (0..1): tight distribution around 13.5µs that stretches as
+// the server saturates.
+func softLatency(rng *rand.Rand, util float64) time.Duration {
+	d := 13300*time.Nanosecond + expJitter(rng, 200*time.Nanosecond)
+	if util > 0.5 {
+		// Queueing growth toward saturation, capped to keep the
+		// simulation stable at offered loads beyond peak.
+		q := util
+		if q > 0.99 {
+			q = 0.99
+		}
+		d += time.Duration(float64(4*time.Microsecond) * (q - 0.5) / (1 - q))
+	}
+	return d
+}
+
+// nicPassthrough is the card's store-and-forward cost when the module is
+// inactive and the board acts as a plain NIC.
+const nicPassthrough = 600 * time.Nanosecond

@@ -1,0 +1,119 @@
+package kvs
+
+import (
+	"time"
+
+	"incod/internal/memcache"
+	"incod/internal/power"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// MemcachedPort is the UDP port the packet classifier matches (§3.1).
+const MemcachedPort = 11211
+
+// SoftServer is the host-software memcached deployment: a simulated-network
+// node that parses memcached UDP datagrams, serves them from a Store with
+// the §5.3 software latency profile, and draws power according to a §4
+// software curve. It doubles as the backend LaKe forwards misses to.
+type SoftServer struct {
+	addr  simnet.Addr
+	sim   *simnet.Simulator
+	net   *simnet.Network
+	store *Store
+	curve power.SoftwareCurve
+
+	rate     *telemetry.RateMeter
+	Latency  *telemetry.Histogram
+	Counters *telemetry.Counters
+}
+
+// NewSoftServer creates a server at addr using the given power curve and
+// attaches it to the network.
+func NewSoftServer(net *simnet.Network, addr simnet.Addr, curve power.SoftwareCurve) *SoftServer {
+	s := &SoftServer{
+		addr:     addr,
+		sim:      net.Sim(),
+		net:      net,
+		store:    NewStore(),
+		curve:    curve,
+		rate:     telemetry.NewRateMeter(10*time.Millisecond, 100),
+		Latency:  telemetry.NewHistogram(),
+		Counters: telemetry.NewCounters(),
+	}
+	net.Attach(s)
+	return s
+}
+
+// Addr implements simnet.Node.
+func (s *SoftServer) Addr() simnet.Addr { return s.addr }
+
+// Store exposes the authoritative store (for preloading datasets).
+func (s *SoftServer) Store() *Store { return s.store }
+
+// RateKpps returns the measured request rate over the sliding window.
+func (s *SoftServer) RateKpps() float64 { return s.rate.Rate(s.sim.Now()) / 1000 }
+
+// Utilization returns the fraction of the software peak in use.
+func (s *SoftServer) Utilization() float64 { return s.curve.Utilization(s.RateKpps()) }
+
+// PowerWatts implements telemetry.PowerSource: whole-server wall power at
+// the current measured rate.
+func (s *SoftServer) PowerWatts(now simnet.Time) float64 {
+	return s.curve.Power(s.rate.Rate(now) / 1000)
+}
+
+// Process applies one request against the store and returns the response
+// plus the software service latency. LaKe calls this across PCIe for
+// misses; Receive uses it for direct network service.
+func (s *SoftServer) Process(req memcache.Request) (memcache.Response, time.Duration) {
+	s.rate.Add(s.sim.Now(), 1)
+	resp := s.store.Apply(req, s.sim.Now())
+	lat := softLatency(s.sim.Rand(), s.Utilization())
+	s.Latency.Observe(lat)
+	return resp, lat
+}
+
+// Receive implements simnet.Node: parse, serve, reply. Offered load beyond
+// the software peak is shed (the server saturates, §4.2).
+func (s *SoftServer) Receive(pkt *simnet.Packet) {
+	if pkt.DstPort != MemcachedPort {
+		s.Counters.Inc("non_kvs", 1)
+		return
+	}
+	// Saturation: drop the excess offered load probabilistically.
+	if u := s.Utilization(); u >= 1 {
+		rate := s.RateKpps()
+		if rate > s.curve.PeakKpps && s.sim.Rand().Float64() > s.curve.PeakKpps/rate {
+			s.Counters.Inc("dropped", 1)
+			return
+		}
+	}
+	frame, body, err := memcache.DecodeFrame(pkt.Payload)
+	if err != nil {
+		s.Counters.Inc("bad_frame", 1)
+		return
+	}
+	req, err := memcache.ParseRequest(body)
+	if err != nil {
+		s.Counters.Inc("bad_request", 1)
+		s.reply(pkt, frame, memcache.Response{Status: memcache.StatusError}, softLatency(s.sim.Rand(), s.Utilization()))
+		return
+	}
+	s.Counters.Inc(req.Op.String(), 1)
+	resp, lat := s.Process(req)
+	s.reply(pkt, frame, resp, lat)
+}
+
+func (s *SoftServer) reply(pkt *simnet.Packet, frame memcache.Frame, resp memcache.Response, after time.Duration) {
+	src, srcPort := pkt.Src, pkt.SrcPort
+	s.sim.Schedule(after, func() {
+		s.net.Send(&simnet.Packet{
+			Src:     s.addr,
+			Dst:     src,
+			SrcPort: MemcachedPort,
+			DstPort: srcPort,
+			Payload: memcache.EncodeFrame(memcache.Frame{RequestID: frame.RequestID, Total: 1}, memcache.EncodeResponse(resp)),
+		})
+	})
+}

@@ -1,0 +1,159 @@
+package kvs
+
+import (
+	"container/list"
+	"time"
+
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+)
+
+// Store is the authoritative software key-value store with memcached
+// semantics (the role memcached v1.5.1 plays in §4.2): LRU eviction when a
+// capacity is configured, expiry evaluated against virtual time.
+type Store struct {
+	data  map[string]*list.Element
+	order *list.List // front = most recently used
+	// maxEntries bounds the store (0 = unbounded), like memcached's -m.
+	maxEntries int
+	// stats
+	gets, sets, deletes, hits, evictions, expirations uint64
+}
+
+type storeItem struct {
+	key   string
+	entry Entry
+}
+
+// NewStore returns an empty, unbounded store.
+func NewStore() *Store {
+	return &Store{data: make(map[string]*list.Element), order: list.New()}
+}
+
+// NewBoundedStore returns a store that LRU-evicts beyond maxEntries.
+func NewBoundedStore(maxEntries int) *Store {
+	s := NewStore()
+	s.maxEntries = maxEntries
+	return s
+}
+
+// Evictions returns how many entries were LRU-evicted.
+func (s *Store) Evictions() uint64 { return s.evictions }
+
+// Expirations returns how many entries were reaped after expiry.
+func (s *Store) Expirations() uint64 { return s.expirations }
+
+// Len returns the number of live entries (including not-yet-reaped
+// expired ones).
+func (s *Store) Len() int { return len(s.data) }
+
+// Get returns the entry for key if present and unexpired at now.
+func (s *Store) Get(key string, now simnet.Time) (Entry, bool) {
+	s.gets++
+	el, ok := s.data[key]
+	if !ok {
+		return Entry{}, false
+	}
+	it := el.Value.(*storeItem)
+	if it.entry.Expires != 0 && int64(now) >= it.entry.Expires {
+		s.remove(el)
+		s.expirations++
+		return Entry{}, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return it.entry, true
+}
+
+// Set stores key, evicting the least recently used entry if bounded.
+func (s *Store) Set(key string, e Entry) {
+	s.sets++
+	if el, ok := s.data[key]; ok {
+		el.Value.(*storeItem).entry = e
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.maxEntries > 0 && len(s.data) >= s.maxEntries {
+		if oldest := s.order.Back(); oldest != nil {
+			s.remove(oldest)
+			s.evictions++
+		}
+	}
+	s.data[key] = s.order.PushFront(&storeItem{key: key, entry: e})
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.deletes++
+	el, ok := s.data[key]
+	if ok {
+		s.remove(el)
+	}
+	return ok
+}
+
+func (s *Store) remove(el *list.Element) {
+	s.order.Remove(el)
+	delete(s.data, el.Value.(*storeItem).key)
+}
+
+// Sweep reaps expired entries eagerly (memcached's background reaper) and
+// returns how many were removed.
+func (s *Store) Sweep(now simnet.Time) int {
+	var reaped []*list.Element
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*storeItem)
+		if it.entry.Expires != 0 && int64(now) >= it.entry.Expires {
+			reaped = append(reaped, el)
+		}
+	}
+	for _, el := range reaped {
+		s.remove(el)
+		s.expirations++
+	}
+	return len(reaped)
+}
+
+// HitRatio returns the lifetime get hit ratio.
+func (s *Store) HitRatio() float64 {
+	if s.gets == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(s.gets)
+}
+
+// Apply executes a parsed memcached request against the store at virtual
+// time now and returns the response. Exptime is interpreted as seconds of
+// virtual time from now (relative form only; the simulator has no epoch).
+func (s *Store) Apply(req memcache.Request, now simnet.Time) memcache.Response {
+	switch req.Op {
+	case memcache.OpGet:
+		var items []memcache.Item
+		for _, k := range req.AllKeys() {
+			if e, ok := s.Get(k, now); ok {
+				items = append(items, memcache.Item{Key: k, Flags: e.Flags, Value: e.Value})
+			}
+		}
+		if len(items) == 0 {
+			return memcache.Response{Status: memcache.StatusEnd}
+		}
+		return memcache.Response{
+			Status: memcache.StatusEnd,
+			Key:    items[0].Key, Flags: items[0].Flags, Value: items[0].Value,
+			Items: items, Hit: true,
+		}
+	case memcache.OpSet:
+		var exp int64
+		if req.Exptime > 0 {
+			exp = int64(now.Add(time.Duration(req.Exptime) * time.Second))
+		}
+		s.Set(req.Key, Entry{Flags: req.Flags, Value: req.Value, Expires: exp})
+		return memcache.Response{Status: memcache.StatusStored}
+	case memcache.OpDelete:
+		if s.Delete(req.Key) {
+			return memcache.Response{Status: memcache.StatusDeleted}
+		}
+		return memcache.Response{Status: memcache.StatusNotFound}
+	}
+	return memcache.Response{Status: memcache.StatusError}
+}

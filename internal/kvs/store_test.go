@@ -1,0 +1,133 @@
+package kvs
+
+import (
+	"testing"
+	"time"
+
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Set("k", Entry{Flags: 1, Value: []byte("v")})
+	e, ok := s.Get("k", 0)
+	if !ok || string(e.Value) != "v" || e.Flags != 1 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if !s.Delete("k") {
+		t.Error("Delete should succeed")
+	}
+	if _, ok := s.Get("k", 0); ok {
+		t.Error("deleted key still present")
+	}
+	if s.Delete("k") {
+		t.Error("Delete of absent key should report false")
+	}
+}
+
+func TestStoreExpiry(t *testing.T) {
+	s := NewStore()
+	s.Set("k", Entry{Value: []byte("v"), Expires: int64(simnet.Time(5 * time.Second))})
+	if _, ok := s.Get("k", simnet.Time(time.Second)); !ok {
+		t.Error("entry should be live before expiry")
+	}
+	if _, ok := s.Get("k", simnet.Time(6*time.Second)); ok {
+		t.Error("entry should expire")
+	}
+	if s.Len() != 0 {
+		t.Error("expired entry should be reaped on access")
+	}
+}
+
+func TestStoreApply(t *testing.T) {
+	s := NewStore()
+	resp := s.Apply(memcache.Request{Op: memcache.OpSet, Key: "a", Flags: 2, Value: []byte("x")}, 0)
+	if resp.Status != memcache.StatusStored {
+		t.Fatalf("set -> %+v", resp)
+	}
+	resp = s.Apply(memcache.Request{Op: memcache.OpGet, Key: "a"}, 0)
+	if !resp.Hit || string(resp.Value) != "x" || resp.Flags != 2 {
+		t.Fatalf("get -> %+v", resp)
+	}
+	resp = s.Apply(memcache.Request{Op: memcache.OpGet, Key: "nope"}, 0)
+	if resp.Hit || resp.Status != memcache.StatusEnd {
+		t.Fatalf("get miss -> %+v", resp)
+	}
+	resp = s.Apply(memcache.Request{Op: memcache.OpDelete, Key: "a"}, 0)
+	if resp.Status != memcache.StatusDeleted {
+		t.Fatalf("delete -> %+v", resp)
+	}
+	resp = s.Apply(memcache.Request{Op: memcache.OpDelete, Key: "a"}, 0)
+	if resp.Status != memcache.StatusNotFound {
+		t.Fatalf("delete absent -> %+v", resp)
+	}
+	resp = s.Apply(memcache.Request{Op: memcache.Op(42), Key: "a"}, 0)
+	if resp.Status != memcache.StatusError {
+		t.Fatalf("unknown op -> %+v", resp)
+	}
+}
+
+func TestStoreApplyExptime(t *testing.T) {
+	s := NewStore()
+	now := simnet.Time(10 * time.Second)
+	s.Apply(memcache.Request{Op: memcache.OpSet, Key: "a", Exptime: 5, Value: []byte("x")}, now)
+	if _, ok := s.Get("a", now.Add(4*time.Second)); !ok {
+		t.Error("entry should live for 5 virtual seconds")
+	}
+	if _, ok := s.Get("a", now.Add(6*time.Second)); ok {
+		t.Error("entry should have expired")
+	}
+}
+
+func TestBoundedStoreLRUEviction(t *testing.T) {
+	s := NewBoundedStore(2)
+	s.Set("a", Entry{})
+	s.Set("b", Entry{})
+	s.Get("a", 0) // refresh a
+	s.Set("c", Entry{})
+	if _, ok := s.Get("b", 0); ok {
+		t.Error("b should have been LRU-evicted")
+	}
+	if _, ok := s.Get("a", 0); !ok {
+		t.Error("a should have survived")
+	}
+	if s.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions())
+	}
+	// Updating an existing key must not evict.
+	s.Set("a", Entry{Value: []byte("2")})
+	if s.Evictions() != 1 || s.Len() != 2 {
+		t.Error("update should not evict")
+	}
+}
+
+func TestStoreSweep(t *testing.T) {
+	s := NewStore()
+	now := simnet.Time(10 * time.Second)
+	s.Set("live", Entry{})
+	s.Set("dead1", Entry{Expires: int64(simnet.Time(5 * time.Second))})
+	s.Set("dead2", Entry{Expires: int64(simnet.Time(9 * time.Second))})
+	if n := s.Sweep(now); n != 2 {
+		t.Errorf("Sweep reaped %d, want 2", n)
+	}
+	if s.Len() != 1 || s.Expirations() != 2 {
+		t.Errorf("Len=%d Expirations=%d", s.Len(), s.Expirations())
+	}
+	if n := s.Sweep(now); n != 0 {
+		t.Errorf("second Sweep reaped %d, want 0", n)
+	}
+}
+
+func TestStoreHitRatio(t *testing.T) {
+	s := NewStore()
+	if s.HitRatio() != 0 {
+		t.Error("empty store hit ratio should be 0")
+	}
+	s.Set("a", Entry{})
+	s.Get("a", 0)
+	s.Get("b", 0)
+	if s.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", s.HitRatio())
+	}
+}

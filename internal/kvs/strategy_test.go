@@ -1,0 +1,136 @@
+package kvs
+
+import (
+	"testing"
+	"time"
+
+	"incod/internal/fpga"
+	"incod/internal/power"
+	"incod/internal/simnet"
+)
+
+func strategyRig(t *testing.T, s IdleStrategy) (*simnet.Simulator, *Client, *LaKe, *SoftServer) {
+	t.Helper()
+	sim := simnet.New(31)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	backend := NewSoftServer(net, "host", power.MemcachedMellanox)
+	lake := NewLaKe(net, "lake", backend)
+	lake.Strategy = s
+	client := NewClient(net, "client", "lake")
+	backend.Store().Set("k", Entry{Value: []byte("v")})
+	client.KeyFunc = func() string { return "k" }
+	return sim, client, lake, backend
+}
+
+// §9.2 ablation: idle power ordering partial-reconfig < park-reset <
+// keep-warm, and keep-warm preserves the cache.
+func TestIdleStrategyPowerOrdering(t *testing.T) {
+	idle := func(s IdleStrategy) float64 {
+		sim, _, lake, _ := strategyRig(t, s)
+		lake.Deactivate()
+		sim.RunFor(100 * time.Millisecond) // past any reconfig halt
+		return lake.PowerWatts(sim.Now())
+	}
+	reconf := idle(PartialReconfig)
+	park := idle(ParkReset)
+	warm := idle(KeepWarm)
+	if !(reconf < park && park < warm) {
+		t.Errorf("idle power ordering wrong: reconfig %v, park %v, warm %v", reconf, park, warm)
+	}
+	// The reconfigured card is a plain NIC.
+	if reconf != fpga.NICBaseCardWatts {
+		t.Errorf("partial-reconfig idle = %v W, want %v (reference NIC)", reconf, fpga.NICBaseCardWatts)
+	}
+}
+
+func TestKeepWarmPreservesCache(t *testing.T) {
+	sim, client, lake, _ := strategyRig(t, KeepWarm)
+	client.Start(20)
+	sim.RunFor(50 * time.Millisecond) // warm the cache
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	if l1, _ := lake.CacheSizes(); l1 == 0 {
+		t.Fatal("cache did not warm")
+	}
+	missesBefore := lake.Counters.Get("miss")
+
+	lake.Deactivate()
+	if l1, _ := lake.CacheSizes(); l1 == 0 {
+		t.Fatal("KeepWarm must retain cached state")
+	}
+	lake.Activate()
+	client.Start(20)
+	sim.RunFor(50 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	if got := lake.Counters.Get("miss"); got != missesBefore {
+		t.Errorf("misses after keep-warm reactivation = %d, want unchanged %d", got, missesBefore)
+	}
+}
+
+func TestPartialReconfigHaltsTraffic(t *testing.T) {
+	sim, client, lake, _ := strategyRig(t, PartialReconfig)
+	client.Start(50)
+	sim.RunFor(50 * time.Millisecond)
+	lake.Deactivate() // reprogram to NIC: halt starts
+	if !lake.Reconfiguring() {
+		t.Fatal("reconfiguration halt should be in progress")
+	}
+	sim.RunFor(ReconfigHalt / 2)
+	if lake.Counters.Get("reconfig_dropped") == 0 {
+		t.Error("traffic during the halt must be dropped")
+	}
+	sim.RunFor(ReconfigHalt)
+	if lake.Reconfiguring() {
+		t.Error("halt should have ended")
+	}
+	// Software now serves through the NIC bitstream.
+	before := client.Counters.Get("recv")
+	sim.RunFor(50 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	if client.Counters.Get("recv") == before {
+		t.Error("no service after reconfiguration completed")
+	}
+	if lake.Board().Config().Name != fpga.ReferenceNIC.Name {
+		t.Errorf("board runs %q, want reference NIC", lake.Board().Config().Name)
+	}
+}
+
+func TestPartialReconfigReactivation(t *testing.T) {
+	sim, client, lake, _ := strategyRig(t, PartialReconfig)
+	lake.Deactivate()
+	sim.RunFor(100 * time.Millisecond)
+	lake.Activate()
+	if lake.Board().Config().Name != fpga.LaKeDesign.Name {
+		t.Fatal("Activate should reload the LaKe bitstream")
+	}
+	if !lake.Reconfiguring() {
+		t.Fatal("reactivation also halts traffic")
+	}
+	sim.RunFor(100 * time.Millisecond)
+	client.Start(20)
+	sim.RunFor(50 * time.Millisecond)
+	client.Stop()
+	sim.RunFor(10 * time.Millisecond)
+	if lake.HitRatio() == 0 {
+		t.Error("cache should warm after reconfigured activation")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if ParkReset.String() != "park-reset" || KeepWarm.String() != "keep-warm" ||
+		PartialReconfig.String() != "partial-reconfig" {
+		t.Error("IdleStrategy names wrong")
+	}
+}
+
+// Activate on an already-active PartialReconfig card must not halt again.
+func TestActivateIdempotentNoHalt(t *testing.T) {
+	sim, _, lake, _ := strategyRig(t, PartialReconfig)
+	lake.Activate() // already running the LaKe bitstream
+	if lake.Reconfiguring() {
+		t.Error("activating an already-loaded design must not halt traffic")
+	}
+	_ = sim
+}

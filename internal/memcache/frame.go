@@ -1,0 +1,52 @@
+// Package memcache implements the memcached UDP wire protocol used by the
+// KVS case study (§3.1): the 8-byte UDP frame header followed by the ASCII
+// command protocol. LaKe "supports standard memcached functionality"
+// (§3.1), so both the software store and the hardware cache model parse
+// and emit exactly these bytes.
+package memcache
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// FrameHeaderSize is the size of the memcached UDP frame header.
+const FrameHeaderSize = 8
+
+// Frame is the memcached UDP frame header: request ID, sequence number,
+// datagram count and a reserved field, all big-endian uint16.
+type Frame struct {
+	RequestID uint16
+	SeqNo     uint16
+	Total     uint16
+	Reserved  uint16
+}
+
+// ErrShortFrame reports a datagram smaller than the frame header.
+var ErrShortFrame = errors.New("memcache: datagram shorter than UDP frame header")
+
+// EncodeFrame prepends the frame header to body and returns the datagram.
+func EncodeFrame(f Frame, body []byte) []byte {
+	out := make([]byte, FrameHeaderSize+len(body))
+	binary.BigEndian.PutUint16(out[0:2], f.RequestID)
+	binary.BigEndian.PutUint16(out[2:4], f.SeqNo)
+	binary.BigEndian.PutUint16(out[4:6], f.Total)
+	binary.BigEndian.PutUint16(out[6:8], f.Reserved)
+	copy(out[FrameHeaderSize:], body)
+	return out
+}
+
+// DecodeFrame splits a datagram into its frame header and body. The body
+// aliases the input slice.
+func DecodeFrame(datagram []byte) (Frame, []byte, error) {
+	if len(datagram) < FrameHeaderSize {
+		return Frame{}, nil, ErrShortFrame
+	}
+	f := Frame{
+		RequestID: binary.BigEndian.Uint16(datagram[0:2]),
+		SeqNo:     binary.BigEndian.Uint16(datagram[2:4]),
+		Total:     binary.BigEndian.Uint16(datagram[4:6]),
+		Reserved:  binary.BigEndian.Uint16(datagram[6:8]),
+	}
+	return f, datagram[FrameHeaderSize:], nil
+}

@@ -1,0 +1,212 @@
+package memcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{RequestID: 0xBEEF, SeqNo: 1, Total: 2, Reserved: 0}
+	dg := EncodeFrame(f, []byte("payload"))
+	got, body, err := DecodeFrame(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Errorf("frame = %+v, want %+v", got, f)
+	}
+	if string(body) != "payload" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestShortFrame(t *testing.T) {
+	if _, _, err := DecodeFrame([]byte{1, 2, 3}); err != ErrShortFrame {
+		t.Errorf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestParseGet(t *testing.T) {
+	r, err := ParseRequest([]byte("get foo\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != OpGet || r.Key != "foo" {
+		t.Errorf("parsed %+v", r)
+	}
+	// gets is accepted as get.
+	if r, err = ParseRequest([]byte("gets bar\r\n")); err != nil || r.Key != "bar" {
+		t.Errorf("gets: %+v, %v", r, err)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	r, err := ParseRequest([]byte("set k 7 60 5\r\nhello\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != OpSet || r.Key != "k" || r.Flags != 7 || r.Exptime != 60 || string(r.Value) != "hello" {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseSetValueWithCRLF(t *testing.T) {
+	// The byte count governs, so values may contain \r\n.
+	r, err := ParseRequest([]byte("set k 0 0 4\r\na\r\nb\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Value) != "a\r\nb" {
+		t.Errorf("value = %q", r.Value)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	r, err := ParseRequest([]byte("delete k\r\n"))
+	if err != nil || r.Op != OpDelete || r.Key != "k" {
+		t.Errorf("parsed %+v, %v", r, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{"get foo", ErrMalformed},       // no CRLF
+		{"get\r\n", ErrMalformed},       // missing key
+		{"set k 0 0\r\n", ErrMalformed}, // missing length
+		{"set k 0 0 10\r\nshort\r\n", ErrMalformed},
+		{"set k x 0 1\r\na\r\n", ErrMalformed}, // bad flags
+		{"set k 0 0 1\r\nab", ErrMalformed},    // missing trailing CRLF
+		{"incr k 1\r\n", ErrUnsupportedCommand},
+		{"\r\n", ErrMalformed},
+		{"get " + strings.Repeat("k", 251) + "\r\n", ErrKeyTooLong},
+	}
+	for _, tc := range cases {
+		if _, err := ParseRequest([]byte(tc.in)); err != tc.want {
+			t.Errorf("ParseRequest(%q) err = %v, want %v", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: "alpha"},
+		{Op: OpSet, Key: "beta", Flags: 3, Exptime: 100, Value: []byte("v")},
+		{Op: OpDelete, Key: "gamma"},
+	}
+	for _, want := range reqs {
+		got, err := ParseRequest(EncodeRequest(want))
+		if err != nil {
+			t.Fatalf("%v: %v", want.Op, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || got.Flags != want.Flags ||
+			got.Exptime != want.Exptime || !bytes.Equal(got.Value, want.Value) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestMultiKeyGetRoundTrip(t *testing.T) {
+	r, err := ParseRequest([]byte("get a b c\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := r.AllKeys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	got, err := ParseRequest(EncodeRequest(r))
+	if err != nil || len(got.AllKeys()) != 3 {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+}
+
+func TestMultiItemResponseRoundTrip(t *testing.T) {
+	resp := Response{
+		Status: StatusEnd,
+		Items: []Item{
+			{Key: "a", Flags: 1, Value: []byte("v1")},
+			{Key: "b", Flags: 2, Value: []byte("longer-value")},
+		},
+		Hit: true,
+	}
+	got, err := ParseResponse(EncodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != 2 || !got.Hit {
+		t.Fatalf("items = %+v", got.Items)
+	}
+	if got.Items[1].Key != "b" || string(got.Items[1].Value) != "longer-value" || got.Items[1].Flags != 2 {
+		t.Errorf("item 1 = %+v", got.Items[1])
+	}
+	// Legacy single fields mirror the first item.
+	if got.Key != "a" || string(got.Value) != "v1" {
+		t.Errorf("first-item mirror wrong: %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	hit := Response{Key: "k", Flags: 9, Value: []byte("data"), Hit: true}
+	got, err := ParseResponse(EncodeResponse(hit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Hit || got.Key != "k" || got.Flags != 9 || string(got.Value) != "data" {
+		t.Errorf("hit round trip: %+v", got)
+	}
+	for _, status := range []string{StatusStored, StatusDeleted, StatusNotFound, StatusEnd, StatusError} {
+		got, err := ParseResponse(EncodeResponse(Response{Status: status}))
+		if err != nil || got.Status != status || got.Hit {
+			t.Errorf("status %q round trip: %+v, %v", status, got, err)
+		}
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	for _, in := range []string{"", "VALUE k\r\n", "VALUE k 0 99\r\nabc\r\n", "BOGUS\r\n", "VALUE k z 1\r\na\r\n"} {
+		if _, err := ParseResponse([]byte(in)); err == nil {
+			t.Errorf("ParseResponse(%q) should fail", in)
+		}
+	}
+}
+
+// Property: set requests round-trip for arbitrary binary values and any
+// printable key.
+func TestSetRoundTripProperty(t *testing.T) {
+	f := func(key string, value []byte, flags uint32) bool {
+		k := sanitizeKey(key)
+		if k == "" {
+			k = "k"
+		}
+		req := Request{Op: OpSet, Key: k, Flags: flags, Value: value}
+		got, err := ParseRequest(EncodeRequest(req))
+		return err == nil && got.Key == k && got.Flags == flags && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeKey(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r > ' ' && r < 127 && b.Len() < MaxKeyLen {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestOpString(t *testing.T) {
+	if OpGet.String() != "get" || OpSet.String() != "set" || OpDelete.String() != "delete" {
+		t.Error("Op.String() wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("unknown op should format numerically")
+	}
+}

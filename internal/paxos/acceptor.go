@@ -1,0 +1,239 @@
+package paxos
+
+import (
+	"time"
+
+	"incod/internal/simnet"
+)
+
+// instanceState is one consensus instance's acceptor-side state.
+type instanceState struct {
+	promised uint32
+	// prepared marks that `promised` was established by an explicit
+	// Phase1A, entitling the matching Phase2A to overwrite an accepted
+	// value (the proposer has, by the Paxos rules, adopted the highest
+	// accepted value from its promise quorum).
+	prepared bool
+	accepted bool
+	vballot  uint32
+	value    []byte
+	clientID uint16
+	seq      uint64
+	client   simnet.Addr
+}
+
+// Acceptor is a Paxos acceptor. It answers Phase1A with promises, votes on
+// Phase2A proposals, and — per §9.2 — piggybacks its last-voted instance
+// number on every response so a newly shifted leader can learn the most
+// recent sequence number.
+type Acceptor struct {
+	role
+	id        uint16
+	learners  []simnet.Addr
+	leader    simnet.Addr
+	instances map[uint64]*instanceState
+	lastVoted uint64
+}
+
+// NewAcceptor attaches an acceptor with the given id. Votes (Phase2B) go
+// to every learner and to the current leader.
+func NewAcceptor(net *simnet.Network, addr simnet.Addr, id uint16, rt *Runtime, leader simnet.Addr, learners []simnet.Addr) *Acceptor {
+	a := &Acceptor{
+		role:      newRole(net, addr, rt),
+		id:        id,
+		learners:  learners,
+		leader:    leader,
+		instances: make(map[uint64]*instanceState),
+	}
+	net.Attach(a)
+	return a
+}
+
+// SetLeader retargets vote copies when the leader moves (the §9.2 shift
+// updates forwarding rules; this is the acceptor-side equivalent).
+func (a *Acceptor) SetLeader(leader simnet.Addr) { a.leader = leader }
+
+// LastVoted returns the highest instance this acceptor has voted in.
+func (a *Acceptor) LastVoted() uint64 { return a.lastVoted }
+
+// AcceptedValue returns the value this acceptor accepted for an instance.
+func (a *Acceptor) AcceptedValue(inst uint64) ([]byte, bool) {
+	st, ok := a.instances[inst]
+	if !ok || !st.accepted {
+		return nil, false
+	}
+	return st.value, true
+}
+
+// InstanceRecord is one instance's exported acceptor state, used for the
+// state transfer when an acceptor is replaced (§9.2 points to Vertical
+// Paxos-style reconfiguration protocols; Snapshot/Restore implement the
+// state-transfer half).
+type InstanceRecord struct {
+	Promised uint32
+	Accepted bool
+	VBallot  uint32
+	Value    []byte
+	ClientID uint16
+	Seq      uint64
+	Client   simnet.Addr
+}
+
+// Snapshot exports the acceptor's full per-instance state plus its
+// last-voted watermark.
+func (a *Acceptor) Snapshot() (map[uint64]InstanceRecord, uint64) {
+	out := make(map[uint64]InstanceRecord, len(a.instances))
+	for inst, st := range a.instances {
+		out[inst] = InstanceRecord{
+			Promised: st.promised,
+			Accepted: st.accepted,
+			VBallot:  st.vballot,
+			Value:    append([]byte(nil), st.value...),
+			ClientID: st.clientID,
+			Seq:      st.seq,
+			Client:   st.client,
+		}
+	}
+	return out, a.lastVoted
+}
+
+// Restore loads a snapshot into a fresh acceptor (its own state is
+// discarded). The new acceptor answers exactly like the one it replaces.
+func (a *Acceptor) Restore(records map[uint64]InstanceRecord, lastVoted uint64) {
+	a.instances = make(map[uint64]*instanceState, len(records))
+	for inst, r := range records {
+		a.instances[inst] = &instanceState{
+			promised: r.Promised,
+			accepted: r.Accepted,
+			vballot:  r.VBallot,
+			value:    append([]byte(nil), r.Value...),
+			clientID: r.ClientID,
+			seq:      r.Seq,
+			client:   r.Client,
+		}
+	}
+	a.lastVoted = lastVoted
+}
+
+func (a *Acceptor) state(inst uint64) *instanceState {
+	st, ok := a.instances[inst]
+	if !ok {
+		st = &instanceState{}
+		a.instances[inst] = st
+	}
+	return st
+}
+
+// Receive implements simnet.Node.
+func (a *Acceptor) Receive(pkt *simnet.Packet) {
+	m, err := Decode(pkt.Payload)
+	if err != nil {
+		a.Counters.Inc("bad_msg", 1)
+		return
+	}
+	a.rate.Add(a.sim.Now(), 1)
+	lat := a.runtime.ServiceLatency(a.sim.Rand())
+	switch m.Type {
+	case MsgPhase1A:
+		a.Counters.Inc("phase1a", 1)
+		st := a.state(m.Instance)
+		if m.Ballot >= st.promised {
+			st.promised = m.Ballot
+			st.prepared = true
+		}
+		resp := Msg{
+			Type:      MsgPhase1B,
+			Instance:  m.Instance,
+			Ballot:    st.promised,
+			NodeID:    a.id,
+			LastVoted: a.lastVoted,
+		}
+		if st.accepted {
+			resp.VBallot = st.vballot
+			resp.Value = st.value
+			resp.ClientID = st.clientID
+			resp.Seq = st.seq
+			resp.ClientAddr = st.client
+		}
+		a.send(simnet.Addr(pkt.Src), resp, lat)
+	case MsgPhase2A:
+		a.handlePhase2A(pkt, m, lat)
+	default:
+		a.Counters.Inc("unexpected", 1)
+	}
+}
+
+// handlePhase2A votes on a proposal. Safety rules:
+//
+//   - a fresh proposal (no preceding Phase1A at this ballot) can never
+//     overwrite an accepted value: the acceptor re-announces its existing
+//     vote instead, so a restarted leader colliding with old instances
+//     (§9.2) cannot damage potentially-decided state;
+//   - a Phase2A whose ballot was explicitly promised via Phase1A may
+//     overwrite a lower-ballot vote — classic Paxos recovery, used by the
+//     leader to resolve instances whose acceptors diverged across a shift.
+func (a *Acceptor) handlePhase2A(pkt *simnet.Packet, m Msg, lat time.Duration) {
+	a.Counters.Inc("phase2a", 1)
+	st := a.state(m.Instance)
+	if st.accepted {
+		overwrite := st.prepared && m.Ballot == st.promised && m.Ballot > st.vballot
+		if !overwrite {
+			// Re-announce the existing vote (original ballot and value)
+			// to learners and the asking leader; the piggybacked
+			// LastVoted teaches a new leader the sequence state.
+			a.Counters.Inc("reannounce", 1)
+			a.broadcast2B(m.Instance, st, simnet.Addr(pkt.Src), lat)
+			return
+		}
+		a.Counters.Inc("recovered", 1)
+	}
+	if m.Ballot < st.promised {
+		a.Counters.Inc("rejected", 1)
+		nack := Msg{
+			Type:      MsgPhase1B,
+			Instance:  m.Instance,
+			Ballot:    st.promised,
+			NodeID:    a.id,
+			LastVoted: a.lastVoted,
+		}
+		a.send(simnet.Addr(pkt.Src), nack, lat)
+		return
+	}
+	st.promised = m.Ballot
+	st.prepared = false
+	st.accepted = true
+	st.vballot = m.Ballot
+	st.value = m.Value
+	st.clientID = m.ClientID
+	st.seq = m.Seq
+	st.client = m.ClientAddr
+	if m.Instance > a.lastVoted {
+		a.lastVoted = m.Instance
+	}
+	a.Counters.Inc("voted", 1)
+	a.broadcast2B(m.Instance, st, simnet.Addr(pkt.Src), lat)
+}
+
+// broadcast2B sends the vote to every learner and to the proposing leader.
+func (a *Acceptor) broadcast2B(inst uint64, st *instanceState, proposer simnet.Addr, lat time.Duration) {
+	vote := Msg{
+		Type:       MsgPhase2B,
+		Instance:   inst,
+		Ballot:     st.vballot,
+		VBallot:    st.vballot,
+		NodeID:     a.id,
+		LastVoted:  a.lastVoted,
+		ClientID:   st.clientID,
+		Seq:        st.seq,
+		ClientAddr: st.client,
+		Value:      st.value,
+	}
+	for _, l := range a.learners {
+		a.send(l, vote, lat)
+	}
+	if proposer != "" && proposer != a.addr {
+		a.send(proposer, vote, lat)
+	} else if a.leader != "" {
+		a.send(a.leader, vote, lat)
+	}
+}

@@ -1,0 +1,190 @@
+package paxos
+
+import (
+	"fmt"
+
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// Deployment assembles a full Paxos system on a simulated network: one
+// active leader (with an optional standby on the other substrate), a set
+// of acceptors, a learner, and clients. It implements the §9.2 leader
+// shift: pause one leader, restart the other with a higher ballot and a
+// reset sequence number, and repoint clients, acceptors and learner.
+type Deployment struct {
+	Net       *simnet.Network
+	Acceptors []*Acceptor
+	// Learner is the first learner; Learners holds all of them.
+	Learner  *Learner
+	Learners []*Learner
+	Clients  []*Client
+
+	// SWLeader and HWLeader are the two placements of the leader role.
+	SWLeader *Leader
+	HWLeader *Leader
+
+	current *Leader
+	shifts  int
+}
+
+// Config sizes a deployment.
+type Config struct {
+	// NumAcceptors must be odd; quorum is a majority. Default 3.
+	NumAcceptors int
+	// NumClients proposers are created. Default 1.
+	NumClients int
+	// NumLearners replicas observe decisions. Default 1.
+	NumLearners int
+	// AcceptorRuntime builds each acceptor's runtime. Default libpaxos.
+	AcceptorRuntime func(i int) *Runtime
+	// LearnerRuntime defaults to libpaxos acceptor timing.
+	LearnerRuntime *Runtime
+}
+
+// NewDeployment wires up leaders (software active, hardware standby),
+// acceptors, learner and clients.
+func NewDeployment(net *simnet.Network, cfg Config) *Deployment {
+	if cfg.NumAcceptors <= 0 {
+		cfg.NumAcceptors = 3
+	}
+	if cfg.NumClients <= 0 {
+		cfg.NumClients = 1
+	}
+	if cfg.NumLearners <= 0 {
+		cfg.NumLearners = 1
+	}
+	if cfg.AcceptorRuntime == nil {
+		cfg.AcceptorRuntime = func(int) *Runtime { return NewLibpaxosAcceptor() }
+	}
+	if cfg.LearnerRuntime == nil {
+		cfg.LearnerRuntime = NewLibpaxosAcceptor()
+		cfg.LearnerRuntime.Name = "learner"
+	}
+	d := &Deployment{Net: net}
+
+	accAddrs := make([]simnet.Addr, cfg.NumAcceptors)
+	for i := range accAddrs {
+		accAddrs[i] = simnet.Addr(fmt.Sprintf("acceptor-%d", i))
+	}
+	learnerAddrs := make([]simnet.Addr, cfg.NumLearners)
+	for i := range learnerAddrs {
+		if i == 0 {
+			learnerAddrs[i] = "learner"
+		} else {
+			learnerAddrs[i] = simnet.Addr(fmt.Sprintf("learner-%d", i))
+		}
+	}
+
+	d.SWLeader = NewLeader(net, "leader-sw", NewLibpaxosLeader(), 1, accAddrs)
+	d.HWLeader = NewLeader(net, "leader-hw", NewP4xosRuntime("leader"), 1, accAddrs)
+	d.HWLeader.SetActive(false)
+	d.current = d.SWLeader
+
+	for i := range accAddrs {
+		a := NewAcceptor(net, accAddrs[i], uint16(i), cfg.AcceptorRuntime(i), d.current.Addr(), learnerAddrs)
+		d.Acceptors = append(d.Acceptors, a)
+	}
+	for i, la := range learnerAddrs {
+		rt := cfg.LearnerRuntime
+		if i > 0 {
+			cp := *cfg.LearnerRuntime
+			rt = &cp
+		}
+		d.Learners = append(d.Learners,
+			NewLearner(net, la, rt, cfg.NumAcceptors/2+1, d.current.Addr()))
+	}
+	d.Learner = d.Learners[0]
+
+	for i := 0; i < cfg.NumClients; i++ {
+		c := NewClient(net, simnet.Addr(fmt.Sprintf("pxclient-%d", i)), uint16(i), d.current.Addr())
+		d.Clients = append(d.Clients, c)
+	}
+	return d
+}
+
+// CurrentLeader returns the active leader.
+func (d *Deployment) CurrentLeader() *Leader { return d.current }
+
+// Shifts counts completed leader shifts.
+func (d *Deployment) Shifts() int { return d.shifts }
+
+// ShiftLeader moves the leader role to target (one of SWLeader/HWLeader):
+// the §9.2 centralized-controller shift. The outgoing leader is paused,
+// the incoming one restarts at sequence 1 with a higher ballot, and the
+// "forwarding rules" (client targets, acceptor/learner leader pointers)
+// are rewritten. Convergence then relies on acceptor piggybacks, client
+// retries and learner gap recovery.
+func (d *Deployment) ShiftLeader(target *Leader) {
+	if target == d.current {
+		return
+	}
+	d.current.SetActive(false)
+	target.SetBallot(d.current.Ballot() + 1)
+	target.Restart()
+	target.SetActive(true)
+	for _, a := range d.Acceptors {
+		a.SetLeader(target.Addr())
+	}
+	for _, l := range d.Learners {
+		l.SetLeader(target.Addr())
+	}
+	for _, c := range d.Clients {
+		c.Retarget(target.Addr())
+	}
+	d.current = target
+	d.shifts++
+}
+
+// ReplaceAcceptor swaps acceptor index i for a fresh node at a new
+// address running rt, transferring state from a surviving peer — the
+// reconfiguration problem §9.2 defers to Vertical-Paxos-style protocols,
+// implemented here in its crash-replace form: snapshot a live peer (all
+// acceptors that executed the same votes hold identical instance state),
+// restore into the replacement, and leave the old node detached. Safety
+// holds because the replacement answers exactly like a caught-up acceptor
+// and quorums keep overlapping.
+func (d *Deployment) ReplaceAcceptor(i int, rt *Runtime) (*Acceptor, error) {
+	if i < 0 || i >= len(d.Acceptors) {
+		return nil, fmt.Errorf("paxos: acceptor index %d out of range", i)
+	}
+	if len(d.Acceptors) < 2 {
+		return nil, fmt.Errorf("paxos: need a surviving peer for state transfer")
+	}
+	old := d.Acceptors[i]
+	donor := d.Acceptors[(i+1)%len(d.Acceptors)]
+
+	// Detach the failed/retired node so in-flight traffic to it drops.
+	d.Net.Detach(old.Addr())
+
+	addr := simnet.Addr(fmt.Sprintf("%s-r%d", old.Addr(), d.shifts))
+	replacement := NewAcceptor(d.Net, addr, old.id, rt, d.current.Addr(), old.learners)
+	replacement.Restore(donor.Snapshot())
+	d.Acceptors[i] = replacement
+
+	// Rewrite the leaders' acceptor sets (the §9.2 "forwarding rules").
+	for j, a := range d.SWLeader.acceptors {
+		if a == old.Addr() {
+			d.SWLeader.acceptors[j] = addr
+		}
+	}
+	for j, a := range d.HWLeader.acceptors {
+		if a == old.Addr() {
+			d.HWLeader.acceptors[j] = addr
+		}
+	}
+	return replacement, nil
+}
+
+// PowerSource returns the combined power of the whole deployment's
+// distinguished node (the leader host) — the quantity Figure 3(b)'s
+// leader lines report. Hardware leaders add their card to the idle host.
+func (d *Deployment) PowerSource() telemetry.PowerSource {
+	return telemetry.PowerSourceFunc(func(now simnet.Time) float64 {
+		if d.current == d.HWLeader {
+			// Idle host (39 W) plus the P4xos card.
+			return 39 + d.HWLeader.PowerWatts(now)
+		}
+		return d.SWLeader.PowerWatts(now)
+	})
+}

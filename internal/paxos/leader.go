@@ -1,0 +1,205 @@
+package paxos
+
+import (
+	"incod/internal/simnet"
+)
+
+// Leader is the Paxos coordinator: it sequences client requests into
+// consensus instances and drives Phase2 against the acceptors (the
+// steady-state P4xos flow, where Phase1 is implicit in the leader's
+// ballot). A newly started leader begins at instance 1 (§9.2) and
+// fast-forwards from the LastVoted piggybacks in acceptor responses.
+type Leader struct {
+	role
+	ballot    uint32
+	acceptors []simnet.Addr
+	next      uint64 // next unused instance (1-based)
+	active    bool
+
+	// Gap-recovery state: attempts per instance, and pending Phase1
+	// exchanges for instances whose acceptors diverged across a shift.
+	gapAttempts map[uint64]int
+	prepares    map[uint64]*prepareState
+}
+
+// prepareState tracks one recovery Phase1 exchange.
+type prepareState struct {
+	ballot uint32
+	resp   map[uint16]Msg
+	done   bool
+}
+
+// NewLeader attaches a leader with the given ballot (its epoch; a shifted
+// replacement must use a higher one).
+func NewLeader(net *simnet.Network, addr simnet.Addr, rt *Runtime, ballot uint32, acceptors []simnet.Addr) *Leader {
+	l := &Leader{
+		role:        newRole(net, addr, rt),
+		ballot:      ballot,
+		acceptors:   acceptors,
+		next:        1,
+		active:      true,
+		gapAttempts: make(map[uint64]int),
+		prepares:    make(map[uint64]*prepareState),
+	}
+	net.Attach(l)
+	return l
+}
+
+// Ballot returns the leader's ballot.
+func (l *Leader) Ballot() uint32 { return l.ballot }
+
+// SetBallot raises the leader's ballot (a shifted-in replacement must use
+// a higher epoch than its predecessor).
+func (l *Leader) SetBallot(b uint32) { l.ballot = b }
+
+// Restart resets the sequence state to the §9.2 fresh-leader condition:
+// "the new leader starts with an initial sequence number of 1 and must
+// learn the next sequence number that it can use".
+func (l *Leader) Restart() { l.next = 1 }
+
+// NextInstance returns the next unused instance number (what the §9.2
+// hand-off must learn).
+func (l *Leader) NextInstance() uint64 { return l.next }
+
+// SetActive pauses or resumes the leader. A paused leader ignores client
+// requests (its forwarding rule has moved elsewhere).
+func (l *Leader) SetActive(v bool) { l.active = v }
+
+// Active reports whether the leader is serving.
+func (l *Leader) Active() bool { return l.active }
+
+// Receive implements simnet.Node.
+func (l *Leader) Receive(pkt *simnet.Packet) {
+	m, err := Decode(pkt.Payload)
+	if err != nil {
+		l.Counters.Inc("bad_msg", 1)
+		return
+	}
+	switch m.Type {
+	case MsgClientRequest:
+		if !l.active {
+			l.Counters.Inc("ignored_inactive", 1)
+			return
+		}
+		l.rate.Add(l.sim.Now(), 1)
+		// Saturation: shed offered load beyond the runtime's peak.
+		if rate := l.RateKpps(); rate > l.runtime.PeakKpps &&
+			l.sim.Rand().Float64() > l.runtime.PeakKpps/rate {
+			l.Counters.Inc("dropped", 1)
+			return
+		}
+		l.Counters.Inc("requests", 1)
+		inst := l.next
+		l.next++
+		lat := l.runtime.ServiceLatency(l.sim.Rand())
+		prop := Msg{
+			Type:       MsgPhase2A,
+			Instance:   inst,
+			Ballot:     l.ballot,
+			ClientID:   m.ClientID,
+			Seq:        m.Seq,
+			ClientAddr: m.ClientAddr,
+			Value:      m.Value,
+		}
+		for _, a := range l.acceptors {
+			l.send(a, prop, lat)
+		}
+	case MsgPhase2B:
+		// §9.2: learn the most recent sequence number from the
+		// acceptors' piggybacked last-voted instance.
+		if m.LastVoted+1 > l.next {
+			l.Counters.Inc("fast_forward", 1)
+			l.next = m.LastVoted + 1
+		}
+	case MsgPhase1B:
+		if m.LastVoted+1 > l.next {
+			l.Counters.Inc("fast_forward", 1)
+			l.next = m.LastVoted + 1
+		}
+		l.handlePromise(m)
+	case MsgGapRequest:
+		if !l.active {
+			return
+		}
+		l.Counters.Inc("gap_requests", 1)
+		l.recoverInstance(m.Instance)
+	default:
+		l.Counters.Inc("unexpected", 1)
+	}
+}
+
+// recoverInstance re-initiates a hole the learner reported (§9.2) with a
+// full Phase1/Phase2 exchange at a fresh ballot: the promise quorum
+// reveals any accepted value (which is then re-proposed, so re-initiation
+// can never displace a potentially chosen value) or, if the instance was
+// truly never voted on, the learners learn a no-op. A same-ballot no-op
+// shortcut would be unsafe: if the original Phase2A reached only part of
+// the quorum, the ballot already carries a value, and proposing a second
+// value at it can split learners.
+func (l *Leader) recoverInstance(inst uint64) {
+	l.gapAttempts[inst]++
+	if p, ok := l.prepares[inst]; ok && !p.done {
+		// A recovery round is in flight; bump the ballot and retry (the
+		// previous Phase1As may have been lost).
+		delete(l.prepares, inst)
+		_ = p
+	}
+	l.Counters.Inc("recoveries", 1)
+	lat := l.runtime.ServiceLatency(l.sim.Rand())
+	ballot := l.ballot + uint32(l.gapAttempts[inst])
+	l.prepares[inst] = &prepareState{ballot: ballot, resp: make(map[uint16]Msg)}
+	p := Msg{Type: MsgPhase1A, Instance: inst, Ballot: ballot}
+	for _, a := range l.acceptors {
+		l.send(a, p, lat)
+	}
+}
+
+// handlePromise collects Phase1B responses for pending recoveries and,
+// at quorum, proposes the highest-ballot accepted value (or a no-op).
+func (l *Leader) handlePromise(m Msg) {
+	prep, ok := l.prepares[m.Instance]
+	if !ok || prep.done || m.Ballot != prep.ballot {
+		return
+	}
+	prep.resp[m.NodeID] = m
+	quorum := len(l.acceptors)/2 + 1
+	if len(prep.resp) < quorum {
+		return
+	}
+	prep.done = true
+	// Adopt the value accepted at the highest ballot, if any.
+	chosen := Msg{Value: NoOp}
+	var best uint32
+	for _, r := range prep.resp {
+		if len(r.Value) > 0 && r.VBallot >= best {
+			best = r.VBallot
+			chosen = r
+		}
+	}
+	lat := l.runtime.ServiceLatency(l.sim.Rand())
+	prop := Msg{
+		Type:       MsgPhase2A,
+		Instance:   m.Instance,
+		Ballot:     prep.ballot,
+		ClientID:   chosen.ClientID,
+		Seq:        chosen.Seq,
+		ClientAddr: chosen.ClientAddr,
+		Value:      chosen.Value,
+	}
+	for _, a := range l.acceptors {
+		l.send(a, prop, lat)
+	}
+}
+
+// Prepare runs classic Phase1 for an instance range (the general-case
+// leader-election path; the on-demand shift normally relies on the
+// piggyback + retry flow instead).
+func (l *Leader) Prepare(from, to uint64) {
+	lat := l.runtime.ServiceLatency(l.sim.Rand())
+	for inst := from; inst <= to; inst++ {
+		p := Msg{Type: MsgPhase1A, Instance: inst, Ballot: l.ballot}
+		for _, a := range l.acceptors {
+			l.send(a, p, lat)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package paxos
+
+import (
+	"time"
+
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// Learner collects Phase2B votes, declares decisions at quorum, notifies
+// the issuing client, and — per §9.2 — watches for instance-number gaps:
+// after a timeout it asks the leader to re-initiate missing instances,
+// which resolve to the previously voted value or a no-op.
+type Learner struct {
+	role
+	quorum int
+	leader simnet.Addr
+
+	votes   map[uint64]map[uint16]Msg
+	decided map[uint64][]byte
+	highest uint64
+	// gapAsked tracks instances we already requested, to avoid spamming.
+	gapAsked map[uint64]simnet.Time
+
+	// GapTimeout is how long a hole may linger before re-initiation.
+	GapTimeout time.Duration
+	// OnDecide, when set, observes every decision in order of arrival.
+	OnDecide func(inst uint64, value []byte)
+
+	Decisions *telemetry.RateMeter
+}
+
+// NewLearner attaches a learner expecting quorum votes per instance.
+func NewLearner(net *simnet.Network, addr simnet.Addr, rt *Runtime, quorum int, leader simnet.Addr) *Learner {
+	l := &Learner{
+		role:       newRole(net, addr, rt),
+		quorum:     quorum,
+		leader:     leader,
+		votes:      make(map[uint64]map[uint16]Msg),
+		decided:    make(map[uint64][]byte),
+		gapAsked:   make(map[uint64]simnet.Time),
+		GapTimeout: 50 * time.Millisecond,
+		Decisions:  telemetry.NewRateMeter(10*time.Millisecond, 100),
+	}
+	net.Attach(l)
+	// Periodic gap scan.
+	net.Sim().Every(l.GapTimeout, l.scanGaps)
+	return l
+}
+
+// SetLeader retargets gap requests after a shift.
+func (l *Learner) SetLeader(leader simnet.Addr) { l.leader = leader }
+
+// Decided returns the decided value for an instance.
+func (l *Learner) Decided(inst uint64) ([]byte, bool) {
+	v, ok := l.decided[inst]
+	return v, ok
+}
+
+// DecidedCount returns the number of decided instances.
+func (l *Learner) DecidedCount() int { return len(l.decided) }
+
+// Highest returns the highest decided instance.
+func (l *Learner) Highest() uint64 { return l.highest }
+
+// Gaps returns undecided instances below the highest decided one.
+func (l *Learner) Gaps() []uint64 {
+	var gaps []uint64
+	for i := uint64(1); i < l.highest; i++ {
+		if _, ok := l.decided[i]; !ok {
+			gaps = append(gaps, i)
+		}
+	}
+	return gaps
+}
+
+// Receive implements simnet.Node.
+func (l *Learner) Receive(pkt *simnet.Packet) {
+	m, err := Decode(pkt.Payload)
+	if err != nil {
+		l.Counters.Inc("bad_msg", 1)
+		return
+	}
+	if m.Type != MsgPhase2B {
+		l.Counters.Inc("unexpected", 1)
+		return
+	}
+	l.rate.Add(l.sim.Now(), 1)
+	if _, done := l.decided[m.Instance]; done {
+		l.Counters.Inc("late_votes", 1)
+		return
+	}
+	byNode, ok := l.votes[m.Instance]
+	if !ok {
+		byNode = make(map[uint16]Msg)
+		l.votes[m.Instance] = byNode
+	}
+	byNode[m.NodeID] = m
+	// Count votes agreeing on the highest ballot seen for this instance.
+	// Values are compared too (defense in depth: correct proposers never
+	// issue two values at one ballot, but a diverged vote stream must
+	// never split learners).
+	var best uint32
+	for _, v := range byNode {
+		if v.VBallot > best {
+			best = v.VBallot
+		}
+	}
+	agreeByValue := make(map[string]int)
+	for _, v := range byNode {
+		if v.VBallot == best {
+			agreeByValue[string(v.Value)]++
+		}
+	}
+	for val, agree := range agreeByValue {
+		if agree >= l.quorum {
+			l.decide(m.Instance, byNode, best, val)
+			return
+		}
+	}
+}
+
+func (l *Learner) decide(inst uint64, byNode map[uint16]Msg, ballot uint32, value string) {
+	var chosen Msg
+	for _, v := range byNode {
+		if v.VBallot == ballot && string(v.Value) == value {
+			chosen = v
+			break
+		}
+	}
+	l.decided[inst] = chosen.Value
+	delete(l.votes, inst)
+	delete(l.gapAsked, inst)
+	if inst > l.highest {
+		l.highest = inst
+	}
+	l.Counters.Inc("decided", 1)
+	l.Decisions.Add(l.sim.Now(), 1)
+	if len(chosen.Value) == 0 {
+		l.Counters.Inc("noop", 1)
+	}
+	if l.OnDecide != nil {
+		l.OnDecide(inst, chosen.Value)
+	}
+	// Notify the issuing client.
+	if chosen.ClientAddr != "" {
+		lat := l.runtime.ServiceLatency(l.sim.Rand())
+		l.send(chosen.ClientAddr, Msg{
+			Type:     MsgDecision,
+			Instance: inst,
+			ClientID: chosen.ClientID,
+			Seq:      chosen.Seq,
+			Value:    chosen.Value,
+		}, lat)
+	}
+}
+
+// scanGaps implements the §9.2 learner timeout: ask the leader to
+// re-initiate instances that stayed undecided behind the frontier.
+func (l *Learner) scanGaps() {
+	now := l.sim.Now()
+	for _, inst := range l.Gaps() {
+		if asked, ok := l.gapAsked[inst]; ok && now.Sub(asked) < l.GapTimeout {
+			continue
+		}
+		l.gapAsked[inst] = now
+		l.Counters.Inc("gap_detected", 1)
+		l.send(l.leader, Msg{Type: MsgGapRequest, Instance: inst}, 0)
+	}
+}

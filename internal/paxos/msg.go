@@ -1,0 +1,130 @@
+// Package paxos implements the consensus case study (§3.2): a complete
+// Paxos deployment — proposer clients, a leader (coordinator), acceptors
+// and learners — over the simulated network, in the shape of P4xos ("Paxos
+// Made Switch-y"). The same protocol logic runs in three variants:
+// libpaxos-style software, DPDK-style polling software, and P4xos hardware
+// (FPGA or ASIC), differing only in service latency, capacity and power.
+//
+// The §9.2 leader-shift machinery is implemented in full: acceptors
+// piggyback their last-voted instance on every response, new leaders start
+// from instance 1 and fast-forward from the piggybacked values, clients
+// retry on a timeout, and learners detect instance gaps and ask the leader
+// to re-initiate them (yielding the old value or a no-op).
+package paxos
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"incod/internal/simnet"
+)
+
+// Port is the UDP port Paxos messages use.
+const Port = 9555
+
+// MsgType enumerates Paxos wire messages.
+type MsgType uint8
+
+// Message types. Phase1A/1B are the classic prepare/promise exchange;
+// steady-state operation uses Phase2A/2B like P4xos.
+const (
+	MsgClientRequest MsgType = iota + 1
+	MsgPhase1A
+	MsgPhase1B
+	MsgPhase2A
+	MsgPhase2B
+	MsgDecision
+	MsgGapRequest
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgClientRequest:
+		return "request"
+	case MsgPhase1A:
+		return "phase1a"
+	case MsgPhase1B:
+		return "phase1b"
+	case MsgPhase2A:
+		return "phase2a"
+	case MsgPhase2B:
+		return "phase2b"
+	case MsgDecision:
+		return "decision"
+	case MsgGapRequest:
+		return "gap"
+	}
+	return "unknown"
+}
+
+// NoOp is the value learned for re-initiated instances nobody voted on.
+var NoOp = []byte{}
+
+// Msg is a Paxos wire message.
+type Msg struct {
+	Type     MsgType
+	Instance uint64
+	// Ballot is the proposal round; VBallot the round a value was
+	// accepted in (Phase1B).
+	Ballot  uint32
+	VBallot uint32
+	// NodeID identifies the sending acceptor (Phase1B/2B).
+	NodeID uint16
+	// LastVoted is the §9.2 piggyback: the acceptor's highest voted
+	// instance, included "whenever the acceptor responds to a message".
+	LastVoted uint64
+	// ClientID/Seq identify the client request carried in Value.
+	ClientID uint16
+	Seq      uint64
+	// ClientAddr routes the learner's decision back to the proposer.
+	ClientAddr simnet.Addr
+	Value      []byte
+}
+
+// ErrShortMessage reports a truncated Paxos datagram.
+var ErrShortMessage = errors.New("paxos: truncated message")
+
+const headerSize = 1 + 8 + 4 + 4 + 2 + 8 + 2 + 8 + 2 + 2 // + addr + value
+
+// Encode serializes m.
+func Encode(m Msg) []byte {
+	b := make([]byte, 0, headerSize+len(m.ClientAddr)+len(m.Value))
+	b = append(b, byte(m.Type))
+	b = binary.BigEndian.AppendUint64(b, m.Instance)
+	b = binary.BigEndian.AppendUint32(b, m.Ballot)
+	b = binary.BigEndian.AppendUint32(b, m.VBallot)
+	b = binary.BigEndian.AppendUint16(b, m.NodeID)
+	b = binary.BigEndian.AppendUint64(b, m.LastVoted)
+	b = binary.BigEndian.AppendUint16(b, m.ClientID)
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.ClientAddr)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Value)))
+	b = append(b, m.ClientAddr...)
+	b = append(b, m.Value...)
+	return b
+}
+
+// Decode parses a Paxos datagram.
+func Decode(b []byte) (Msg, error) {
+	if len(b) < headerSize {
+		return Msg{}, ErrShortMessage
+	}
+	var m Msg
+	m.Type = MsgType(b[0])
+	m.Instance = binary.BigEndian.Uint64(b[1:])
+	m.Ballot = binary.BigEndian.Uint32(b[9:])
+	m.VBallot = binary.BigEndian.Uint32(b[13:])
+	m.NodeID = binary.BigEndian.Uint16(b[17:])
+	m.LastVoted = binary.BigEndian.Uint64(b[19:])
+	m.ClientID = binary.BigEndian.Uint16(b[27:])
+	m.Seq = binary.BigEndian.Uint64(b[29:])
+	addrLen := int(binary.BigEndian.Uint16(b[37:]))
+	valLen := int(binary.BigEndian.Uint16(b[39:]))
+	if len(b) < headerSize+addrLen+valLen {
+		return Msg{}, ErrShortMessage
+	}
+	m.ClientAddr = simnet.Addr(b[headerSize : headerSize+addrLen])
+	m.Value = append([]byte(nil), b[headerSize+addrLen:headerSize+addrLen+valLen]...)
+	return m, nil
+}

@@ -1,0 +1,334 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"incod/internal/simnet"
+)
+
+func deploy(t *testing.T, seed int64, cfg Config) (*simnet.Simulator, *Deployment) {
+	t.Helper()
+	sim := simnet.New(seed)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	return sim, NewDeployment(net, cfg)
+}
+
+func TestBasicConsensus(t *testing.T) {
+	sim, d := deploy(t, 1, Config{})
+	c := d.Clients[0]
+	c.Submit([]byte("value-1"))
+	sim.RunFor(10 * time.Millisecond)
+
+	if got := c.Counters.Get("decided"); got != 1 {
+		t.Fatalf("client decided = %d, want 1 (counters: %v)", got, c.Counters)
+	}
+	v, ok := d.Learner.Decided(1)
+	if !ok || string(v) != "value-1" {
+		t.Errorf("learner decided(1) = %q, %v", v, ok)
+	}
+	// All three acceptors voted.
+	for i, a := range d.Acceptors {
+		if a.Counters.Get("voted") != 1 {
+			t.Errorf("acceptor %d voted %d times, want 1", i, a.Counters.Get("voted"))
+		}
+		if a.LastVoted() != 1 {
+			t.Errorf("acceptor %d LastVoted = %d, want 1", i, a.LastVoted())
+		}
+	}
+}
+
+func TestSequentialInstances(t *testing.T) {
+	sim, d := deploy(t, 2, Config{})
+	c := d.Clients[0]
+	for i := 0; i < 50; i++ {
+		c.Submit([]byte(fmt.Sprintf("v%d", i)))
+	}
+	sim.RunFor(100 * time.Millisecond)
+	if d.Learner.DecidedCount() != 50 {
+		t.Fatalf("decided %d instances, want 50", d.Learner.DecidedCount())
+	}
+	if gaps := d.Learner.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps = %v, want none", gaps)
+	}
+	if d.CurrentLeader().NextInstance() != 51 {
+		t.Errorf("leader next = %d, want 51", d.CurrentLeader().NextInstance())
+	}
+}
+
+// Safety: all learners agree on every decided instance even with competing
+// proposals for the same instance.
+func TestAgreementAcrossLearners(t *testing.T) {
+	sim := simnet.New(3)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	accAddrs := []simnet.Addr{"a0", "a1", "a2"}
+	learners := []simnet.Addr{"l0", "l1"}
+	leader := NewLeader(net, "ld", NewLibpaxosLeader(), 1, accAddrs)
+	for i, aa := range accAddrs {
+		NewAcceptor(net, aa, uint16(i), NewLibpaxosAcceptor(), "ld", learners)
+	}
+	l0 := NewLearner(net, "l0", NewLibpaxosAcceptor(), 2, "ld")
+	l1 := NewLearner(net, "l1", NewLibpaxosAcceptor(), 2, "ld")
+	c := NewClient(net, "c0", 0, "ld")
+	for i := 0; i < 20; i++ {
+		c.Submit([]byte(fmt.Sprintf("v%d", i)))
+	}
+	_ = leader
+	sim.RunFor(100 * time.Millisecond)
+	if l0.DecidedCount() == 0 {
+		t.Fatal("nothing decided")
+	}
+	if l0.DecidedCount() != l1.DecidedCount() {
+		t.Fatalf("learners decided %d vs %d", l0.DecidedCount(), l1.DecidedCount())
+	}
+	for inst := uint64(1); inst <= l0.Highest(); inst++ {
+		v0, ok0 := l0.Decided(inst)
+		v1, ok1 := l1.Decided(inst)
+		if ok0 != ok1 || string(v0) != string(v1) {
+			t.Errorf("instance %d: learners disagree (%q,%v vs %q,%v)", inst, v0, ok0, v1, ok1)
+		}
+	}
+}
+
+// Safety: an accepted instance is never overwritten by a later Phase2A.
+func TestReinitiationPreservesDecidedValue(t *testing.T) {
+	sim, d := deploy(t, 4, Config{})
+	c := d.Clients[0]
+	c.Submit([]byte("original"))
+	sim.RunFor(10 * time.Millisecond)
+
+	// A (confused) leader re-initiates instance 1 with a no-op.
+	d.CurrentLeader().Receive(&simnet.Packet{
+		Src: "learner", Dst: d.CurrentLeader().Addr(), SrcPort: Port, DstPort: Port,
+		Payload: Encode(Msg{Type: MsgGapRequest, Instance: 1}),
+	})
+	sim.RunFor(10 * time.Millisecond)
+
+	v, ok := d.Learner.Decided(1)
+	if !ok || string(v) != "original" {
+		t.Errorf("decided(1) = %q after re-initiation, want original", v)
+	}
+	for i, a := range d.Acceptors {
+		if v, _ := a.AcceptedValue(1); string(v) != "original" {
+			t.Errorf("acceptor %d value overwritten to %q", i, v)
+		}
+	}
+}
+
+// §9.2 shift: software -> hardware leader with client-timeout stall and
+// full recovery, no lost or corrupted instances.
+func TestLeaderShiftSWToHW(t *testing.T) {
+	sim, d := deploy(t, 5, Config{})
+	c := d.Clients[0]
+	c.RetryTimeout = 100 * time.Millisecond
+	c.Start(5) // 5 kpps
+	sim.RunFor(500 * time.Millisecond)
+	preShift := d.Learner.DecidedCount()
+	if preShift == 0 {
+		t.Fatal("no progress before shift")
+	}
+
+	d.ShiftLeader(d.HWLeader)
+	if d.HWLeader.NextInstance() != 1 {
+		t.Fatal("new leader must start at sequence 1 (§9.2)")
+	}
+	sim.RunFor(2 * time.Second)
+	c.Stop()
+	sim.RunFor(500 * time.Millisecond)
+
+	if d.Learner.DecidedCount() <= preShift {
+		t.Fatal("no progress after shift")
+	}
+	// The new leader fast-forwarded past the old instances.
+	if d.HWLeader.NextInstance() <= uint64(preShift) {
+		t.Errorf("hw leader next = %d, want > %d (piggyback fast-forward)", d.HWLeader.NextInstance(), preShift)
+	}
+	if d.HWLeader.Counters.Get("fast_forward") == 0 {
+		t.Error("fast-forward path never exercised")
+	}
+	// Clients needed retries across the stall.
+	if c.Counters.Get("retries") == 0 {
+		t.Error("expected client retries during the shift")
+	}
+	// Every instance eventually decided (no-op fills allowed).
+	if gaps := d.Learner.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps after recovery: %v", gaps)
+	}
+}
+
+func TestLeaderShiftLatencyDrops(t *testing.T) {
+	sim, d := deploy(t, 6, Config{})
+	c := d.Clients[0]
+	c.Start(5)
+	sim.RunFor(1 * time.Second)
+	swMed := c.Latency.Median()
+	c.Latency.Reset()
+
+	d.ShiftLeader(d.HWLeader)
+	sim.RunFor(500 * time.Millisecond) // let the stall pass
+	c.Latency.Reset()
+	sim.RunFor(1 * time.Second)
+	hwMed := c.Latency.Median()
+	c.Stop()
+
+	// Figure 7: "the latency is halved when the leader is implemented in
+	// hardware". Accept a 1.3-3x improvement band.
+	ratio := float64(swMed) / float64(hwMed)
+	if ratio < 1.3 || ratio > 3.5 {
+		t.Errorf("sw/hw latency ratio = %.2f (sw=%v hw=%v), want ~2", ratio, swMed, hwMed)
+	}
+}
+
+func TestShiftBackToSoftware(t *testing.T) {
+	sim, d := deploy(t, 7, Config{})
+	c := d.Clients[0]
+	c.Start(5)
+	sim.RunFor(300 * time.Millisecond)
+	d.ShiftLeader(d.HWLeader)
+	sim.RunFor(time.Second)
+	d.ShiftLeader(d.SWLeader)
+	sim.RunFor(2 * time.Second)
+	c.Stop()
+	sim.RunFor(500 * time.Millisecond)
+
+	if d.Shifts() != 2 {
+		t.Errorf("shifts = %d, want 2", d.Shifts())
+	}
+	if d.CurrentLeader() != d.SWLeader {
+		t.Error("leadership should be back in software")
+	}
+	if gaps := d.Learner.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps after double shift: %v", gaps)
+	}
+	if d.Learner.DecidedCount() == 0 {
+		t.Fatal("nothing decided")
+	}
+}
+
+func TestShiftToSameLeaderIsNoop(t *testing.T) {
+	_, d := deploy(t, 8, Config{})
+	d.ShiftLeader(d.SWLeader)
+	if d.Shifts() != 0 {
+		t.Error("shifting to the current leader should be a no-op")
+	}
+}
+
+func TestGapRecoveryWithNoOp(t *testing.T) {
+	sim, d := deploy(t, 9, Config{})
+	d.Learner.GapTimeout = 20 * time.Millisecond
+	// Manufacture a gap: decide instance 3 but never instance 1-2, by
+	// having the leader skip instances (simulating lost proposals).
+	lead := d.CurrentLeader()
+	lead.next = 3
+	d.Clients[0].Submit([]byte("late"))
+	sim.RunFor(5 * time.Millisecond)
+	if _, ok := d.Learner.Decided(3); !ok {
+		t.Fatal("instance 3 not decided")
+	}
+	// The learner should now detect gaps 1,2 and ask for re-initiation.
+	sim.RunFor(200 * time.Millisecond)
+	if gaps := d.Learner.Gaps(); len(gaps) != 0 {
+		t.Fatalf("gaps not recovered: %v", gaps)
+	}
+	if d.Learner.Counters.Get("noop") != 2 {
+		t.Errorf("noop decisions = %d, want 2", d.Learner.Counters.Get("noop"))
+	}
+	for _, inst := range []uint64{1, 2} {
+		if v, ok := d.Learner.Decided(inst); !ok || len(v) != 0 {
+			t.Errorf("instance %d = %q, want no-op", inst, v)
+		}
+	}
+}
+
+func TestPhase1Exchange(t *testing.T) {
+	sim, d := deploy(t, 10, Config{})
+	c := d.Clients[0]
+	c.Submit([]byte("v"))
+	sim.RunFor(10 * time.Millisecond)
+	// Run an explicit Phase1 over the decided range from the HW leader.
+	d.HWLeader.SetBallot(10)
+	d.HWLeader.Prepare(1, 1)
+	sim.RunFor(10 * time.Millisecond)
+	for i, a := range d.Acceptors {
+		if a.Counters.Get("phase1a") != 1 {
+			t.Errorf("acceptor %d phase1a = %d", i, a.Counters.Get("phase1a"))
+		}
+	}
+	// Phase1B piggyback fast-forwards the prospective leader.
+	if d.HWLeader.NextInstance() < 2 {
+		t.Errorf("hw leader next = %d, want >= 2 after promises", d.HWLeader.NextInstance())
+	}
+}
+
+func TestAcceptorRejectsStaleBallot(t *testing.T) {
+	sim := simnet.New(11)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	a := NewAcceptor(net, "acc", 0, NewLibpaxosAcceptor(), "ld", []simnet.Addr{"lrn"})
+	NewLearner(net, "lrn", NewLibpaxosAcceptor(), 1, "ld")
+	// Promise ballot 5 first.
+	a.Receive(&simnet.Packet{Src: "ld", Dst: "acc",
+		Payload: Encode(Msg{Type: MsgPhase1A, Instance: 1, Ballot: 5})})
+	sim.RunFor(time.Millisecond)
+	// A stale ballot-3 proposal must be rejected.
+	a.Receive(&simnet.Packet{Src: "old-ld", Dst: "acc",
+		Payload: Encode(Msg{Type: MsgPhase2A, Instance: 1, Ballot: 3, Value: []byte("stale")})})
+	sim.RunFor(time.Millisecond)
+	if a.Counters.Get("rejected") != 1 {
+		t.Errorf("rejected = %d, want 1", a.Counters.Get("rejected"))
+	}
+	if _, ok := a.AcceptedValue(1); ok {
+		t.Error("stale proposal must not be accepted")
+	}
+}
+
+func TestInactiveLeaderIgnoresRequests(t *testing.T) {
+	sim, d := deploy(t, 12, Config{})
+	d.SWLeader.SetActive(false)
+	d.Clients[0].MaxRetries = 1
+	d.Clients[0].Submit([]byte("v"))
+	sim.RunFor(400 * time.Millisecond)
+	if d.Learner.DecidedCount() != 0 {
+		t.Error("paused leader should not decide anything")
+	}
+	if d.SWLeader.Counters.Get("ignored_inactive") == 0 {
+		t.Error("paused leader should count ignored requests")
+	}
+	if d.Clients[0].Counters.Get("gave_up") != 1 {
+		t.Error("client should give up after max retries")
+	}
+}
+
+func TestDeploymentPowerSource(t *testing.T) {
+	sim, d := deploy(t, 13, Config{})
+	src := d.PowerSource()
+	idleSW := src.PowerWatts(sim.Now())
+	if idleSW != 39 {
+		t.Errorf("software idle = %v W, want 39", idleSW)
+	}
+	d.ShiftLeader(d.HWLeader)
+	hw := src.PowerWatts(sim.Now())
+	// 39 + ~10 W card.
+	if hw < 48 || hw > 51 {
+		t.Errorf("hardware leader power = %v W, want ~49", hw)
+	}
+}
+
+func TestClientToleratesDuplicateDecision(t *testing.T) {
+	sim, d := deploy(t, 14, Config{})
+	c := d.Clients[0]
+	seq := c.Submit([]byte("v"))
+	sim.RunFor(10 * time.Millisecond)
+	if c.Counters.Get("decided") != 1 {
+		t.Fatal("request not decided")
+	}
+	// Deliver the same decision again: must be counted, not crash.
+	c.Receive(&simnet.Packet{Src: "learner", Dst: c.Addr(),
+		Payload: Encode(Msg{Type: MsgDecision, Instance: 1, ClientID: 0, Seq: seq, Value: []byte("v")})})
+	if c.Counters.Get("duplicate_decision") != 1 {
+		t.Errorf("duplicate_decision = %d, want 1", c.Counters.Get("duplicate_decision"))
+	}
+	if c.Outstanding() != 0 {
+		t.Error("no requests should remain outstanding")
+	}
+}

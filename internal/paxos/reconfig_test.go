@@ -1,0 +1,130 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"incod/internal/simnet"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	sim, d := deploy(t, 41, Config{})
+	for i := 0; i < 20; i++ {
+		d.Clients[0].Submit([]byte(fmt.Sprintf("v%d", i)))
+	}
+	sim.RunFor(50 * time.Millisecond)
+
+	src := d.Acceptors[0]
+	records, lastVoted := src.Snapshot()
+	if len(records) != 20 || lastVoted != 20 {
+		t.Fatalf("snapshot: %d records, lastVoted %d", len(records), lastVoted)
+	}
+	fresh := NewAcceptor(d.Net, "fresh", 9, NewLibpaxosAcceptor(), "leader-sw", nil)
+	fresh.Restore(records, lastVoted)
+	if fresh.LastVoted() != 20 {
+		t.Errorf("restored LastVoted = %d", fresh.LastVoted())
+	}
+	for inst := uint64(1); inst <= 20; inst++ {
+		want, _ := src.AcceptedValue(inst)
+		got, ok := fresh.AcceptedValue(inst)
+		if !ok || string(got) != string(want) {
+			t.Fatalf("instance %d: restored %q, want %q", inst, got, want)
+		}
+	}
+	// Mutating the snapshot source must not alias the restored state.
+	records[1].Value[0] = 'X'
+	if v, _ := fresh.AcceptedValue(1); v[0] == 'X' {
+		t.Error("Restore must deep-copy values")
+	}
+}
+
+func TestReplaceAcceptorPreservesSafetyAndProgress(t *testing.T) {
+	sim, d := deploy(t, 42, Config{})
+	c := d.Clients[0]
+	c.Start(5)
+	sim.RunFor(500 * time.Millisecond)
+	before := d.Learner.DecidedCount()
+	if before == 0 {
+		t.Fatal("no progress before reconfiguration")
+	}
+
+	replacement, err := d.ReplaceAcceptor(1, NewLibpaxosAcceptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Second)
+	c.Stop()
+	sim.RunFor(500 * time.Millisecond)
+
+	if d.Learner.DecidedCount() <= before {
+		t.Fatal("no progress after reconfiguration")
+	}
+	if gaps := d.Learner.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps after reconfiguration: %v", gaps)
+	}
+	// The replacement carries the transferred history and votes on new
+	// instances under the same acceptor ID.
+	if replacement.LastVoted() <= uint64(before) {
+		t.Errorf("replacement lastVoted = %d, want beyond transferred %d", replacement.LastVoted(), before)
+	}
+	if replacement.Counters.Get("voted") == 0 {
+		t.Error("replacement never voted")
+	}
+	// Old history intact on the replacement.
+	if v, ok := replacement.AcceptedValue(1); !ok || len(v) == 0 {
+		t.Error("transferred history missing on replacement")
+	}
+}
+
+func TestReplaceAcceptorDuringLeaderShift(t *testing.T) {
+	sim, d := deploy(t, 43, Config{})
+	c := d.Clients[0]
+	c.Start(5)
+	sim.RunFor(300 * time.Millisecond)
+	if _, err := d.ReplaceAcceptor(0, NewP4xosRuntime("acceptor")); err != nil {
+		t.Fatal(err)
+	}
+	d.ShiftLeader(d.HWLeader)
+	sim.RunFor(2 * time.Second)
+	c.Stop()
+	sim.RunFor(500 * time.Millisecond)
+	if gaps := d.Learner.Gaps(); len(gaps) != 0 {
+		t.Errorf("gaps after reconfig+shift: %v", gaps)
+	}
+	if d.Learner.DecidedCount() == 0 {
+		t.Fatal("nothing decided")
+	}
+	// The replacement acceptor votes to the hardware leader now.
+	if d.HWLeader.Counters.Get("fast_forward") == 0 {
+		t.Error("piggyback learning should still work with the replaced acceptor")
+	}
+}
+
+func TestReplaceAcceptorErrors(t *testing.T) {
+	_, d := deploy(t, 44, Config{})
+	if _, err := d.ReplaceAcceptor(-1, NewLibpaxosAcceptor()); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := d.ReplaceAcceptor(99, NewLibpaxosAcceptor()); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+func TestDetachedAcceptorStopsVoting(t *testing.T) {
+	sim, d := deploy(t, 45, Config{})
+	old := d.Acceptors[2]
+	if _, err := d.ReplaceAcceptor(2, NewLibpaxosAcceptor()); err != nil {
+		t.Fatal(err)
+	}
+	votesBefore := old.Counters.Get("voted")
+	d.Clients[0].Submit([]byte("after"))
+	sim.RunFor(50 * time.Millisecond)
+	if old.Counters.Get("voted") != votesBefore {
+		t.Error("detached acceptor still receiving proposals")
+	}
+	if _, ok := d.Learner.Decided(1); !ok {
+		t.Error("quorum should still decide with the replacement")
+	}
+	_ = simnet.Addr("")
+}

@@ -1,0 +1,301 @@
+// Package scenario runs user-defined what-if simulations: a JSON scenario
+// picks an application (kvs/dns/paxos), an on-demand controller
+// (host/network/none), an idle strategy and an offered-load profile; the
+// runner executes it in virtual time and emits a timeline (throughput,
+// latency, power, placement) plus the controller's transition log. It is
+// the front door for exploring the paper's design space beyond the
+// figures the harness reproduces.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/dns"
+	"incod/internal/kvs"
+	"incod/internal/paxos"
+	"incod/internal/power"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+	"incod/internal/trafficgen"
+)
+
+// Scenario is the JSON input.
+type Scenario struct {
+	// App: "kvs", "dns" or "paxos".
+	App string `json:"app"`
+	// Controller: "network" (rate thresholds), "host" (power+CPU), or
+	// "none" (static placement per Start).
+	Controller string `json:"controller"`
+	// Start placement: "host" (default) or "network".
+	Start string `json:"start"`
+	// CrossoverKpps seeds the controller thresholds (defaults per app).
+	CrossoverKpps float64 `json:"crossover_kpps"`
+	// Strategy (kvs only): "park-reset", "keep-warm", "partial-reconfig".
+	Strategy string `json:"strategy"`
+	// Seed for the deterministic simulator. Default 1.
+	Seed int64 `json:"seed"`
+	// SampleMs is the timeline sampling period. Default 500.
+	SampleMs int `json:"sample_ms"`
+	// Profile is the offered-load schedule.
+	Profile []Segment `json:"profile"`
+	// Keys is the KVS/DNS key-space size. Default 1000.
+	Keys int `json:"keys"`
+}
+
+// Segment is one profile step.
+type Segment struct {
+	DurationS float64 `json:"duration_s"`
+	Kpps      float64 `json:"kpps"`
+}
+
+// Sample is one timeline row.
+type Sample struct {
+	TMs       float64 `json:"t_ms"`
+	Offered   float64 `json:"offered_kpps"`
+	Served    float64 `json:"served_kpps"`
+	P50Us     float64 `json:"p50_us"`
+	PowerW    float64 `json:"power_w"`
+	Placement string  `json:"placement"`
+}
+
+// Result is the runner's output.
+type Result struct {
+	Samples     []Sample `json:"samples"`
+	Transitions []string `json:"transitions"`
+	TotalKWh    float64  `json:"total_kwh"`
+	ServedFrac  float64  `json:"served_frac"`
+}
+
+// Parse decodes and validates a JSON scenario.
+func Parse(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return s, s.validate()
+}
+
+func (s *Scenario) validate() error {
+	switch s.App {
+	case "kvs", "dns", "paxos":
+	default:
+		return fmt.Errorf("scenario: app must be kvs, dns or paxos (got %q)", s.App)
+	}
+	switch s.Controller {
+	case "", "none", "network", "host":
+	default:
+		return fmt.Errorf("scenario: controller must be network, host or none (got %q)", s.Controller)
+	}
+	switch s.Strategy {
+	case "", "park-reset", "keep-warm", "partial-reconfig":
+	default:
+		return fmt.Errorf("scenario: unknown strategy %q", s.Strategy)
+	}
+	if len(s.Profile) == 0 {
+		return fmt.Errorf("scenario: empty load profile")
+	}
+	for i, seg := range s.Profile {
+		if seg.DurationS <= 0 || seg.Kpps < 0 {
+			return fmt.Errorf("scenario: profile[%d] invalid", i)
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.SampleMs <= 0 {
+		s.SampleMs = 500
+	}
+	if s.Keys <= 0 {
+		s.Keys = 1000
+	}
+	if s.CrossoverKpps <= 0 {
+		switch s.App {
+		case "kvs":
+			s.CrossoverKpps = 80
+		default:
+			s.CrossoverKpps = 150
+		}
+	}
+	return nil
+}
+
+// rig abstracts the per-app wiring the runner needs.
+type rig struct {
+	svc      core.Service
+	power    telemetry.PowerSource
+	rateKpps func() float64 // device-observed application rate
+	hostTele func() (watts, cpu float64)
+	setRate  func(kpps float64)
+	served   func() uint64
+	p50      func() time.Duration // and resets
+}
+
+// Run executes the scenario.
+func Run(s Scenario) (*Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	sim := simnet.New(s.Seed)
+	net := simnet.NewNetwork(sim, simnet.TenGigE)
+	r, err := buildRig(s, sim, net)
+	if err != nil {
+		return nil, err
+	}
+	if s.Start == "network" {
+		r.svc.Shift(core.Network)
+	} else if s.App != "paxos" { // kvs/dns rigs start active; park them
+		r.svc.Shift(core.Host)
+	}
+
+	res := &Result{}
+	var ctlTransitions *[]core.Transition
+	switch s.Controller {
+	case "network":
+		ctl := core.NewNetworkController(sim, r.svc, r.rateKpps, core.DefaultNetworkConfig(s.CrossoverKpps))
+		ctl.Start()
+		ctlTransitions = &ctl.Transitions
+	case "host":
+		cfg := core.DefaultHostConfig(power.MemcachedMellanox.Power(s.CrossoverKpps), s.CrossoverKpps*0.7)
+		ctl := core.NewHostController(sim, r.svc,
+			func() float64 { w, _ := r.hostTele(); return w },
+			func() float64 { _, c := r.hostTele(); return c },
+			r.rateKpps, cfg)
+		ctl.Start()
+		ctlTransitions = &ctl.Transitions
+	}
+
+	// Schedule the load profile.
+	profile := make(trafficgen.Profile, len(s.Profile))
+	for i, seg := range s.Profile {
+		profile[i] = trafficgen.Segment{
+			Duration: time.Duration(seg.DurationS * float64(time.Second)),
+			Kpps:     seg.Kpps,
+		}
+	}
+	profile.Apply(sim, r.setRate)
+
+	meter := telemetry.NewPowerMeter(sim, r.power, 10*time.Millisecond, false)
+	interval := time.Duration(s.SampleMs) * time.Millisecond
+	total := profile.Total()
+	var lastServed uint64
+	var offeredTotal float64
+	for t := time.Duration(0); t < total; t += interval {
+		sim.RunFor(interval)
+		served := r.served()
+		offered := profile.RateAt(t)
+		offeredTotal += offered * 1000 * interval.Seconds()
+		res.Samples = append(res.Samples, Sample{
+			TMs:       sim.Now().Seconds() * 1000,
+			Offered:   offered,
+			Served:    float64(served-lastServed) / interval.Seconds() / 1000,
+			P50Us:     float64(r.p50()) / 1000,
+			PowerW:    r.power.PowerWatts(sim.Now()),
+			Placement: r.svc.Placement().String(),
+		})
+		lastServed = served
+	}
+	r.setRate(0)
+	sim.RunFor(200 * time.Millisecond)
+
+	res.TotalKWh = meter.Joules() / 3.6e6
+	if offeredTotal > 0 {
+		res.ServedFrac = float64(r.served()) / offeredTotal
+	}
+	if ctlTransitions != nil {
+		for _, tr := range *ctlTransitions {
+			res.Transitions = append(res.Transitions, tr.String())
+		}
+	}
+	return res, nil
+}
+
+func buildRig(s Scenario, sim *simnet.Simulator, net *simnet.Network) (*rig, error) {
+	switch s.App {
+	case "kvs":
+		backend := kvs.NewSoftServer(net, "host", power.MemcachedMellanox)
+		lake := kvs.NewLaKe(net, "lake", backend)
+		switch s.Strategy {
+		case "keep-warm":
+			lake.Strategy = kvs.KeepWarm
+		case "partial-reconfig":
+			lake.Strategy = kvs.PartialReconfig
+		}
+		client := kvs.NewClient(net, "client", "lake")
+		etc := trafficgen.NewETC(sim.Rand(), uint64(s.Keys))
+		for i := 0; i < s.Keys; i++ {
+			backend.Store().Set(fmt.Sprintf("key-%d", i), kvs.Entry{Value: make([]byte, 64)})
+		}
+		client.KeyFunc = etc.Keys.Next
+		return &rig{
+			svc:      core.NewKVSService(lake),
+			power:    telemetry.SumPower{backend, lake},
+			rateKpps: lake.RateKpps,
+			hostTele: func() (float64, float64) { return backend.PowerWatts(sim.Now()), backend.Utilization() },
+			setRate:  func(kpps float64) { client.Stop(); client.Start(kpps) },
+			served:   func() uint64 { return client.Counters.Get("recv") },
+			p50: func() time.Duration {
+				d := client.Latency.Median()
+				client.Latency.Reset()
+				return d
+			},
+		}, nil
+	case "dns":
+		zone := dns.NewZone()
+		zone.PopulateSequential(s.Keys)
+		backend := dns.NewSoftServer(net, "host", zone)
+		emu := dns.NewEmuDNS(net, "emu", backend)
+		client := dns.NewClient(net, "client", "emu")
+		keys := trafficgen.NewZipfKeys(sim.Rand(), uint64(s.Keys), 1.1)
+		client.NameFunc = func() string { return dns.SequentialName(int(keys.NextIndex())) }
+		return &rig{
+			svc:      core.NewDNSService(emu),
+			power:    telemetry.SumPower{backend, emu},
+			rateKpps: emu.RateKpps,
+			hostTele: func() (float64, float64) { return backend.PowerWatts(sim.Now()), backend.Utilization() },
+			setRate:  func(kpps float64) { client.Stop(); client.Start(kpps) },
+			served:   func() uint64 { return client.Counters.Get("recv") },
+			p50: func() time.Duration {
+				d := client.Latency.Median()
+				client.Latency.Reset()
+				return d
+			},
+		}, nil
+	case "paxos":
+		dep := paxos.NewDeployment(net, paxos.Config{})
+		c := dep.Clients[0]
+		return &rig{
+			svc:      core.NewPaxosService(dep),
+			power:    dep.PowerSource(),
+			rateKpps: func() float64 { return dep.CurrentLeader().RateKpps() },
+			hostTele: func() (float64, float64) {
+				w := dep.SWLeader.PowerWatts(sim.Now())
+				return w, dep.SWLeader.RateKpps() / 170
+			},
+			setRate: func(kpps float64) { c.Stop(); c.Start(kpps) },
+			served:  func() uint64 { return c.Counters.Get("decided") },
+			p50: func() time.Duration {
+				d := c.Latency.Median()
+				c.Latency.Reset()
+				return d
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown app %q", s.App)
+}
+
+// CSV renders the result timeline.
+func (r *Result) CSV() string {
+	out := "t_ms,offered_kpps,served_kpps,p50_us,power_w,placement\n"
+	for _, s := range r.Samples {
+		out += fmt.Sprintf("%.0f,%.3g,%.3g,%.3g,%.4g,%s\n",
+			s.TMs, s.Offered, s.Served, s.P50Us, s.PowerW, s.Placement)
+	}
+	for _, tr := range r.Transitions {
+		out += fmt.Sprintf("# transition: %s\n", tr)
+	}
+	out += fmt.Sprintf("# total %.4g kWh, served %.1f%% of offered\n", r.TotalKWh, r.ServedFrac*100)
+	return out
+}

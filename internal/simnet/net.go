@@ -1,0 +1,222 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Addr identifies a node on the simulated network. Addresses are free-form
+// strings ("server0", "lake-nic", "tor-switch").
+type Addr string
+
+// Packet is a datagram traversing the simulated network. All three case
+// studies in the paper are UDP based (§3.4), so a datagram service is the
+// only transport the simulator provides.
+type Packet struct {
+	Src, Dst Addr
+	// SrcPort and DstPort are UDP ports; packet classifiers (LaKe's and
+	// Emu DNS's) dispatch on DstPort.
+	SrcPort, DstPort uint16
+	Payload          []byte
+	// Wire is the on-the-wire size in bytes used for serialization delay.
+	// If zero, len(Payload) plus a fixed UDP/IP/Ethernet overhead is used.
+	Wire int
+	// SentAt is stamped by the network when the packet enters a link.
+	SentAt Time
+}
+
+// WireSize returns the byte count used for serialization-delay accounting.
+func (p *Packet) WireSize() int {
+	if p.Wire > 0 {
+		return p.Wire
+	}
+	// 42 bytes of Ethernet+IPv4+UDP headers, the common case for the
+	// paper's workloads.
+	return len(p.Payload) + 42
+}
+
+// Node is anything that can receive packets from the network.
+type Node interface {
+	// Addr returns the node's network address.
+	Addr() Addr
+	// Receive handles a packet delivered to this node. It runs inside the
+	// simulation loop; implementations may schedule further events.
+	Receive(pkt *Packet)
+}
+
+// LinkConfig describes a unidirectional link.
+type LinkConfig struct {
+	// Bandwidth in bits per second. Zero means infinite (no serialization
+	// delay). The paper's front-panel interfaces are 10GE.
+	Bandwidth float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueLimit bounds the number of packets in flight on the link
+	// (drop-tail). Zero means unbounded.
+	QueueLimit int
+	// LossRate drops this fraction of packets at random (failure
+	// injection for protocol robustness tests).
+	LossRate float64
+}
+
+// WithLoss returns a copy of the config with the given loss rate.
+func (c LinkConfig) WithLoss(rate float64) LinkConfig {
+	c.LossRate = rate
+	return c
+}
+
+// TenGigE is the link configuration of the NetFPGA SUME front-panel ports.
+var TenGigE = LinkConfig{Bandwidth: 10e9, Delay: 500 * time.Nanosecond, QueueLimit: 4096}
+
+// FortyGigE matches the paper's Tofino snake configuration ports.
+var FortyGigE = LinkConfig{Bandwidth: 40e9, Delay: 500 * time.Nanosecond, QueueLimit: 4096}
+
+// link is the runtime state of a unidirectional link.
+type link struct {
+	cfg LinkConfig
+	// busyUntil is when the transmitter finishes the current packet.
+	busyUntil Time
+	inFlight  int
+	drops     uint64
+	delivered uint64
+	bytes     uint64
+}
+
+// LinkStats is a snapshot of one direction of a link.
+type LinkStats struct {
+	Delivered uint64
+	Drops     uint64
+	Bytes     uint64
+}
+
+// Network connects nodes with point-to-point links and delivers packets
+// with serialization + propagation delay.
+type Network struct {
+	sim   *Simulator
+	nodes map[Addr]Node
+	links map[[2]Addr]*link
+	// Default link used between nodes with no explicit link.
+	defaultLink LinkConfig
+	dropped     uint64
+	unroutable  uint64
+}
+
+// NewNetwork returns an empty network attached to sim. Packets between
+// nodes without an explicit link use def.
+func NewNetwork(sim *Simulator, def LinkConfig) *Network {
+	return &Network{
+		sim:         sim,
+		nodes:       make(map[Addr]Node),
+		links:       make(map[[2]Addr]*link),
+		defaultLink: def,
+	}
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// Attach registers a node. Attaching two nodes with the same address is a
+// programming error and panics.
+func (n *Network) Attach(node Node) {
+	if _, dup := n.nodes[node.Addr()]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node address %q", node.Addr()))
+	}
+	n.nodes[node.Addr()] = node
+}
+
+// Detach removes the node with the given address, if present.
+func (n *Network) Detach(addr Addr) { delete(n.nodes, addr) }
+
+// Node returns the attached node with the given address, or nil.
+func (n *Network) Node(addr Addr) Node { return n.nodes[addr] }
+
+// Connect installs a bidirectional link between a and b with cfg in both
+// directions, replacing any existing link.
+func (n *Network) Connect(a, b Addr, cfg LinkConfig) {
+	n.links[[2]Addr{a, b}] = &link{cfg: cfg}
+	n.links[[2]Addr{b, a}] = &link{cfg: cfg}
+}
+
+func (n *Network) linkFor(src, dst Addr) *link {
+	if l, ok := n.links[[2]Addr{src, dst}]; ok {
+		return l
+	}
+	l := &link{cfg: n.defaultLink}
+	n.links[[2]Addr{src, dst}] = l
+	return l
+}
+
+// Send transmits pkt from pkt.Src to pkt.Dst. Delivery happens after the
+// link's serialization and propagation delay; packets beyond the link's
+// queue limit are dropped. Send reports whether the packet was accepted
+// onto the link.
+func (n *Network) Send(pkt *Packet) bool {
+	l := n.linkFor(pkt.Src, pkt.Dst)
+	if l.cfg.QueueLimit > 0 && l.inFlight >= l.cfg.QueueLimit {
+		l.drops++
+		n.dropped++
+		return false
+	}
+	if l.cfg.LossRate > 0 && n.sim.Rand().Float64() < l.cfg.LossRate {
+		l.drops++
+		n.dropped++
+		return false
+	}
+	now := n.sim.Now()
+	pkt.SentAt = now
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	var ser time.Duration
+	if l.cfg.Bandwidth > 0 {
+		bits := float64(pkt.WireSize()) * 8
+		ser = time.Duration(bits / l.cfg.Bandwidth * float64(time.Second))
+	}
+	l.busyUntil = start.Add(ser)
+	deliver := l.busyUntil.Add(l.cfg.Delay)
+	l.inFlight++
+	n.sim.ScheduleAt(deliver, func() {
+		l.inFlight--
+		l.delivered++
+		l.bytes += uint64(pkt.WireSize())
+		node, ok := n.nodes[pkt.Dst]
+		if !ok {
+			n.unroutable++
+			return
+		}
+		node.Receive(pkt)
+	})
+	return true
+}
+
+// Stats returns a snapshot of the src->dst link.
+func (n *Network) Stats(src, dst Addr) LinkStats {
+	l, ok := n.links[[2]Addr{src, dst}]
+	if !ok {
+		return LinkStats{}
+	}
+	return LinkStats{Delivered: l.delivered, Drops: l.drops, Bytes: l.bytes}
+}
+
+// Dropped reports the total packets dropped at link queues.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Unroutable reports packets delivered to addresses with no attached node.
+func (n *Network) Unroutable() uint64 { return n.unroutable }
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc struct {
+	Address Addr
+	Handler func(pkt *Packet)
+}
+
+// Addr implements Node.
+func (f *NodeFunc) Addr() Addr { return f.Address }
+
+// Receive implements Node.
+func (f *NodeFunc) Receive(pkt *Packet) {
+	if f.Handler != nil {
+		f.Handler(pkt)
+	}
+}

@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelivery(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s, LinkConfig{Delay: time.Microsecond})
+	var got *Packet
+	var at Time
+	n.Attach(&NodeFunc{Address: "b", Handler: func(p *Packet) { got, at = p, s.Now() }})
+	n.Attach(&NodeFunc{Address: "a"})
+	ok := n.Send(&Packet{Src: "a", Dst: "b", Payload: []byte("hi")})
+	if !ok {
+		t.Fatal("Send rejected packet on empty link")
+	}
+	s.Run()
+	if got == nil || string(got.Payload) != "hi" {
+		t.Fatalf("packet not delivered: %+v", got)
+	}
+	if at != Time(time.Microsecond) {
+		t.Errorf("delivered at %v, want 1µs (propagation only, infinite bandwidth)", at)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	s := New(1)
+	// 1 Gbps link: a 1250-byte wire packet takes 10µs to serialize.
+	n := NewNetwork(s, LinkConfig{Bandwidth: 1e9})
+	var at Time
+	n.Attach(&NodeFunc{Address: "b", Handler: func(p *Packet) { at = s.Now() }})
+	n.Send(&Packet{Src: "a", Dst: "b", Wire: 1250})
+	s.Run()
+	if at != Time(10*time.Microsecond) {
+		t.Errorf("delivered at %v, want 10µs", at)
+	}
+}
+
+func TestBackToBackPacketsQueueOnLink(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s, LinkConfig{Bandwidth: 1e9})
+	var times []Time
+	n.Attach(&NodeFunc{Address: "b", Handler: func(p *Packet) { times = append(times, s.Now()) }})
+	// Two packets sent at t=0 must serialize one after the other.
+	n.Send(&Packet{Src: "a", Dst: "b", Wire: 1250})
+	n.Send(&Packet{Src: "a", Dst: "b", Wire: 1250})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(times))
+	}
+	if times[0] != Time(10*time.Microsecond) || times[1] != Time(20*time.Microsecond) {
+		t.Errorf("delivery times %v, want [10µs 20µs]", times)
+	}
+}
+
+func TestQueueLimitDrops(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s, LinkConfig{Bandwidth: 1e6, QueueLimit: 2})
+	n.Attach(&NodeFunc{Address: "b"})
+	sent := 0
+	for i := 0; i < 5; i++ {
+		if n.Send(&Packet{Src: "a", Dst: "b", Wire: 1000}) {
+			sent++
+		}
+	}
+	if sent != 2 {
+		t.Errorf("accepted %d packets, want 2 (queue limit)", sent)
+	}
+	if n.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", n.Dropped())
+	}
+	s.Run()
+	st := n.Stats("a", "b")
+	if st.Delivered != 2 || st.Drops != 3 {
+		t.Errorf("link stats = %+v, want 2 delivered, 3 drops", st)
+	}
+}
+
+func TestUnroutable(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s, LinkConfig{})
+	n.Send(&Packet{Src: "a", Dst: "ghost"})
+	s.Run()
+	if n.Unroutable() != 1 {
+		t.Errorf("Unroutable() = %d, want 1", n.Unroutable())
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate address")
+		}
+	}()
+	s := New(1)
+	n := NewNetwork(s, LinkConfig{})
+	n.Attach(&NodeFunc{Address: "x"})
+	n.Attach(&NodeFunc{Address: "x"})
+}
+
+func TestDetach(t *testing.T) {
+	s := New(1)
+	n := NewNetwork(s, LinkConfig{})
+	n.Attach(&NodeFunc{Address: "x"})
+	if n.Node("x") == nil {
+		t.Fatal("node not attached")
+	}
+	n.Detach("x")
+	if n.Node("x") != nil {
+		t.Error("node still attached after Detach")
+	}
+}
+
+func TestWireSizeDefault(t *testing.T) {
+	p := &Packet{Payload: make([]byte, 100)}
+	if p.WireSize() != 142 {
+		t.Errorf("WireSize() = %d, want 142 (payload+headers)", p.WireSize())
+	}
+	p.Wire = 64
+	if p.WireSize() != 64 {
+		t.Errorf("explicit WireSize() = %d, want 64", p.WireSize())
+	}
+}

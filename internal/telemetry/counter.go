@@ -1,0 +1,49 @@
+package telemetry
+
+import "fmt"
+
+// Counters is a small named-counter set used by application models for the
+// statistics the paper reports (hits, misses, forwarded queries, drops).
+// It is not safe for concurrent use; the simulator is single-threaded.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Inc adds n to the named counter, creating it on first use.
+func (c *Counters) Inc(name string, n uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += n
+}
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Names returns counter names in first-use order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Reset zeroes every counter but keeps the name set.
+func (c *Counters) Reset() {
+	for k := range c.values {
+		c.values[k] = 0
+	}
+}
+
+// String renders "name=value" pairs in first-use order.
+func (c *Counters) String() string {
+	s := ""
+	for i, n := range c.names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", n, c.values[n])
+	}
+	return s
+}

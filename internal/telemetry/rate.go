@@ -1,0 +1,87 @@
+// Package telemetry provides the measurement instruments used throughout
+// the reproduction: sliding-window rate meters (the averaging window of the
+// paper's network controller, §9.1), latency histograms with percentile
+// queries (replacing the Endace DAG capture card), and integrating power
+// meters (replacing the SHW-3A wall meter).
+package telemetry
+
+import (
+	"time"
+
+	"incod/internal/simnet"
+)
+
+// RateMeter estimates an event rate over a sliding window of fixed-size
+// buckets. It is the data structure behind the network controller's
+// "average message rate over the averaging period" parameter.
+type RateMeter struct {
+	bucket  time.Duration
+	buckets []uint64
+	counts  []uint64
+	// start of the bucket at index head.
+	headStart simnet.Time
+	head      int
+	total     uint64
+}
+
+// NewRateMeter returns a meter averaging over n buckets of width bucket.
+// The window length is n*bucket.
+func NewRateMeter(bucket time.Duration, n int) *RateMeter {
+	if n < 1 {
+		n = 1
+	}
+	if bucket <= 0 {
+		bucket = time.Millisecond
+	}
+	return &RateMeter{bucket: bucket, buckets: make([]uint64, n), counts: make([]uint64, n)}
+}
+
+// Window returns the averaging period.
+func (m *RateMeter) Window() time.Duration { return m.bucket * time.Duration(len(m.buckets)) }
+
+// advance rotates the window so that the bucket containing now is current.
+func (m *RateMeter) advance(now simnet.Time) {
+	for now >= m.headStart.Add(m.bucket) {
+		m.head = (m.head + 1) % len(m.buckets)
+		m.buckets[m.head] = 0
+		m.headStart = m.headStart.Add(m.bucket)
+		// If the meter was idle far longer than the window, fast-forward.
+		if now.Sub(m.headStart) > m.Window()*2 {
+			gap := now.Sub(m.headStart)
+			skip := gap / m.bucket
+			m.headStart = m.headStart.Add(skip / time.Duration(len(m.buckets)) * m.Window())
+			for i := range m.buckets {
+				m.buckets[i] = 0
+			}
+		}
+	}
+}
+
+// Add records n events at virtual time now.
+func (m *RateMeter) Add(now simnet.Time, n uint64) {
+	m.advance(now)
+	m.buckets[m.head] += n
+	m.total += n
+}
+
+// Rate returns the average events/second over the window ending at now.
+func (m *RateMeter) Rate(now simnet.Time) float64 {
+	m.advance(now)
+	var sum uint64
+	for _, b := range m.buckets {
+		sum += b
+	}
+	return float64(sum) / m.Window().Seconds()
+}
+
+// Total returns the lifetime event count.
+func (m *RateMeter) Total() uint64 { return m.total }
+
+// Reset clears the window and restarts it at now.
+func (m *RateMeter) Reset(now simnet.Time) {
+	for i := range m.buckets {
+		m.buckets[i] = 0
+	}
+	m.head = 0
+	m.headStart = now
+}

@@ -1,0 +1,163 @@
+// Package trafficgen provides the workload generators the experiments
+// drive clients with: Zipf key popularity and the Facebook "ETC" workload
+// shape (§9.2 replaces OSNT with "a mutilate based memcached client, using
+// the Facebook ETC arrival distribution"), plus piecewise rate profiles
+// for the timeline experiments.
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"incod/internal/simnet"
+)
+
+// KeySampler yields keys with a configured popularity distribution.
+type KeySampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    uint64
+}
+
+// NewZipfKeys samples from n keys with Zipf skew s (s > 1; the Facebook
+// ETC pool is highly skewed — Atikoglu et al. report a small fraction of
+// keys taking most accesses).
+func NewZipfKeys(rng *rand.Rand, n uint64, s float64) *KeySampler {
+	if n == 0 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	return &KeySampler{rng: rng, zipf: rand.NewZipf(rng, s, 1, n-1), n: n}
+}
+
+// Next returns the next key ("key-<i>").
+func (k *KeySampler) Next() string { return fmt.Sprintf("key-%d", k.zipf.Uint64()) }
+
+// NextIndex returns the next key index.
+func (k *KeySampler) NextIndex() uint64 { return k.zipf.Uint64() }
+
+// KeySpace returns the number of distinct keys.
+func (k *KeySampler) KeySpace() uint64 { return k.n }
+
+// ETC models the Facebook ETC workload statistics used in §5.3 and §9.2:
+// GET-dominated traffic over a large, skewed key pool with small values.
+type ETC struct {
+	Keys *KeySampler
+	rng  *rand.Rand
+	// GetFraction of operations are GETs (ETC is ~30:1 GET:SET).
+	GetFraction float64
+}
+
+// NewETC builds the workload over n keys.
+func NewETC(rng *rand.Rand, n uint64) *ETC {
+	return &ETC{Keys: NewZipfKeys(rng, n, 1.06), rng: rng, GetFraction: 1 - 1.0/30}
+}
+
+// IsGet draws the operation type.
+func (e *ETC) IsGet() bool { return e.rng.Float64() < e.GetFraction }
+
+// ValueSize draws a value size in bytes: ETC values are small (tens to a
+// few hundred bytes), matching LaKe's 64 B value-chunk sizing (§5.3).
+func (e *ETC) ValueSize() int {
+	// Log-normal-ish: mostly 16-300 B with a thin tail to 1 KiB.
+	v := int(e.rng.ExpFloat64() * 90)
+	if v < 16 {
+		v = 16
+	}
+	if v > 1024 {
+		v = 1024
+	}
+	return v
+}
+
+// UniqueKeyStats is the §5.3 citation of the ETC analysis: "the number of
+// unique keys requested every hour is in the order of 1e9-1e11, with the
+// percentage of unique keys requested ranging from 3% to 35%". These
+// bounds drive the §5.3 conclusion that KVS wants external memories.
+type UniqueKeyStats struct {
+	UniqueKeysPerHourLow  float64
+	UniqueKeysPerHourHigh float64
+	UniqueFractionLow     float64
+	UniqueFractionHigh    float64
+}
+
+// ETCUniqueKeys returns the published bounds.
+func ETCUniqueKeys() UniqueKeyStats {
+	return UniqueKeyStats{
+		UniqueKeysPerHourLow:  1e9,
+		UniqueKeysPerHourHigh: 1e11,
+		UniqueFractionLow:     0.03,
+		UniqueFractionHigh:    0.35,
+	}
+}
+
+// Segment is one piece of a rate profile.
+type Segment struct {
+	Duration time.Duration
+	Kpps     float64
+}
+
+// Profile is a piecewise-constant offered-load schedule.
+type Profile []Segment
+
+// Total returns the profile's duration.
+func (p Profile) Total() time.Duration {
+	var d time.Duration
+	for _, s := range p {
+		d += s.Duration
+	}
+	return d
+}
+
+// RateAt returns the offered rate at time t into the profile (0 after the
+// end).
+func (p Profile) RateAt(t time.Duration) float64 {
+	for _, s := range p {
+		if t < s.Duration {
+			return s.Kpps
+		}
+		t -= s.Duration
+	}
+	return 0
+}
+
+// Apply schedules setRate calls on the simulator for each segment
+// boundary, starting now. It returns the end time.
+func (p Profile) Apply(sim *simnet.Simulator, setRate func(kpps float64)) simnet.Time {
+	at := time.Duration(0)
+	for _, seg := range p {
+		s := seg
+		sim.Schedule(at, func() { setRate(s.Kpps) })
+		at += s.Duration
+	}
+	end := sim.Now().Add(at)
+	sim.Schedule(at, func() { setRate(0) })
+	return end
+}
+
+// StepUpDown is the Figure 6-style profile: low, then a sustained high
+// plateau, then low again.
+func StepUpDown(low, high float64, lowD, highD time.Duration) Profile {
+	return Profile{
+		{Duration: lowD, Kpps: low},
+		{Duration: highD, Kpps: high},
+		{Duration: lowD, Kpps: low},
+	}
+}
+
+// Ramp builds an n-step staircase from 0 to peak, each step holding d —
+// the §4 measurement sweep ("starting with an idle system, and then
+// gradually increasing the query rate").
+func Ramp(peak float64, n int, d time.Duration) Profile {
+	if n < 1 {
+		n = 1
+	}
+	p := make(Profile, n)
+	for i := range p {
+		p[i] = Segment{Duration: d, Kpps: peak * float64(i+1) / float64(n)}
+	}
+	return p
+}

@@ -1,0 +1,120 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"incod/internal/simnet"
+)
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := NewZipfKeys(rng, 10000, 1.1)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[k.NextIndex()]++
+	}
+	// The hottest key should take a disproportionate share.
+	if counts[0] < 100000/100 {
+		t.Errorf("hottest key got %d of 100000, want heavy skew", counts[0])
+	}
+	if k.KeySpace() != 10000 {
+		t.Errorf("KeySpace = %d", k.KeySpace())
+	}
+	if k.Next() == "" {
+		t.Error("Next() returned empty key")
+	}
+}
+
+func TestZipfDegenerateParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := NewZipfKeys(rng, 0, 0.5) // clamped to n=1, s>1
+	for i := 0; i < 10; i++ {
+		if k.NextIndex() != 0 {
+			t.Fatal("single-key sampler must return key 0")
+		}
+	}
+}
+
+func TestETCShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	etc := NewETC(rng, 1_000_000)
+	gets := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if etc.IsGet() {
+			gets++
+		}
+	}
+	frac := float64(gets) / n
+	// ~30:1 GET:SET.
+	if frac < 0.94 || frac > 0.99 {
+		t.Errorf("GET fraction = %v, want ~0.967", frac)
+	}
+	for i := 0; i < 1000; i++ {
+		v := etc.ValueSize()
+		if v < 16 || v > 1024 {
+			t.Fatalf("value size %d out of [16, 1024]", v)
+		}
+	}
+}
+
+func TestETCUniqueKeysBounds(t *testing.T) {
+	s := ETCUniqueKeys()
+	if s.UniqueKeysPerHourLow != 1e9 || s.UniqueKeysPerHourHigh != 1e11 {
+		t.Error("unique keys/hour bounds wrong")
+	}
+	if s.UniqueFractionLow != 0.03 || s.UniqueFractionHigh != 0.35 {
+		t.Error("unique fraction bounds wrong")
+	}
+}
+
+func TestProfileRateAt(t *testing.T) {
+	p := StepUpDown(2, 16, time.Second, 3*time.Second)
+	if p.Total() != 5*time.Second {
+		t.Errorf("Total = %v", p.Total())
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 2}, {500 * time.Millisecond, 2}, {time.Second, 16},
+		{3 * time.Second, 16}, {4500 * time.Millisecond, 2}, {6 * time.Second, 0},
+	}
+	for _, tc := range cases {
+		if got := p.RateAt(tc.at); got != tc.want {
+			t.Errorf("RateAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestProfileApply(t *testing.T) {
+	sim := simnet.New(1)
+	var rates []float64
+	p := Profile{{Duration: time.Second, Kpps: 5}, {Duration: time.Second, Kpps: 10}}
+	end := p.Apply(sim, func(k float64) { rates = append(rates, k) })
+	sim.Run()
+	want := []float64{5, 10, 0}
+	if len(rates) != len(want) {
+		t.Fatalf("rates = %v, want %v", rates, want)
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+	if end != simnet.Time(2*time.Second) {
+		t.Errorf("end = %v, want 2s", end)
+	}
+}
+
+func TestRamp(t *testing.T) {
+	p := Ramp(100, 4, time.Second)
+	if len(p) != 4 || p[0].Kpps != 25 || p[3].Kpps != 100 {
+		t.Errorf("Ramp = %v", p)
+	}
+	if p := Ramp(100, 0, time.Second); len(p) != 1 {
+		t.Error("Ramp should clamp to at least one step")
+	}
+}
