@@ -1,6 +1,6 @@
 // Command incdnsd is a runnable authoritative DNS UDP server (A records
 // only, like Emu DNS) built from the repository's wire codec and zone,
-// with the on-demand advisor attached.
+// with the on-demand orchestrator attached.
 //
 // Zone files are simple "name ipv4 [ttl]" lines:
 //
@@ -8,8 +8,9 @@
 //
 // Try it:
 //
-//	incdnsd -addr :5353 -zone zone.txt &
+//	incdnsd -addr :5353 -zone zone.txt -ctrl :8081 &
 //	dig @localhost -p 5353 host0.example.com A
+//	curl localhost:8081/v1/services/dns
 package main
 
 import (
@@ -21,15 +22,20 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"incod/internal/core"
 	"incod/internal/daemon"
 	"incod/internal/dns"
+	"incod/internal/power"
 )
 
 func main() {
 	addr := flag.String("addr", ":5353", "UDP listen address")
 	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
 	crossKpps := flag.Float64("crossover", 150, "advisory software/hardware crossover (kpps)")
+	policy := flag.String("policy", "threshold",
+		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8081); empty disables")
 	flag.Parse()
 
@@ -46,23 +52,38 @@ func main() {
 		log.Fatalf("incdnsd: %v", err)
 	}
 	defer conn.Close()
-	log.Printf("incdnsd: serving %d records on %s", zone.Len(), *addr)
+	log.Printf("incdnsd: serving %d records on %s (policy %s)", zone.Len(), *addr, *policy)
 
-	adv := daemon.New("incdnsd", *crossKpps)
-	defer adv.Close()
-	if *ctrl != "" {
-		adv.ServeCtrl(*ctrl)
-		log.Printf("incdnsd: control plane on http://%s/status", *ctrl)
+	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
+		Name: "dns", Policy: *policy, CrossKpps: *crossKpps,
+		Curve: power.NSDServer, CtrlAddr: *ctrl,
+	})
+	if err != nil {
+		log.Fatalf("incdnsd: %v", err)
 	}
+	defer orch.Close()
+	if ctrlSrv != nil {
+		log.Printf("incdnsd: control plane on http://%s/v1/services", ctrlSrv.Addr())
+	}
+
+	var closing atomic.Bool
+	daemon.OnShutdown("incdnsd", ctrlSrv, orch, func() {
+		closing.Store(true)
+		conn.Close()
+	})
 
 	buf := make([]byte, 4096)
 	for {
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
+			if closing.Load() {
+				log.Printf("incdnsd: shut down cleanly")
+				return
+			}
 			log.Printf("incdnsd: read: %v", err)
 			return
 		}
-		adv.Observe()
+		svc.Observe()
 		q, err := dns.Decode(buf[:n], 0)
 		if err != nil || q.Response {
 			continue

@@ -1,32 +1,39 @@
 // Command inckvsd is a runnable memcached-protocol UDP server built from
 // the same store and codec the simulator uses, with an embedded on-demand
-// advisor: it meters the live query rate and reports when the §9.1
-// network-controller policy would shift the service between host and
-// network (advisory, since this process has no FPGA attached).
+// orchestrator: it meters the live query rate, runs the selected §9.1
+// placement policy, and reports when the service would shift between host
+// and network (advisory, since this process has no FPGA attached).
 //
 // Try it:
 //
-//	inckvsd -addr :11211 &
+//	inckvsd -addr :11211 -ctrl :8080 -policy threshold &
 //	# framed clients (memcached UDP mode) and raw ASCII both work:
 //	printf 'set k 0 0 5\r\nhello\r\n' | socat - UDP:localhost:11211
 //	printf 'get k\r\n' | socat - UDP:localhost:11211
+//	curl localhost:8080/v1/services/kvs
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"strings"
+	"sync/atomic"
 	"time"
 
+	"incod/internal/core"
 	"incod/internal/daemon"
 	"incod/internal/kvs"
 	"incod/internal/memcache"
+	"incod/internal/power"
 	"incod/internal/simnet"
 )
 
 func main() {
 	addr := flag.String("addr", ":11211", "UDP listen address")
 	crossKpps := flag.Float64("crossover", 80, "advisory software/hardware crossover (kpps)")
+	policy := flag.String("policy", "threshold",
+		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8080); empty disables")
 	flag.Parse()
 
@@ -35,25 +42,43 @@ func main() {
 		log.Fatalf("inckvsd: %v", err)
 	}
 	defer conn.Close()
-	log.Printf("inckvsd: serving memcached UDP on %s (advisory crossover %.0f kpps)", *addr, *crossKpps)
+	log.Printf("inckvsd: serving memcached UDP on %s (policy %s, advisory crossover %.0f kpps)",
+		*addr, *policy, *crossKpps)
 
 	store := kvs.NewStore()
-	adv := daemon.New("inckvsd", *crossKpps)
-	defer adv.Close()
-	if *ctrl != "" {
-		adv.ServeCtrl(*ctrl)
-		log.Printf("inckvsd: control plane on http://%s/status", *ctrl)
+	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
+		Name: "kvs", Policy: *policy, CrossKpps: *crossKpps,
+		Curve: power.MemcachedMellanox, CtrlAddr: *ctrl,
+	})
+	if err != nil {
+		log.Fatalf("inckvsd: %v", err)
 	}
+	defer orch.Close()
+	if ctrlSrv != nil {
+		log.Printf("inckvsd: control plane on http://%s/v1/services", ctrlSrv.Addr())
+	}
+
+	// Graceful exit: a signal (or a control-plane serve failure) drains
+	// the HTTP server, stops the orchestrator and unblocks the read loop.
+	var closing atomic.Bool
+	daemon.OnShutdown("inckvsd", ctrlSrv, orch, func() {
+		closing.Store(true)
+		conn.Close()
+	})
 
 	start := time.Now()
 	buf := make([]byte, 64*1024)
 	for {
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
+			if closing.Load() {
+				log.Printf("inckvsd: shut down cleanly")
+				return
+			}
 			log.Printf("inckvsd: read: %v", err)
 			return
 		}
-		adv.Observe()
+		svc.Observe()
 		// The 8-byte UDP frame header is all-binary, so framing is
 		// ambiguous; prefer the framed interpretation, but fall back to
 		// raw ASCII so manual testing with socat/netcat works.

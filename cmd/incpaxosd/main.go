@@ -7,13 +7,14 @@
 //	incpaxosd -role acceptor -id 1 -addr :7001 -learners localhost:7100 &
 //	incpaxosd -role acceptor -id 2 -addr :7002 -learners localhost:7100 &
 //	incpaxosd -role learner  -addr :7100 -quorum 2 -leader localhost:7200 &
-//	incpaxosd -role leader   -addr :7200 -ballot 1 \
+//	incpaxosd -role leader   -addr :7200 -ballot 1 -ctrl :8082 \
 //	    -acceptors localhost:7000,localhost:7001,localhost:7002 &
 //	incpaxosd -role client   -leader localhost:7200 -rate 1000 -duration 5s
 //
 // Shifting leadership to a second leader process (higher -ballot) and
 // re-pointing clients at it reproduces the Figure 7 hand-off on real
-// sockets.
+// sockets. Every role serves the same /v1 control API as the other
+// daemons when -ctrl is set, metering its own message stream.
 package main
 
 import (
@@ -22,6 +23,10 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"incod/internal/core"
+	"incod/internal/daemon"
+	"incod/internal/power"
 )
 
 func main() {
@@ -36,17 +41,38 @@ func main() {
 	rate := flag.Float64("rate", 100, "client request rate (req/s)")
 	duration := flag.Duration("duration", 5*time.Second, "client run duration")
 	timeout := flag.Duration("timeout", 100*time.Millisecond, "client retry timeout (the §9.2 knob)")
+	crossKpps := flag.Float64("crossover", 150, "advisory software/hardware crossover (kpps)")
+	policy := flag.String("policy", "threshold",
+		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
+	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8082); empty disables")
 	flag.Parse()
 
+	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
+		Name: "paxos", Policy: *policy, CrossKpps: *crossKpps,
+		Curve: power.LibpaxosLeader, CtrlAddr: *ctrl,
+	})
+	if err != nil {
+		log.Fatalf("incpaxosd: %v", err)
+	}
+	defer orch.Close()
+	if ctrlSrv != nil {
+		log.Printf("incpaxosd: control plane on http://%s/v1/services", ctrlSrv.Addr())
+	}
+	// The long-running roles loop forever; exit gracefully on a signal or
+	// a control-plane serve failure.
+	daemon.OnShutdown("incpaxosd", ctrlSrv, orch, func() { os.Exit(0) })
+
+	obs := svc.Observe
 	switch *role {
 	case "acceptor":
-		runAcceptor(*addr, uint16(*id), splitAddrs(*learners))
+		runAcceptor(*addr, uint16(*id), splitAddrs(*learners), obs)
 	case "leader":
-		runLeader(*addr, uint32(*ballot), splitAddrs(*acceptors))
+		runLeader(*addr, uint32(*ballot), splitAddrs(*acceptors), obs)
 	case "learner":
-		runLearner(*addr, *quorum, *leader)
+		runLearner(*addr, *quorum, *leader, obs)
 	case "client":
-		runClient(*leader, *rate, *duration, *timeout)
+		runClient(*leader, *rate, *duration, *timeout, obs)
+		daemon.GracefulStop("incpaxosd", ctrlSrv, orch)
 	default:
 		log.Println("incpaxosd: -role must be acceptor, leader, learner or client")
 		flag.Usage()

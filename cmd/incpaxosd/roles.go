@@ -14,14 +14,17 @@ import (
 // node is shared UDP plumbing for the real-socket roles.
 type node struct {
 	conn net.PacketConn
+	// observe meters each decoded message into the on-demand
+	// orchestrator's rate counter.
+	observe func()
 }
 
-func listen(addr string) *node {
+func listen(addr string, observe func()) *node {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		log.Fatalf("incpaxosd: %v", err)
 	}
-	return &node{conn: conn}
+	return &node{conn: conn, observe: observe}
 }
 
 func (n *node) send(to string, m paxos.Msg) {
@@ -47,6 +50,9 @@ func (n *node) loop(handle func(m paxos.Msg, from net.Addr)) {
 		if err != nil {
 			continue
 		}
+		if n.observe != nil {
+			n.observe()
+		}
 		handle(m, from)
 	}
 }
@@ -60,8 +66,8 @@ type accState struct {
 	m        paxos.Msg
 }
 
-func runAcceptor(addr string, id uint16, learners []string) {
-	n := listen(addr)
+func runAcceptor(addr string, id uint16, learners []string, observe func()) {
+	n := listen(addr, observe)
 	log.Printf("incpaxosd: acceptor %d on %s, learners %v", id, n.conn.LocalAddr(), learners)
 	states := make(map[uint64]*accState)
 	var lastVoted uint64
@@ -121,8 +127,8 @@ func runAcceptor(addr string, id uint16, learners []string) {
 
 // --- leader ---------------------------------------------------------------
 
-func runLeader(addr string, ballot uint32, acceptors []string) {
-	n := listen(addr)
+func runLeader(addr string, ballot uint32, acceptors []string, observe func()) {
+	n := listen(addr, observe)
 	log.Printf("incpaxosd: leader on %s, ballot %d, acceptors %v (starting at sequence 1 per §9.2)",
 		n.conn.LocalAddr(), ballot, acceptors)
 	next := uint64(1)
@@ -154,8 +160,8 @@ func runLeader(addr string, ballot uint32, acceptors []string) {
 
 // --- learner --------------------------------------------------------------
 
-func runLearner(addr string, quorum int, leader string) {
-	n := listen(addr)
+func runLearner(addr string, quorum int, leader string, observe func()) {
+	n := listen(addr, observe)
 	log.Printf("incpaxosd: learner on %s, quorum %d", n.conn.LocalAddr(), quorum)
 	votes := make(map[uint64]map[uint16]paxos.Msg)
 	decided := make(map[uint64]bool)
@@ -223,11 +229,11 @@ func runLearner(addr string, quorum int, leader string) {
 
 // --- client ---------------------------------------------------------------
 
-func runClient(leader string, rate float64, duration, timeout time.Duration) {
+func runClient(leader string, rate float64, duration, timeout time.Duration, observe func()) {
 	if leader == "" {
 		log.Fatal("incpaxosd: client needs -leader")
 	}
-	n := listen(":0")
+	n := listen(":0", observe)
 	self := n.conn.LocalAddr().String()
 	log.Printf("incpaxosd: client on %s -> leader %s, %.0f req/s for %v", self, leader, rate, duration)
 

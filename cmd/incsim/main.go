@@ -6,8 +6,9 @@
 //	       "profile":[{"duration_s":2,"kpps":10},{"duration_s":5,"kpps":200}]}' | incsim
 //
 // See internal/scenario for the schema: application (kvs/dns/paxos),
-// controller (network/host/none), idle strategy, seed, and an offered-load
-// profile.
+// controller (network/host/none) or a named placement policy (threshold/
+// power/static-host/static-network — the same policy code the live
+// daemons run), idle strategy, seed, and an offered-load profile.
 package main
 
 import (

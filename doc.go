@@ -4,6 +4,16 @@
 // NetFPGA SUME and a Tofino-class ASIC) and the on-demand controllers that
 // shift those services between host software and network hardware.
 //
+// The control plane is organized around three abstractions in
+// internal/core: Service (a workload with a fallible Shift and a
+// TransitionCost hook for the §9.2 transition tasks), Policy (the §9.1
+// decision kernels — mirrored-threshold, power-aware, static pin — as
+// pluggable Observe(Sample) Decision rules), and Controller (drives a
+// Policy in simulated time). internal/daemon runs the same Policy code on
+// wall-clock request streams via a multi-service Orchestrator, exposed to
+// operators through the versioned /v1 HTTP control API served by every
+// daemon (see README.md).
+//
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory), runnable daemons under cmd/, and worked examples under
 // examples/. The benchmarks in this package regenerate every table and

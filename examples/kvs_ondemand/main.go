@@ -70,9 +70,10 @@ func main() {
 			if quietSince == 0 {
 				quietSince = sim.Now()
 			} else if sim.Now().Sub(quietSince) >= 3*time.Second {
-				svc.Shift(core.Host)
-				ctl.Transitions = append(ctl.Transitions, core.Transition{
-					At: sim.Now(), To: core.Host, Reason: "background workload stopped"})
+				if err := svc.Shift(core.Host); err == nil {
+					ctl.Transitions = append(ctl.Transitions, core.Transition{
+						At: sim.Now(), To: core.Host, Reason: "background workload stopped"})
+				}
 				quietSince = 0
 			}
 		} else {

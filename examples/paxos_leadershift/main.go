@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
+	"incod/internal/core"
 	"incod/internal/paxos"
 	"incod/internal/simnet"
 )
@@ -22,8 +24,21 @@ func main() {
 		c.RetryTimeout = 100 * time.Millisecond
 	}
 
-	sim.Schedule(1500*time.Millisecond, func() { dep.ShiftLeader(dep.HWLeader) })
-	sim.Schedule(3500*time.Millisecond, func() { dep.ShiftLeader(dep.SWLeader) })
+	// Drive the shift through the Service abstraction: the leader
+	// election is the §9.2 transition task and can fail.
+	svc := core.NewPaxosService(dep)
+	shift := func(to core.Placement) func() {
+		return func() {
+			cost := svc.TransitionCost(to)
+			if err := svc.Shift(to); err != nil {
+				log.Printf("shift to %s failed: %v", to, err)
+				return
+			}
+			fmt.Printf("# shift to %s (%s)\n", to, cost.Note)
+		}
+	}
+	sim.Schedule(1500*time.Millisecond, shift(core.Network))
+	sim.Schedule(3500*time.Millisecond, shift(core.Host))
 
 	for _, c := range dep.Clients {
 		c.StartClosedLoop(1)

@@ -1,0 +1,3 @@
+module incod
+
+go 1.24

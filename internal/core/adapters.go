@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"time"
+
 	"incod/internal/dns"
 	"incod/internal/kvs"
 	"incod/internal/paxos"
@@ -30,16 +33,34 @@ func (s *KVSService) Placement() Placement {
 	return Host
 }
 
-// Shift implements Service.
-func (s *KVSService) Shift(to Placement) {
+// Shift implements Service. Under the partial-reconfiguration idle
+// strategy a shift can fail while the previous reconfiguration is still
+// flashing the fabric.
+func (s *KVSService) Shift(to Placement) error {
 	if to == s.Placement() {
-		return
+		return nil
+	}
+	if s.lake.Strategy == kvs.PartialReconfig && s.lake.Reconfiguring() {
+		return fmt.Errorf("kvs: partial reconfiguration in progress, cannot shift to %s yet", to)
 	}
 	if to == Network {
 		s.lake.Activate()
 	} else {
 		s.lake.Deactivate()
 	}
+	return nil
+}
+
+// TransitionCost implements CostReporter.
+func (s *KVSService) TransitionCost(to Placement) TransitionCost {
+	if s.lake.Strategy == kvs.PartialReconfig {
+		return TransitionCost{Duration: kvs.ReconfigHalt,
+			Note: "partial reconfiguration halts all card traffic"}
+	}
+	if to == Network {
+		return TransitionCost{Note: "LaKe cache warm-up (queries fall through to software until warm)"}
+	}
+	return TransitionCost{Note: "park card in reset+gated low-power state"}
 }
 
 // DNSService adapts an Emu DNS card. Its transition task syncs the
@@ -65,16 +86,32 @@ func (s *DNSService) Placement() Placement {
 }
 
 // Shift implements Service.
-func (s *DNSService) Shift(to Placement) {
+func (s *DNSService) Shift(to Placement) error {
 	if to == s.Placement() {
-		return
+		return nil
 	}
 	if to == Network {
+		if s.emu.Zone() == nil {
+			return fmt.Errorf("dns: no zone to sync onto the card")
+		}
 		s.emu.SyncZone()
 		s.emu.Activate()
 	} else {
 		s.emu.Deactivate()
 	}
+	return nil
+}
+
+// TransitionCost implements CostReporter.
+func (s *DNSService) TransitionCost(to Placement) TransitionCost {
+	if to == Network {
+		n := 0
+		if z := s.emu.Zone(); z != nil {
+			n = z.Len()
+		}
+		return TransitionCost{Note: fmt.Sprintf("sync %d-record zone onto the card", n)}
+	}
+	return TransitionCost{Note: "disable hardware pipeline, software keeps zone"}
 }
 
 // PaxosService adapts a Paxos deployment: shifting runs the §9.2 leader
@@ -98,14 +135,27 @@ func (s *PaxosService) Placement() Placement {
 	return Host
 }
 
-// Shift implements Service.
-func (s *PaxosService) Shift(to Placement) {
+// Shift implements Service. The leader election fails if the target
+// leader is not provisioned.
+func (s *PaxosService) Shift(to Placement) error {
 	if to == s.Placement() {
-		return
+		return nil
 	}
+	target := s.dep.SWLeader
 	if to == Network {
-		s.dep.ShiftLeader(s.dep.HWLeader)
-	} else {
-		s.dep.ShiftLeader(s.dep.SWLeader)
+		target = s.dep.HWLeader
 	}
+	if target == nil {
+		return fmt.Errorf("paxos: no %s leader provisioned for election", to)
+	}
+	s.dep.ShiftLeader(target)
+	return nil
+}
+
+// TransitionCost implements CostReporter. Figure 7: throughput stalls for
+// roughly one client retry timeout while clients re-point at the new
+// leader.
+func (s *PaxosService) TransitionCost(Placement) TransitionCost {
+	return TransitionCost{Duration: 100 * time.Millisecond,
+		Note: "leader election; clients stall up to one retry timeout"}
 }

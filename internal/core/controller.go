@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"incod/internal/simnet"
+)
+
+// NetworkControllerConfig holds the two mirrored parameter pairs of the
+// §9.1 network-controlled design, i.e. the ThresholdPolicy parameters.
+// "Using two sets of parameters provides hysteresis, and attends to
+// concerns of rapidly shifting workloads back-and-forth."
+type NetworkControllerConfig struct {
+	// ToNetworkKpps: shift to the network when the average rate over
+	// ToNetworkWindow exceeds this.
+	ToNetworkKpps   float64
+	ToNetworkWindow time.Duration
+	// ToHostKpps: shift back when the average rate over ToHostWindow
+	// falls below this. Must be below ToNetworkKpps for hysteresis.
+	ToHostKpps   float64
+	ToHostWindow time.Duration
+	// SamplePeriod is how often the classifier's rate counter is read.
+	SamplePeriod time.Duration
+}
+
+// DefaultNetworkConfig returns thresholds bracketing a crossover rate,
+// with the paper-style hysteresis gap.
+func DefaultNetworkConfig(crossKpps float64) NetworkControllerConfig {
+	return NetworkControllerConfig{
+		ToNetworkKpps:   crossKpps * 1.1,
+		ToNetworkWindow: time.Second,
+		ToHostKpps:      crossKpps * 0.7,
+		ToHostWindow:    2 * time.Second,
+		SamplePeriod:    100 * time.Millisecond,
+	}
+}
+
+// HostControllerConfig holds the §9.1 host-controlled parameters, i.e.
+// the PowerPolicy parameters: one set for shifting to the network (power +
+// CPU, sustained) and one for shifting back (network-observed rate,
+// sustained).
+type HostControllerConfig struct {
+	// ToNetworkPowerWatts: RAPL package power that must be exceeded...
+	ToNetworkPowerWatts float64
+	// ToNetworkCPUUtil: ...together with this CPU utilization ("monitoring
+	// the power consumption alone is not sufficient, as a high power
+	// consumption can be triggered by multiple applications").
+	ToNetworkCPUUtil float64
+	// ToNetworkSustain is how long both must hold ("the information is
+	// inspected over time, avoiding harsh decisions based on spikes and
+	// outliers"). Figure 6 uses three seconds.
+	ToNetworkSustain time.Duration
+	// ToHostKpps: shift back when the device-reported application rate
+	// stays below this ("the controller needs information from the
+	// network ... otherwise the shift may ... bounce back and forth").
+	ToHostKpps float64
+	// ToHostSustain is the mirrored sustain window.
+	ToHostSustain time.Duration
+	// SamplePeriod is the monitoring tick (RAPL read cadence).
+	SamplePeriod time.Duration
+}
+
+// DefaultHostConfig returns the Figure 6 parameters: 3 s sustained high
+// power+CPU to offload, mirrored to return.
+func DefaultHostConfig(powerWatts, toHostKpps float64) HostControllerConfig {
+	return HostControllerConfig{
+		ToNetworkPowerWatts: powerWatts,
+		ToNetworkCPUUtil:    0.7,
+		ToNetworkSustain:    3 * time.Second,
+		ToHostKpps:          toHostKpps,
+		ToHostSustain:       3 * time.Second,
+		SamplePeriod:        100 * time.Millisecond,
+	}
+}
+
+// Monitors are a Controller's inputs. RateKpps feeds every policy; the
+// power and CPU monitors stand in for RAPL and are only read while the
+// service runs on the host (the paper's controller pays its 0.3% CPU
+// "mainly for performing RAPL reads").
+type Monitors struct {
+	// RateKpps reads the device's application message rate.
+	RateKpps func() float64
+	// PowerWatts reads host package power (simulated RAPL window).
+	PowerWatts func() float64
+	// CPUUtil reads the application host's CPU utilization (0..1).
+	CPUUtil func() float64
+}
+
+// Controller drives one Policy over one Service on the simulator clock:
+// each sample period it reads the monitors, feeds the policy, and applies
+// any decision. The decision kernels themselves live in the policies and
+// are shared with the wall-clock daemon orchestrator.
+type Controller struct {
+	sim *simnet.Simulator
+	svc Service
+	pol Policy
+	mon Monitors
+
+	period    time.Duration
+	cancel    func()
+	raplReads uint64
+
+	// Transitions is the decision log.
+	Transitions []Transition
+	// LastErr is the most recent Shift failure; the controller retries on
+	// subsequent ticks.
+	LastErr error
+}
+
+// NewController binds pol to svc, sampling mon every period.
+func NewController(sim *simnet.Simulator, svc Service, pol Policy, mon Monitors, period time.Duration) *Controller {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	return &Controller{sim: sim, svc: svc, pol: pol, mon: mon, period: period}
+}
+
+// NewNetworkController builds the §9.1 network-controlled design: the
+// mirrored-threshold policy reading load from rateFn. Call Start to begin
+// deciding.
+func NewNetworkController(sim *simnet.Simulator, svc Service, rateFn func() float64, cfg NetworkControllerConfig) *Controller {
+	return NewController(sim, svc, NewThresholdPolicy(cfg), Monitors{RateKpps: rateFn}, cfg.SamplePeriod)
+}
+
+// NewHostController builds the §9.1 host-controlled design: the
+// power-aware policy reading the three host-side monitors.
+func NewHostController(sim *simnet.Simulator, svc Service, powerFn, cpuFn, netRateFn func() float64, cfg HostControllerConfig) *Controller {
+	return NewController(sim, svc, NewPowerPolicy(cfg),
+		Monitors{RateKpps: netRateFn, PowerWatts: powerFn, CPUUtil: cpuFn}, cfg.SamplePeriod)
+}
+
+// Policy returns the controller's decision rule.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Start begins periodic sampling and deciding.
+func (c *Controller) Start() {
+	c.Stop()
+	c.cancel = c.sim.Every(c.period, c.tick)
+}
+
+// Stop halts the controller.
+func (c *Controller) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+}
+
+// RAPLReads counts power-counter reads (the paper attributes the
+// controller's 0.3% CPU cost "mainly" to these).
+func (c *Controller) RAPLReads() uint64 { return c.raplReads }
+
+// Flaps counts transitions beyond the first — the quantity hysteresis is
+// meant to minimize.
+func (c *Controller) Flaps() int {
+	if len(c.Transitions) <= 1 {
+		return 0
+	}
+	return len(c.Transitions) - 1
+}
+
+// tick samples the monitors, consults the policy, applies the decision.
+func (c *Controller) tick() {
+	now := c.sim.Now()
+	s := Sample{At: time.Duration(now), Placement: c.svc.Placement(), PowerW: math.NaN(), CPUUtil: math.NaN()}
+	if c.mon.RateKpps != nil {
+		s.RateKpps = c.mon.RateKpps()
+	}
+	if s.Placement == Host {
+		if c.mon.PowerWatts != nil {
+			c.raplReads++
+			s.PowerW = c.mon.PowerWatts()
+		}
+		if c.mon.CPUUtil != nil {
+			s.CPUUtil = c.mon.CPUUtil()
+		}
+	}
+	d := c.pol.Observe(s)
+	if !d.Shift {
+		return
+	}
+	if err := c.svc.Shift(d.Target); err != nil {
+		c.LastErr = err
+		return
+	}
+	c.LastErr = nil
+	tr := Transition{At: now, To: d.Target, Reason: d.Reason}
+	if cr, ok := c.svc.(CostReporter); ok {
+		tr.Cost = cr.TransitionCost(d.Target)
+	}
+	c.Transitions = append(c.Transitions, tr)
+	// Restart windowed state so the mirrored rule evaluates fresh data.
+	c.pol.Reset()
+}

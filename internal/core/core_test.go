@@ -212,7 +212,7 @@ func TestPlacementString(t *testing.T) {
 
 func TestFuncServiceShiftNoop(t *testing.T) {
 	calls := 0
-	svc := &FuncService{ServiceName: "x", Where: Host, OnShift: func(Placement) { calls++ }}
+	svc := &FuncService{ServiceName: "x", Where: Host, OnShift: func(Placement) error { calls++; return nil }}
 	svc.Shift(Host)
 	if calls != 0 {
 		t.Error("shift to current placement must be a no-op")

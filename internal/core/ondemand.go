@@ -3,23 +3,29 @@
 // a programmable network device so the system always sits on the
 // power-optimal side of the software/hardware crossover.
 //
-// Two controller designs are provided, exactly as proposed in §9.1:
+// The control plane is built from three first-class abstractions:
 //
-//   - NetworkController: decides in the network device from traffic load
-//     alone. A pair of (rate threshold, averaging window) parameters moves
-//     the workload to the network; a mirrored pair moves it back,
-//     providing hysteresis. The paper's version is "40 lines of code
-//     within the FPGA's classifier module".
+//   - Service: a workload that can run on either substrate, with a
+//     fallible Shift (the §9.2 transition tasks — Paxos leader election,
+//     LaKe cache activation, DNS zone sync — can fail) and an optional
+//     TransitionCost hook.
 //
-//   - HostController: decides on the host from CPU usage and RAPL power
-//     readings, with dual parameter sets and spike suppression; shifting
-//     back also consults the device's observed packet rate. The paper's
-//     version is "204 lines of code ... 0.3% CPU usage, mainly for
-//     performing RAPL reads".
+//   - Policy: a pluggable placement decision rule (Observe(Sample)
+//     Decision). ThresholdPolicy is the §9.1 network-controlled kernel
+//     ("40 lines of code within the FPGA's classifier module"),
+//     PowerPolicy the §9.1 host-controlled kernel ("204 lines of code ...
+//     0.3% CPU usage, mainly for performing RAPL reads"), StaticPolicy a
+//     manual pin. The same policy code drives the sim-time Controller here
+//     and the wall-clock Orchestrator in internal/daemon.
+//
+//   - Controller: drives one Policy over one Service on the simulator
+//     clock. NewNetworkController and NewHostController build the two
+//     paper configurations.
 package core
 
 import (
 	"fmt"
+	"time"
 
 	"incod/internal/simnet"
 )
@@ -49,9 +55,29 @@ type Service interface {
 	Name() string
 	// Placement reports where the service currently runs.
 	Placement() Placement
-	// Shift moves the service. Shifting to the current placement must be
-	// a no-op.
-	Shift(to Placement)
+	// Shift moves the service, running its transition task. Shifting to
+	// the current placement must be a no-op returning nil. A non-nil error
+	// means the service stayed where it was (controllers retry on the
+	// next decision).
+	Shift(to Placement) error
+}
+
+// TransitionCost describes the expected expense of one placement shift —
+// the price of the §9.2 transition task.
+type TransitionCost struct {
+	// Duration is how long service quality is expected to be degraded
+	// (traffic halt, client stall); zero when the task runs concurrently
+	// with serving.
+	Duration time.Duration
+	// Note names the transition task.
+	Note string
+}
+
+// CostReporter is an optional Service extension reporting the expected
+// cost of shifting to a placement. Controllers and the daemon
+// orchestrator attach it to the transition log and status API.
+type CostReporter interface {
+	TransitionCost(to Placement) TransitionCost
 }
 
 // Transition records one controller decision.
@@ -59,6 +85,9 @@ type Transition struct {
 	At     simnet.Time
 	To     Placement
 	Reason string
+	// Cost is the service-reported transition cost, when the service
+	// implements CostReporter.
+	Cost TransitionCost
 }
 
 // String renders the transition for logs.
@@ -66,11 +95,14 @@ func (t Transition) String() string {
 	return fmt.Sprintf("%v -> %s (%s)", t.At, t.To, t.Reason)
 }
 
-// FuncService adapts closures to Service, for tests and simple bindings.
+// FuncService adapts closures to Service, for tests, advisory daemons and
+// simple bindings.
 type FuncService struct {
 	ServiceName string
 	Where       Placement
-	OnShift     func(to Placement)
+	// OnShift, if set, runs the transition task; returning an error
+	// aborts the shift.
+	OnShift func(to Placement) error
 }
 
 // Name implements Service.
@@ -80,12 +112,15 @@ func (f *FuncService) Name() string { return f.ServiceName }
 func (f *FuncService) Placement() Placement { return f.Where }
 
 // Shift implements Service.
-func (f *FuncService) Shift(to Placement) {
+func (f *FuncService) Shift(to Placement) error {
 	if to == f.Where {
-		return
+		return nil
+	}
+	if f.OnShift != nil {
+		if err := f.OnShift(to); err != nil {
+			return err
+		}
 	}
 	f.Where = to
-	if f.OnShift != nil {
-		f.OnShift(to)
-	}
+	return nil
 }

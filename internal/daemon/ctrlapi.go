@@ -1,114 +1,161 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"net"
 	"net/http"
 	"time"
+
+	"incod/internal/core"
 )
 
-// Status is the control-plane view of a daemon's on-demand advisor — the
-// role the P4Runtime/gRPC channel plays for a hardware deployment's
-// controller: read placement and counters, adjust the §9.1 thresholds at
-// runtime.
-type Status struct {
-	Name       string  `json:"name"`
-	Placement  string  `json:"placement"`
-	Shifts     int     `json:"shifts"`
-	Requests   uint64  `json:"requests"`
-	WindowKpps float64 `json:"window_kpps"`
-
-	ToNetworkKpps   float64 `json:"to_network_kpps"`
-	ToNetworkWindow string  `json:"to_network_window"`
-	ToHostKpps      float64 `json:"to_host_kpps"`
-	ToHostWindow    string  `json:"to_host_window"`
-}
-
-// Thresholds is the runtime-adjustable §9.1 parameter set ("all of its
-// parameters are configurable").
-type Thresholds struct {
-	ToNetworkKpps float64 `json:"to_network_kpps"`
-	ToHostKpps    float64 `json:"to_host_kpps"`
-}
-
-// Status snapshots the advisor.
-func (a *Advisor) Status() Status {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	var window float64
-	if n := len(a.samples); n > 0 {
-		for _, s := range a.samples {
-			window += s.kpps
-		}
-		window /= float64(n)
-	}
-	return Status{
-		Name:            a.name,
-		Placement:       a.placement.String(),
-		Shifts:          a.shifts,
-		Requests:        a.count,
-		WindowKpps:      window,
-		ToNetworkKpps:   a.cfg.ToNetworkKpps,
-		ToNetworkWindow: a.cfg.ToNetworkWindow.String(),
-		ToHostKpps:      a.cfg.ToHostKpps,
-		ToHostWindow:    a.cfg.ToHostWindow.String(),
-	}
-}
-
-// SetThresholds updates the shift thresholds. Values <= 0 keep the
-// current setting; to preserve hysteresis the to-host threshold is
-// clamped below the to-network one.
-func (a *Advisor) SetThresholds(t Thresholds) Thresholds {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if t.ToNetworkKpps > 0 {
-		a.cfg.ToNetworkKpps = t.ToNetworkKpps
-	}
-	if t.ToHostKpps > 0 {
-		a.cfg.ToHostKpps = t.ToHostKpps
-	}
-	if a.cfg.ToHostKpps >= a.cfg.ToNetworkKpps {
-		a.cfg.ToHostKpps = a.cfg.ToNetworkKpps * 0.7
-	}
-	return Thresholds{ToNetworkKpps: a.cfg.ToNetworkKpps, ToHostKpps: a.cfg.ToHostKpps}
-}
-
-// Handler returns the control-plane HTTP API:
+// Handler returns the versioned control-plane HTTP API — the role the
+// P4Runtime/gRPC channel plays for a hardware deployment's controller:
 //
-//	GET  /status      -> Status JSON
-//	GET  /thresholds  -> Thresholds JSON
-//	POST /thresholds  <- Thresholds JSON (partial updates allowed)
-func (a *Advisor) Handler() http.Handler {
+//	GET  /v1/services                     -> [ServiceStatus]
+//	GET  /v1/services/{name}              -> ServiceStatus
+//	GET  /v1/services/{name}/thresholds   -> Thresholds
+//	POST /v1/services/{name}/thresholds   <- Thresholds (partial updates;
+//	                                         400 on invalid values, clamp
+//	                                         reported in the response)
+//	POST /v1/services/{name}/placement    <- {"placement": "host" |
+//	                                         "network" | "auto"} (manual
+//	                                         pin; "auto" returns control
+//	                                         to the policy)
+//
+// Errors are JSON {"error": "..."} with 404 for unknown services, 400 for
+// invalid input, 409 for threshold operations on a policy without rate
+// thresholds, and 405 for unsupported methods.
+func (o *Orchestrator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, a.Status())
+	mux.HandleFunc("GET /v1/services", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Statuses())
 	})
-	mux.HandleFunc("/thresholds", func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodGet:
-			s := a.Status()
-			writeJSON(w, Thresholds{ToNetworkKpps: s.ToNetworkKpps, ToHostKpps: s.ToHostKpps})
-		case http.MethodPost:
-			var t Thresholds
-			if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+	mux.HandleFunc("GET /v1/services/{name}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := o.Status(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("GET /v1/services/{name}/thresholds", func(w http.ResponseWriter, r *http.Request) {
+		t, err := o.Thresholds(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, t)
+	})
+	mux.HandleFunc("POST /v1/services/{name}/thresholds", func(w http.ResponseWriter, r *http.Request) {
+		var t Thresholds
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		got, err := o.SetThresholds(r.PathValue("name"), t)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, got)
+	})
+	mux.HandleFunc("POST /v1/services/{name}/placement", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req struct {
+			Placement string `json:"placement"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if req.Placement == "auto" {
+			if err := o.Unpin(name); err != nil {
+				writeErr(w, err)
 				return
 			}
-			writeJSON(w, a.SetThresholds(t))
-		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		} else {
+			p, err := core.ParsePlacement(req.Placement)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := o.Pin(name, p); err != nil {
+				writeErr(w, err)
+				return
+			}
 		}
+		s, err := o.Status(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, s)
 	})
 	return mux
 }
 
-// ServeCtrl starts the control-plane API on addr in the background.
-func (a *Advisor) ServeCtrl(addr string) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.ListenAndServe() }()
-	return srv
+// writeErr maps orchestrator errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownService):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrNotTunable):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
 }
+
+// CtrlServer is a running control-plane HTTP server with a graceful
+// shutdown path. Unlike a bare ListenAndServe goroutine, bind errors are
+// returned synchronously from ServeCtrl and serve-time failures surface
+// on Err.
+type CtrlServer struct {
+	srv  *http.Server
+	addr net.Addr
+	err  chan error
+}
+
+// ServeCtrl binds addr and serves h in the background. The returned
+// error covers listen failures (bad address, port in use).
+func ServeCtrl(addr string, h http.Handler) (*CtrlServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &CtrlServer{
+		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr(),
+		err:  make(chan error, 1),
+	}
+	go func() {
+		if err := c.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			c.err <- err
+		}
+	}()
+	return c, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (c *CtrlServer) Addr() net.Addr { return c.addr }
+
+// Err delivers an asynchronous serve failure, if any.
+func (c *CtrlServer) Err() <-chan error { return c.err }
+
+// Shutdown gracefully stops the server, waiting for in-flight requests
+// up to ctx's deadline.
+func (c *CtrlServer) Shutdown(ctx context.Context) error { return c.srv.Shutdown(ctx) }

@@ -1,0 +1,419 @@
+// Package daemon provides the shared control plane for the runnable UDP
+// daemons: a multi-service Orchestrator that applies the same core.Policy
+// decision code the simulator validates to live, wall-clock request
+// streams, and the versioned /v1 HTTP API that exposes it. The daemons
+// have no FPGA attached, so by default each service is advisory — the
+// orchestrator reports where the service *would* run and when it would
+// shift — but any core.Service can be registered.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/power"
+)
+
+// Errors the control plane maps to HTTP statuses.
+var (
+	// ErrUnknownService names a service that is not registered.
+	ErrUnknownService = errors.New("daemon: unknown service")
+	// ErrNotTunable marks a policy without runtime rate thresholds.
+	ErrNotTunable = errors.New("daemon: policy has no rate thresholds")
+)
+
+// PowerModel estimates host package power and CPU utilization from the
+// observed request rate, standing in for RAPL on machines where the
+// daemon has no hardware counters. Policies that need power input (the
+// "power" policy) read these modeled values.
+type PowerModel func(kpps float64) (watts, cpu float64)
+
+// CurveModel derives a PowerModel from one of the §4 calibrated software
+// power curves.
+func CurveModel(c power.SoftwareCurve) PowerModel {
+	return func(kpps float64) (float64, float64) {
+		return c.Power(kpps), c.Utilization(kpps)
+	}
+}
+
+// ServiceConfig parameterizes Register.
+type ServiceConfig struct {
+	// Service is the workload to place. Nil registers an advisory
+	// stand-in that only logs where the service would run.
+	Service core.Service
+	// Policy decides placement. Nil defaults to the mirrored-threshold
+	// policy around an 80 kpps crossover.
+	Policy core.Policy
+	// Model supplies power/CPU readings to power-aware policies. Nil
+	// leaves those sample fields NaN.
+	Model PowerModel
+}
+
+// ManagedService is one registered service. Its Observe method is the
+// daemon datapath hook and is safe for concurrent use without locking
+// (a single atomic increment per request).
+type ManagedService struct {
+	name  string
+	svc   core.Service
+	pol   core.Policy
+	model PowerModel
+
+	count atomic.Uint64
+
+	// Below are guarded by the orchestrator mutex.
+	lastCount   uint64
+	lastAt      time.Time
+	window      []float64 // recent per-tick kpps, for status display
+	pinned      *core.Placement
+	shifts      int
+	transitions []string
+	lastErr     string
+}
+
+// Observe records n=1 served request.
+func (m *ManagedService) Observe() { m.count.Add(1) }
+
+// ObserveN records n served requests.
+func (m *ManagedService) ObserveN(n uint64) { m.count.Add(n) }
+
+// Name returns the registered service name.
+func (m *ManagedService) Name() string { return m.name }
+
+// Orchestrator supervises the placement of many services: each sample
+// period it meters every service's request rate, feeds its policy, and
+// applies (or, for advisory services, logs) the decision. One
+// orchestrator backs one daemon's /v1 control API.
+type Orchestrator struct {
+	mu       sync.Mutex
+	services map[string]*ManagedService
+	order    []string
+	epoch    time.Time
+	period   time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+}
+
+// NewOrchestrator returns an orchestrator sampling every period
+// (default 100ms). Call Start to begin the evaluation loop, or drive
+// Tick directly.
+func NewOrchestrator(period time.Duration) *Orchestrator {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	return &Orchestrator{
+		services: make(map[string]*ManagedService),
+		period:   period,
+		stop:     make(chan struct{}),
+	}
+}
+
+// Register adds a service under name. It returns the datapath handle the
+// daemon calls Observe on.
+func (o *Orchestrator) Register(name string, cfg ServiceConfig) (*ManagedService, error) {
+	if name == "" {
+		return nil, fmt.Errorf("daemon: service name must be non-empty")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.services[name]; dup {
+		return nil, fmt.Errorf("daemon: service %q already registered", name)
+	}
+	svc := cfg.Service
+	if svc == nil {
+		svc = Advisory(name)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = core.NewThresholdPolicy(core.DefaultNetworkConfig(80))
+	}
+	m := &ManagedService{name: name, svc: svc, pol: pol, model: cfg.Model}
+	o.services[name] = m
+	o.order = append(o.order, name)
+	return m, nil
+}
+
+// Advisory returns a Service with no hardware attached: shifts always
+// succeed, modeling where the workload would run (apply logs each one).
+func Advisory(name string) core.Service {
+	return &core.FuncService{ServiceName: name, Where: core.Host}
+}
+
+// Start launches the background evaluation loop.
+func (o *Orchestrator) Start() {
+	o.mu.Lock()
+	if o.started {
+		o.mu.Unlock()
+		return
+	}
+	o.started = true
+	o.mu.Unlock()
+	go o.loop()
+}
+
+// Close stops the evaluation loop. It is idempotent.
+func (o *Orchestrator) Close() { o.stopOnce.Do(func() { close(o.stop) }) }
+
+func (o *Orchestrator) loop() {
+	tick := time.NewTicker(o.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case now := <-tick.C:
+			o.Tick(now)
+		}
+	}
+}
+
+// Tick performs one sampling + decision step for every service at wall
+// time now. The background loop calls it; tests drive it directly with
+// synthetic clocks.
+func (o *Orchestrator) Tick(now time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.epoch.IsZero() {
+		o.epoch = now
+	}
+	for _, name := range o.order {
+		o.tickService(o.services[name], now)
+	}
+}
+
+func (o *Orchestrator) tickService(m *ManagedService, now time.Time) {
+	count := m.count.Load()
+	if m.lastAt.IsZero() {
+		m.lastCount, m.lastAt = count, now
+		return
+	}
+	dt := now.Sub(m.lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	kpps := float64(count-m.lastCount) / dt / 1000
+	m.lastCount, m.lastAt = count, now
+	m.window = append(m.window, kpps)
+	if len(m.window) > 32 {
+		m.window = m.window[1:]
+	}
+
+	placement := m.svc.Placement()
+	// A manual pin overrides the policy until released.
+	if m.pinned != nil {
+		if placement != *m.pinned {
+			o.apply(m, now, *m.pinned, "manual placement pin")
+		}
+		return
+	}
+	s := core.Sample{
+		At:        now.Sub(o.epoch),
+		Placement: placement,
+		RateKpps:  kpps,
+		PowerW:    math.NaN(),
+		CPUUtil:   math.NaN(),
+	}
+	if m.model != nil {
+		s.PowerW, s.CPUUtil = m.model(kpps)
+	}
+	if d := m.pol.Observe(s); d.Shift {
+		if o.apply(m, now, d.Target, d.Reason) {
+			m.pol.Reset()
+		}
+	}
+}
+
+// apply shifts m to target, logging the outcome. It reports success.
+// Repeated identical failures (a pinned service whose transition task
+// keeps failing is retried every tick) are logged once, not per tick.
+func (o *Orchestrator) apply(m *ManagedService, now time.Time, target core.Placement, reason string) bool {
+	if err := m.svc.Shift(target); err != nil {
+		if err.Error() != m.lastErr {
+			log.Printf("%s: on-demand: shift to %s failed: %v", m.name, target, err)
+		}
+		m.lastErr = err.Error()
+		return false
+	}
+	m.lastErr = ""
+	m.shifts++
+	entry := fmt.Sprintf("%s -> %s (%s)", now.Format(time.RFC3339), target, reason)
+	if cr, ok := m.svc.(core.CostReporter); ok {
+		if c := cr.TransitionCost(target); c.Note != "" {
+			entry += " [task: " + c.Note + "]"
+		}
+	}
+	m.transitions = append(m.transitions, entry)
+	if len(m.transitions) > 32 {
+		m.transitions = m.transitions[1:]
+	}
+	log.Printf("%s: on-demand: shift to %s (%s)", m.name, target, reason)
+	return true
+}
+
+// Thresholds is the runtime-adjustable §9.1 mirrored rate pair ("all of
+// its parameters are configurable"). Zero values mean "keep the current
+// setting"; negative or non-finite values are rejected. Clamped reports
+// that the to-host threshold was lowered to preserve hysteresis.
+type Thresholds struct {
+	ToNetworkKpps float64 `json:"to_network_kpps"`
+	ToHostKpps    float64 `json:"to_host_kpps"`
+	Clamped       bool    `json:"clamped,omitempty"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// ServiceStatus is the control-plane view of one managed service.
+type ServiceStatus struct {
+	Name       string  `json:"name"`
+	Placement  string  `json:"placement"`
+	Policy     string  `json:"policy"`
+	Pinned     string  `json:"pinned,omitempty"`
+	Shifts     int     `json:"shifts"`
+	Requests   uint64  `json:"requests"`
+	WindowKpps float64 `json:"window_kpps"`
+
+	Thresholds  *Thresholds `json:"thresholds,omitempty"`
+	Transitions []string    `json:"transitions,omitempty"`
+	LastError   string      `json:"last_error,omitempty"`
+}
+
+func (o *Orchestrator) lookup(name string) (*ManagedService, error) {
+	m, ok := o.services[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, name)
+	}
+	return m, nil
+}
+
+func statusLocked(m *ManagedService) ServiceStatus {
+	s := ServiceStatus{
+		Name:      m.name,
+		Placement: m.svc.Placement().String(),
+		Policy:    m.pol.Name(),
+		Shifts:    m.shifts,
+		Requests:  m.count.Load(),
+		LastError: m.lastErr,
+	}
+	if m.pinned != nil {
+		s.Pinned = m.pinned.String()
+	}
+	if n := len(m.window); n > 0 {
+		var sum float64
+		for _, k := range m.window {
+			sum += k
+		}
+		s.WindowKpps = sum / float64(n)
+	}
+	if tun, ok := m.pol.(core.Tunable); ok {
+		toNet, toHost := tun.RateThresholds()
+		s.Thresholds = &Thresholds{ToNetworkKpps: toNet, ToHostKpps: toHost}
+	}
+	if len(m.transitions) > 0 {
+		s.Transitions = append(s.Transitions, m.transitions...)
+	}
+	return s
+}
+
+// Status snapshots one service.
+func (o *Orchestrator) Status(name string) (ServiceStatus, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, err := o.lookup(name)
+	if err != nil {
+		return ServiceStatus{}, err
+	}
+	return statusLocked(m), nil
+}
+
+// Statuses snapshots every service in registration order.
+func (o *Orchestrator) Statuses() []ServiceStatus {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]ServiceStatus, 0, len(o.order))
+	for _, name := range o.order {
+		out = append(out, statusLocked(o.services[name]))
+	}
+	return out
+}
+
+// Thresholds reads a service's mirrored rate pair. ErrNotTunable if its
+// policy has none.
+func (o *Orchestrator) Thresholds(name string) (Thresholds, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, err := o.lookup(name)
+	if err != nil {
+		return Thresholds{}, err
+	}
+	tun, ok := m.pol.(core.Tunable)
+	if !ok {
+		return Thresholds{}, fmt.Errorf("%w: %q runs policy %s", ErrNotTunable, name, m.pol.Name())
+	}
+	toNet, toHost := tun.RateThresholds()
+	return Thresholds{ToNetworkKpps: toNet, ToHostKpps: toHost}, nil
+}
+
+// SetThresholds updates a service's mirrored rate pair (partial updates
+// allowed: zero keeps the current value). Invalid values are rejected;
+// any hysteresis clamp is reported in the returned Thresholds.
+func (o *Orchestrator) SetThresholds(name string, t Thresholds) (Thresholds, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, err := o.lookup(name)
+	if err != nil {
+		return Thresholds{}, err
+	}
+	tun, ok := m.pol.(core.Tunable)
+	if !ok {
+		return Thresholds{}, fmt.Errorf("%w: %q runs policy %s", ErrNotTunable, name, m.pol.Name())
+	}
+	clamped, err := tun.SetRateThresholds(t.ToNetworkKpps, t.ToHostKpps)
+	if err != nil {
+		return Thresholds{}, err
+	}
+	toNet, toHost := tun.RateThresholds()
+	out := Thresholds{ToNetworkKpps: toNet, ToHostKpps: toHost, Clamped: clamped}
+	if clamped {
+		out.Note = "to_host_kpps clamped below to_network_kpps to preserve hysteresis"
+	}
+	return out, nil
+}
+
+// Pin overrides the policy, holding name at p until Unpin. The shift is
+// attempted immediately; if the transition task fails the pin still
+// takes effect — the failure is recorded in the service status and the
+// orchestrator retries every tick until it succeeds or the pin is
+// released.
+func (o *Orchestrator) Pin(name string, p core.Placement) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, err := o.lookup(name)
+	if err != nil {
+		return err
+	}
+	m.pinned = &p
+	if m.svc.Placement() != p {
+		o.apply(m, time.Now(), p, "manual placement pin")
+	}
+	return nil
+}
+
+// Unpin releases a manual placement pin, returning name to its policy.
+func (o *Orchestrator) Unpin(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, err := o.lookup(name)
+	if err != nil {
+		return err
+	}
+	if m.pinned != nil {
+		m.pinned = nil
+		m.pol.Reset()
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package daemon
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/power"
+)
+
+// drive feeds m a synthetic request stream at kpps for d of synthetic
+// wall time, stepping the orchestrator's decision tick manually.
+func drive(o *Orchestrator, m *ManagedService, start time.Time, kpps float64, d time.Duration) time.Time {
+	const step = 100 * time.Millisecond
+	now := start
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		now = now.Add(step)
+		m.ObserveN(uint64(kpps * 1000 * step.Seconds()))
+		o.Tick(now)
+	}
+	return now
+}
+
+// newTestOrch returns an un-started orchestrator (tests drive Tick) with
+// one threshold-policy service, pre-ticked so rate metering is primed.
+func newTestOrch(t *testing.T, cross float64) (*Orchestrator, *ManagedService, time.Time) {
+	t.Helper()
+	o := NewOrchestrator(0)
+	m, err := o.Register("test", ServiceConfig{
+		Policy: core.NewThresholdPolicy(core.DefaultNetworkConfig(cross)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	o.Tick(start) // prime lastAt/epoch
+	return o, m, start
+}
+
+func placement(t *testing.T, o *Orchestrator, name string) string {
+	t.Helper()
+	s, err := o.Status(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Placement
+}
+
+func TestOrchestratorShiftsUpAndBack(t *testing.T) {
+	o, m, start := newTestOrch(t, 100)
+	if placement(t, o, "test") != "host" {
+		t.Fatal("service should start on the host")
+	}
+	// Low rate: stays.
+	now := drive(o, m, start, 20, 3*time.Second)
+	if placement(t, o, "test") != "host" {
+		t.Fatal("low rate must stay on host")
+	}
+	// Sustained high rate: shifts.
+	now = drive(o, m, now, 200, 2*time.Second)
+	if placement(t, o, "test") != "network" {
+		t.Fatal("sustained high rate should shift to network")
+	}
+	// Inside the hysteresis band: holds.
+	now = drive(o, m, now, 90, 5*time.Second)
+	if placement(t, o, "test") != "network" {
+		t.Fatal("hysteresis band must not shift back")
+	}
+	// Low: returns.
+	_ = drive(o, m, now, 5, 3*time.Second)
+	if placement(t, o, "test") != "host" {
+		t.Fatal("low sustained rate should shift back")
+	}
+	s, _ := o.Status("test")
+	if s.Shifts != 2 {
+		t.Errorf("shifts = %d, want 2", s.Shifts)
+	}
+	if len(s.Transitions) != 2 {
+		t.Errorf("transition log = %v, want 2 entries", s.Transitions)
+	}
+}
+
+func TestOrchestratorSpikeSuppression(t *testing.T) {
+	o, m, start := newTestOrch(t, 100)
+	now := drive(o, m, start, 20, 3*time.Second)
+	// A 200ms 300 kpps spike, then quiet: the 1s window averages it to
+	// ~76 kpps, below the 110 kpps up-threshold.
+	now = drive(o, m, now, 300, 200*time.Millisecond)
+	_ = drive(o, m, now, 20, 3*time.Second)
+	s, _ := o.Status("test")
+	if s.Placement != "host" || s.Shifts != 0 {
+		t.Errorf("spike should not shift (placement %v, shifts %d)", s.Placement, s.Shifts)
+	}
+}
+
+// The power policy runs live off a modeled RAPL (an energy-model curve
+// mapping the metered rate to watts and CPU) — the same decision code the
+// sim-time host controller uses.
+func TestOrchestratorPowerPolicy(t *testing.T) {
+	curve := power.SoftwareCurve{
+		Name: "synthetic", IdleWatts: 40,
+		JumpWatts: 50, JumpScaleKpps: 50, PeakKpps: 100,
+	}
+	pol, err := core.PolicyByName("power", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrchestrator(0)
+	m, err := o.Register("kvs", ServiceConfig{Policy: pol, Model: CurveModel(curve)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	o.Tick(start)
+	// 90 kpps: ~81 W and 90% utilization, sustained past the 3 s trigger.
+	now := drive(o, m, start, 90, 4*time.Second)
+	if placement(t, o, "kvs") != "network" {
+		t.Fatal("sustained power+CPU should shift to network")
+	}
+	// Low device rate sustained: back to host (to-host threshold 56 kpps).
+	_ = drive(o, m, now, 10, 4*time.Second)
+	if placement(t, o, "kvs") != "host" {
+		t.Fatal("low sustained rate should shift back to host")
+	}
+}
+
+func TestOrchestratorPinOverridesPolicy(t *testing.T) {
+	o, m, start := newTestOrch(t, 100)
+	if err := o.Pin("test", core.Network); err != nil {
+		t.Fatal(err)
+	}
+	if placement(t, o, "test") != "network" {
+		t.Fatal("pin must shift immediately")
+	}
+	// Zero traffic would shift an unpinned service back; the pin holds.
+	now := drive(o, m, start, 0, 5*time.Second)
+	if placement(t, o, "test") != "network" {
+		t.Fatal("pin must override the policy")
+	}
+	if err := o.Unpin("test"); err != nil {
+		t.Fatal(err)
+	}
+	_ = drive(o, m, now, 0, 4*time.Second)
+	if placement(t, o, "test") != "host" {
+		t.Fatal("after unpin the policy should take over again")
+	}
+}
+
+func TestOrchestratorShiftFailureRetries(t *testing.T) {
+	o := NewOrchestrator(0)
+	fail := true
+	svc := &core.FuncService{ServiceName: "flaky", Where: core.Host,
+		OnShift: func(core.Placement) error {
+			if fail {
+				return errTest
+			}
+			return nil
+		}}
+	m, err := o.Register("flaky", ServiceConfig{
+		Service: svc,
+		Policy:  core.NewThresholdPolicy(core.DefaultNetworkConfig(100)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	o.Tick(start)
+	now := drive(o, m, start, 300, 3*time.Second)
+	s, _ := o.Status("flaky")
+	if s.Placement != "host" || s.LastError == "" {
+		t.Fatalf("failed shift must stay put and record the error, got %+v", s)
+	}
+	fail = false
+	_ = drive(o, m, now, 300, 2*time.Second)
+	s, _ = o.Status("flaky")
+	if s.Placement != "network" || s.LastError != "" {
+		t.Fatalf("orchestrator should retry and clear the error, got %+v", s)
+	}
+}
+
+// A pin whose transition task fails still takes effect: the failure is
+// recorded in status and the orchestrator retries every tick.
+func TestPinWithFailingShiftRetries(t *testing.T) {
+	o := NewOrchestrator(0)
+	fail := true
+	svc := &core.FuncService{ServiceName: "flaky", Where: core.Host,
+		OnShift: func(core.Placement) error {
+			if fail {
+				return errTest
+			}
+			return nil
+		}}
+	m, err := o.Register("flaky", ServiceConfig{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Pin("flaky", core.Network); err != nil {
+		t.Fatalf("pin must apply even when the shift fails, got %v", err)
+	}
+	s, _ := o.Status("flaky")
+	if s.Pinned != "network" || s.Placement != "host" || s.LastError == "" {
+		t.Fatalf("want pinned+error status, got %+v", s)
+	}
+	fail = false
+	start := time.Unix(0, 0)
+	o.Tick(start)
+	_ = drive(o, m, start, 0, 500*time.Millisecond)
+	s, _ = o.Status("flaky")
+	if s.Placement != "network" || s.LastError != "" {
+		t.Fatalf("pin retry should converge, got %+v", s)
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "transition task failed" }
+
+// StartControlPlane calibrates the power policy's watts trigger to the
+// workload's own curve at the crossover — a fixed default would be
+// unreachable for low-draw curves like libpaxos.
+func TestStartControlPlanePowerCalibration(t *testing.T) {
+	curve := power.SoftwareCurve{Name: "flat", IdleWatts: 40, JumpWatts: 5,
+		JumpScaleKpps: 10, PeakKpps: 100}
+	orch, _, _, err := StartControlPlane(StartOptions{
+		Name: "svc", Policy: "power", CrossKpps: 50, Curve: curve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+	pol, ok := orch.services["svc"].pol.(*core.PowerPolicy)
+	if !ok {
+		t.Fatalf("policy = %T, want *core.PowerPolicy", orch.services["svc"].pol)
+	}
+	if got, want := pol.Config().ToNetworkPowerWatts, curve.Power(50); got != want {
+		t.Errorf("watts trigger = %v, want curve draw at crossover %v", got, want)
+	}
+
+	if _, _, _, err := StartControlPlane(StartOptions{
+		Name: "svc", Policy: "bogus", CrossKpps: 50, Curve: curve,
+	}); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	o := NewOrchestrator(0)
+	if _, err := o.Register("", ServiceConfig{}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if _, err := o.Register("dup", ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Register("dup", ServiceConfig{}); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if _, err := o.Status("ghost"); err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Errorf("unknown service error, got %v", err)
+	}
+}
+
+func TestOrchestratorCloseIdempotent(t *testing.T) {
+	o := NewOrchestrator(time.Millisecond)
+	o.Start()
+	o.Close()
+	o.Close() // must not panic
+}

@@ -1,0 +1,48 @@
+package daemon
+
+import (
+	"incod/internal/core"
+	"incod/internal/power"
+)
+
+// StartOptions wires one daemon's shared control-plane setup.
+type StartOptions struct {
+	// Name registers the service (kvs, dns, paxos).
+	Name string
+	// Policy is one of core.PolicyNames().
+	Policy string
+	// CrossKpps is the software/hardware crossover seeding the policy
+	// thresholds.
+	CrossKpps float64
+	// Curve is the workload's calibrated §4 software power curve: it
+	// models RAPL for power-aware policies and calibrates the "power"
+	// policy's watts trigger.
+	Curve power.SoftwareCurve
+	// CtrlAddr serves the /v1 control API when non-empty.
+	CtrlAddr string
+}
+
+// StartControlPlane builds the common daemon control plane: a started
+// orchestrator with one advisory service under the selected policy
+// (curve-calibrated via core.CalibratedPolicyByName), and (when enabled)
+// the /v1 control server.
+func StartControlPlane(o StartOptions) (*Orchestrator, *ManagedService, *CtrlServer, error) {
+	pol, err := core.CalibratedPolicyByName(o.Policy, o.CrossKpps, o.Curve)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	orch := NewOrchestrator(0)
+	svc, err := orch.Register(o.Name, ServiceConfig{Policy: pol, Model: CurveModel(o.Curve)})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	orch.Start()
+	var ctrl *CtrlServer
+	if o.CtrlAddr != "" {
+		if ctrl, err = ServeCtrl(o.CtrlAddr, orch.Handler()); err != nil {
+			orch.Close()
+			return nil, nil, nil, err
+		}
+	}
+	return orch, svc, ctrl, nil
+}

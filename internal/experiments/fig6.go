@@ -90,9 +90,10 @@ func RunFig6() *Fig6Result {
 			if backHot == 0 {
 				backHot = sim.Now()
 			} else if sim.Now().Sub(backHot) >= 3*time.Second {
-				svc.Shift(core.Host)
-				ctl.Transitions = append(ctl.Transitions, core.Transition{
-					At: sim.Now(), To: core.Host, Reason: "background workload stopped"})
+				if err := svc.Shift(core.Host); err == nil {
+					ctl.Transitions = append(ctl.Transitions, core.Transition{
+						At: sim.Now(), To: core.Host, Reason: "background workload stopped"})
+				}
 				backHot = 0
 			}
 		} else {

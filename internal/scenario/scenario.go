@@ -29,6 +29,11 @@ type Scenario struct {
 	// Controller: "network" (rate thresholds), "host" (power+CPU), or
 	// "none" (static placement per Start).
 	Controller string `json:"controller"`
+	// Policy selects a named core placement policy (threshold, power,
+	// static-host, static-network) instead of Controller; both the
+	// sim-time controller here and the live daemons run the same policy
+	// code.
+	Policy string `json:"policy"`
 	// Start placement: "host" (default) or "network".
 	Start string `json:"start"`
 	// CrossoverKpps seeds the controller thresholds (defaults per app).
@@ -89,6 +94,14 @@ func (s *Scenario) validate() error {
 	default:
 		return fmt.Errorf("scenario: controller must be network, host or none (got %q)", s.Controller)
 	}
+	if s.Policy != "" {
+		if _, err := core.PolicyByName(s.Policy, 1); err != nil {
+			return err
+		}
+		if s.Controller != "" && s.Controller != "none" {
+			return fmt.Errorf("scenario: policy %q conflicts with controller %q; set one", s.Policy, s.Controller)
+		}
+	}
 	switch s.Strategy {
 	case "", "park-reset", "keep-warm", "partial-reconfig":
 	default:
@@ -145,24 +158,42 @@ func Run(s Scenario) (*Result, error) {
 		return nil, err
 	}
 	if s.Start == "network" {
-		r.svc.Shift(core.Network)
+		if err := r.svc.Shift(core.Network); err != nil {
+			return nil, fmt.Errorf("scenario: start placement: %w", err)
+		}
 	} else if s.App != "paxos" { // kvs/dns rigs start active; park them
-		r.svc.Shift(core.Host)
+		if err := r.svc.Shift(core.Host); err != nil {
+			return nil, fmt.Errorf("scenario: start placement: %w", err)
+		}
 	}
 
 	res := &Result{}
+	// Pick the placement policy: an explicit name, or the paper's two
+	// controller designs mapped onto the same policy kernels. Policies
+	// are curve-calibrated to the app, as in daemon.StartControlPlane.
+	polName := s.Policy
+	if polName == "" {
+		switch s.Controller {
+		case "network":
+			polName = "threshold"
+		case "host":
+			polName = "power"
+		}
+	}
+	var pol core.Policy
+	if polName != "" {
+		var err error
+		if pol, err = core.CalibratedPolicyByName(polName, s.CrossoverKpps, appCurve(s.App)); err != nil {
+			return nil, err
+		}
+	}
 	var ctlTransitions *[]core.Transition
-	switch s.Controller {
-	case "network":
-		ctl := core.NewNetworkController(sim, r.svc, r.rateKpps, core.DefaultNetworkConfig(s.CrossoverKpps))
-		ctl.Start()
-		ctlTransitions = &ctl.Transitions
-	case "host":
-		cfg := core.DefaultHostConfig(power.MemcachedMellanox.Power(s.CrossoverKpps), s.CrossoverKpps*0.7)
-		ctl := core.NewHostController(sim, r.svc,
-			func() float64 { w, _ := r.hostTele(); return w },
-			func() float64 { _, c := r.hostTele(); return c },
-			r.rateKpps, cfg)
+	if pol != nil {
+		ctl := core.NewController(sim, r.svc, pol, core.Monitors{
+			RateKpps:   r.rateKpps,
+			PowerWatts: func() float64 { w, _ := r.hostTele(); return w },
+			CPUUtil:    func() float64 { _, c := r.hostTele(); return c },
+		}, 100*time.Millisecond)
 		ctl.Start()
 		ctlTransitions = &ctl.Transitions
 	}
@@ -210,6 +241,17 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// appCurve is the calibrated §4 software power curve for an application.
+func appCurve(app string) power.SoftwareCurve {
+	switch app {
+	case "dns":
+		return power.NSDServer
+	case "paxos":
+		return power.LibpaxosLeader
+	}
+	return power.MemcachedMellanox
 }
 
 func buildRig(s Scenario, sim *simnet.Simulator, net *simnet.Network) (*rig, error) {

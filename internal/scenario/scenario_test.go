@@ -16,6 +16,10 @@ func TestParseValidation(t *testing.T) {
 		{`{"app":"kvs","profile":[{"duration_s":-1,"kpps":10}]}`, false},
 		{`{"app":"kvs","controller":"magic","profile":[{"duration_s":1,"kpps":1}]}`, false},
 		{`{"app":"kvs","strategy":"bogus","profile":[{"duration_s":1,"kpps":1}]}`, false},
+		{`{"app":"kvs","policy":"threshold","profile":[{"duration_s":1,"kpps":1}]}`, true},
+		{`{"app":"kvs","policy":"quantum","profile":[{"duration_s":1,"kpps":1}]}`, false},
+		{`{"app":"kvs","policy":"threshold","controller":"host","profile":[{"duration_s":1,"kpps":1}]}`, false},
+		{`{"app":"kvs","policy":"threshold","controller":"none","profile":[{"duration_s":1,"kpps":1}]}`, true},
 		{`not json`, false},
 	}
 	for _, tc := range cases {
@@ -124,6 +128,47 @@ func TestRunPaxos(t *testing.T) {
 	}
 	if res.ServedFrac < 0.9 {
 		t.Errorf("served = %v", res.ServedFrac)
+	}
+}
+
+// A named policy drives the same decision code as the controller field:
+// "threshold" reproduces the network-controlled shift, "static-network"
+// pins the service in hardware regardless of load.
+func TestRunWithNamedPolicy(t *testing.T) {
+	res, err := Run(Scenario{
+		App:    "kvs",
+		Policy: "threshold",
+		Keys:   200,
+		Profile: []Segment{
+			{DurationS: 2, Kpps: 10},
+			{DurationS: 4, Kpps: 200},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transitions) == 0 {
+		t.Fatal("threshold policy never shifted")
+	}
+	if res.Samples[len(res.Samples)-1].Placement != "network" {
+		t.Error("should end offloaded under sustained load")
+	}
+
+	res, err = Run(Scenario{
+		App:    "kvs",
+		Policy: "static-network",
+		Keys:   50,
+		Profile: []Segment{
+			{DurationS: 2, Kpps: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if s.Placement != "network" {
+			t.Fatalf("static-network policy drifted: %+v", s)
+		}
 	}
 }
 
