@@ -57,6 +57,92 @@ func BenchmarkInfraSensitivity(b *testing.B)    { benchExperiment(b, "infra") }
 func BenchmarkIdleStrategies(b *testing.B)      { benchExperiment(b, "strategies") }
 func BenchmarkModelValidation(b *testing.B)     { benchExperiment(b, "validate") }
 
+// Dataplane serving-path benchmarks: the handler hot paths the live
+// daemons run per datagram, and the sharded store's scaling across
+// workers. CI runs these as a smoke test (-bench=Dataplane -benchtime=1x)
+// so allocation regressions on the serving path are visible.
+
+// BenchmarkDataplaneKVSGet is the headline hot path: framed memcached
+// GET through parse, sharded lookup and encode. It must report 0 B/op.
+func BenchmarkDataplaneKVSGet(b *testing.B) {
+	h := kvs.NewHandler(kvs.NewShardedStore(4, 0))
+	scratch := make([]byte, 0, 4096)
+	set := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: "key-123456", Value: []byte("value-abcdef")}))
+	if _, ok := h.HandleDatagram(set, &scratch); !ok {
+		b.Fatal("set failed")
+	}
+	get := memcache.EncodeFrame(memcache.Frame{RequestID: 2, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: "key-123456"}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, ok := h.HandleDatagram(get, &scratch); !ok || len(out) == 0 {
+			b.Fatal("get failed")
+		}
+	}
+}
+
+func BenchmarkDataplaneKVSSet(b *testing.B) {
+	h := kvs.NewHandler(kvs.NewShardedStore(4, 0))
+	scratch := make([]byte, 0, 4096)
+	set := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: "key-123456", Value: []byte("value-abcdef")}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.HandleDatagram(set, &scratch); !ok {
+			b.Fatal("set failed")
+		}
+	}
+}
+
+func BenchmarkDataplaneDNS(b *testing.B) {
+	zone := dns.NewZone()
+	zone.PopulateSequential(64)
+	h := dns.NewHandler(zone)
+	scratch := make([]byte, 0, 4096)
+	q, err := dns.Encode(dns.NewQuery(9, dns.SequentialName(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out, ok := h.HandleDatagram(q, &scratch); !ok || len(out) == 0 {
+			b.Fatal("no answer")
+		}
+	}
+}
+
+// BenchmarkDataplaneShardedStore shows GET throughput scaling with the
+// shard count under parallel load (run with -cpu to vary worker count):
+// one shard serializes on a single mutex, more shards spread the work.
+func BenchmarkDataplaneShardedStore(b *testing.B) {
+	const keys = 4096
+	keyBytes := make([][]byte, keys)
+	for i := range keyBytes {
+		keyBytes[i] = fmt.Appendf(nil, "key-%d", i)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			st := kvs.NewShardedStore(shards, 0)
+			for i := range keyBytes {
+				st.Set(string(keyBytes[i]), kvs.Entry{Value: []byte("v")})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := st.Get(keyBytes[i&(keys-1)], 0); !ok {
+						b.Fatal("miss")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // Hot-path micro-benchmarks.
 
 func BenchmarkMemcacheParseGet(b *testing.B) {

@@ -1,6 +1,7 @@
 // Command incdnsd is a runnable authoritative DNS UDP server (A records
 // only, like Emu DNS) built from the repository's wire codec and zone,
-// with the on-demand orchestrator attached.
+// served by the shared sharded dataplane with the on-demand orchestrator
+// attached.
 //
 // Zone files are simple "name ipv4 [ttl]" lines:
 //
@@ -11,6 +12,7 @@
 //	incdnsd -addr :5353 -zone zone.txt -ctrl :8081 &
 //	dig @localhost -p 5353 host0.example.com A
 //	curl localhost:8081/v1/services/dns
+//	curl localhost:8081/v1/services/dns/dataplane
 package main
 
 import (
@@ -22,16 +24,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"incod/internal/core"
 	"incod/internal/daemon"
+	"incod/internal/dataplane"
 	"incod/internal/dns"
 	"incod/internal/power"
 )
 
 func main() {
 	addr := flag.String("addr", ":5353", "UDP listen address")
+	shards := flag.Int("shards", 0, "dataplane shard workers (0 = GOMAXPROCS)")
 	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
 	crossKpps := flag.Float64("crossover", 150, "advisory software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -39,6 +42,8 @@ func main() {
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8081); empty disables")
 	flag.Parse()
 
+	// The zone must be fully loaded before serving starts: it is read
+	// lock-free by every shard worker.
 	zone := dns.NewZone()
 	if *zonePath == "" {
 		zone.PopulateSequential(16)
@@ -51,7 +56,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("incdnsd: %v", err)
 	}
-	defer conn.Close()
+
+	eng := dataplane.New(conn, dns.NewHandler(zone), dataplane.Config{
+		Name: "incdnsd", Shards: *shards,
+		// DNS datagrams are small; a tight bound also caps the engine's
+		// overload memory (Shards*QueueDepth*MaxDatagram).
+		MaxDatagram: 4096,
+	})
 	log.Printf("incdnsd: serving %d records on %s (policy %s)", zone.Len(), *addr, *policy)
 
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
@@ -62,41 +73,18 @@ func main() {
 		log.Fatalf("incdnsd: %v", err)
 	}
 	defer orch.Close()
+	svc.UseCounter(eng.Handled)
+	if err := orch.AttachDataplane("dns", eng); err != nil {
+		log.Fatalf("incdnsd: %v", err)
+	}
 	if ctrlSrv != nil {
 		log.Printf("incdnsd: control plane on http://%s/v1/services", ctrlSrv.Addr())
 	}
 
-	var closing atomic.Bool
-	daemon.OnShutdown("incdnsd", ctrlSrv, orch, func() {
-		closing.Store(true)
-		conn.Close()
-	})
+	daemon.OnShutdown("incdnsd", ctrlSrv, orch, eng.Close)
 
-	buf := make([]byte, 4096)
-	for {
-		n, from, err := conn.ReadFrom(buf)
-		if err != nil {
-			if closing.Load() {
-				log.Printf("incdnsd: shut down cleanly")
-				return
-			}
-			log.Printf("incdnsd: read: %v", err)
-			return
-		}
-		svc.Observe()
-		q, err := dns.Decode(buf[:n], 0)
-		if err != nil || q.Response {
-			continue
-		}
-		resp := zone.Resolve(q)
-		out, err := dns.Encode(resp)
-		if err != nil {
-			continue
-		}
-		if _, err := conn.WriteTo(out, from); err != nil {
-			log.Printf("incdnsd: write: %v", err)
-		}
-	}
+	eng.Run()
+	log.Printf("incdnsd: shut down cleanly")
 }
 
 func loadZone(zone *dns.Zone, path string) error {

@@ -1,16 +1,18 @@
 // Command inckvsd is a runnable memcached-protocol UDP server built from
-// the same store and codec the simulator uses, with an embedded on-demand
+// the same store and codec the simulator uses, served by the shared
+// sharded dataplane (internal/dataplane) with an embedded on-demand
 // orchestrator: it meters the live query rate, runs the selected §9.1
 // placement policy, and reports when the service would shift between host
 // and network (advisory, since this process has no FPGA attached).
 //
 // Try it:
 //
-//	inckvsd -addr :11211 -ctrl :8080 -policy threshold &
+//	inckvsd -addr :11211 -ctrl :8080 -policy threshold -shards 4 &
 //	# framed clients (memcached UDP mode) and raw ASCII both work:
 //	printf 'set k 0 0 5\r\nhello\r\n' | socat - UDP:localhost:11211
 //	printf 'get k\r\n' | socat - UDP:localhost:11211
 //	curl localhost:8080/v1/services/kvs
+//	curl localhost:8080/v1/services/kvs/dataplane
 package main
 
 import (
@@ -18,19 +20,18 @@ import (
 	"log"
 	"net"
 	"strings"
-	"sync/atomic"
-	"time"
 
 	"incod/internal/core"
 	"incod/internal/daemon"
+	"incod/internal/dataplane"
 	"incod/internal/kvs"
-	"incod/internal/memcache"
 	"incod/internal/power"
-	"incod/internal/simnet"
 )
 
 func main() {
 	addr := flag.String("addr", ":11211", "UDP listen address")
+	shards := flag.Int("shards", 0, "dataplane shard workers (0 = GOMAXPROCS)")
+	maxEntries := flag.Int("max-entries", 0, "LRU-bound the store to this many entries (0 = unbounded)")
 	crossKpps := flag.Float64("crossover", 80, "advisory software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
 		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
@@ -41,11 +42,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)
 	}
-	defer conn.Close()
-	log.Printf("inckvsd: serving memcached UDP on %s (policy %s, advisory crossover %.0f kpps)",
-		*addr, *policy, *crossKpps)
 
-	store := kvs.NewStore()
+	store := kvs.NewShardedStore(*shards, *maxEntries)
+	eng := dataplane.New(conn, kvs.NewHandler(store), dataplane.Config{
+		Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey,
+	})
+	log.Printf("inckvsd: serving memcached UDP on %s (%d store shards, policy %s, advisory crossover %.0f kpps)",
+		*addr, store.Shards(), *policy, *crossKpps)
+
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "kvs", Policy: *policy, CrossKpps: *crossKpps,
 		Curve: power.MemcachedMellanox, CtrlAddr: *ctrl,
@@ -54,60 +58,19 @@ func main() {
 		log.Fatalf("inckvsd: %v", err)
 	}
 	defer orch.Close()
+	svc.UseCounter(eng.Handled)
+	if err := orch.AttachDataplane("kvs", eng); err != nil {
+		log.Fatalf("inckvsd: %v", err)
+	}
 	if ctrlSrv != nil {
 		log.Printf("inckvsd: control plane on http://%s/v1/services", ctrlSrv.Addr())
 	}
 
 	// Graceful exit: a signal (or a control-plane serve failure) drains
-	// the HTTP server, stops the orchestrator and unblocks the read loop.
-	var closing atomic.Bool
-	daemon.OnShutdown("inckvsd", ctrlSrv, orch, func() {
-		closing.Store(true)
-		conn.Close()
-	})
+	// the HTTP server, stops the orchestrator, and drains the dataplane
+	// (queued datagrams are still answered before the socket closes).
+	daemon.OnShutdown("inckvsd", ctrlSrv, orch, eng.Close)
 
-	start := time.Now()
-	buf := make([]byte, 64*1024)
-	for {
-		n, from, err := conn.ReadFrom(buf)
-		if err != nil {
-			if closing.Load() {
-				log.Printf("inckvsd: shut down cleanly")
-				return
-			}
-			log.Printf("inckvsd: read: %v", err)
-			return
-		}
-		svc.Observe()
-		// The 8-byte UDP frame header is all-binary, so framing is
-		// ambiguous; prefer the framed interpretation, but fall back to
-		// raw ASCII so manual testing with socat/netcat works.
-		framed := false
-		var frame memcache.Frame
-		var req memcache.Request
-		parseErr := memcache.ErrMalformed
-		if f, body, err := memcache.DecodeFrame(buf[:n]); err == nil {
-			if r, err := memcache.ParseRequest(body); err == nil {
-				framed, frame, req, parseErr = true, f, r, nil
-			}
-		}
-		if parseErr != nil {
-			if r, err := memcache.ParseRequest(buf[:n]); err == nil {
-				req, parseErr = r, nil
-			}
-		}
-		var resp memcache.Response
-		if parseErr != nil {
-			resp = memcache.Response{Status: memcache.StatusError}
-		} else {
-			resp = store.Apply(req, simnet.Time(time.Since(start)))
-		}
-		out := memcache.EncodeResponse(resp)
-		if framed {
-			out = memcache.EncodeFrame(memcache.Frame{RequestID: frame.RequestID, Total: 1}, out)
-		}
-		if _, err := conn.WriteTo(out, from); err != nil {
-			log.Printf("inckvsd: write: %v", err)
-		}
-	}
+	eng.Run()
+	log.Printf("inckvsd: shut down cleanly")
 }

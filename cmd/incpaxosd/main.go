@@ -1,7 +1,10 @@
 // Command incpaxosd runs one Paxos role over real UDP, using the same
 // wire format and protocol rules as the simulated deployment — including
 // the §9.2 hand-off machinery (last-voted piggybacks, fresh leaders
-// starting at sequence 1, client retries). A full system on one machine:
+// starting at sequence 1, client retries). The server roles serve through
+// the shared sharded dataplane (internal/dataplane), so transient socket
+// errors are survived and per-shard stats appear on the control API. A
+// full system on one machine:
 //
 //	incpaxosd -role acceptor -id 0 -addr :7000 -learners localhost:7100 &
 //	incpaxosd -role acceptor -id 1 -addr :7001 -learners localhost:7100 &
@@ -32,6 +35,7 @@ import (
 func main() {
 	role := flag.String("role", "", "acceptor | leader | learner | client")
 	addr := flag.String("addr", ":0", "UDP listen address")
+	shards := flag.Int("shards", 1, "dataplane shard workers (role state is serialized either way; >1 only parallelizes decode)")
 	id := flag.Int("id", 0, "acceptor id")
 	ballot := flag.Int("ballot", 1, "leader ballot (epoch); a replacement leader must use a higher one")
 	acceptors := flag.String("acceptors", "", "comma-separated acceptor addresses (leader)")
@@ -58,26 +62,43 @@ func main() {
 	if ctrlSrv != nil {
 		log.Printf("incpaxosd: control plane on http://%s/v1/services", ctrlSrv.Addr())
 	}
-	// The long-running roles loop forever; exit gracefully on a signal or
-	// a control-plane serve failure.
-	daemon.OnShutdown("incpaxosd", ctrlSrv, orch, func() { os.Exit(0) })
 
-	obs := svc.Observe
+	var r serverRole
 	switch *role {
 	case "acceptor":
-		runAcceptor(*addr, uint16(*id), splitAddrs(*learners), obs)
+		r = newAcceptor(*addr, uint16(*id), splitAddrs(*learners), *shards)
 	case "leader":
-		runLeader(*addr, uint32(*ballot), splitAddrs(*acceptors), obs)
+		r = newLeader(*addr, uint32(*ballot), splitAddrs(*acceptors), *shards)
 	case "learner":
-		runLearner(*addr, *quorum, *leader, obs)
+		r = newLearner(*addr, *quorum, *leader, *shards)
 	case "client":
-		runClient(*leader, *rate, *duration, *timeout, obs)
+		// The client has no engine to drain; a signal mid-run still
+		// stops the control plane and exits cleanly.
+		daemon.OnShutdown("incpaxosd", ctrlSrv, orch, func() { os.Exit(0) })
+		runClient(*leader, *rate, *duration, *timeout, svc)
 		daemon.GracefulStop("incpaxosd", ctrlSrv, orch)
+		return
 	default:
 		log.Println("incpaxosd: -role must be acceptor, leader, learner or client")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	svc.UseCounter(r.eng.Handled)
+	if err := orch.AttachDataplane("paxos", r.eng); err != nil {
+		log.Fatalf("incpaxosd: %v", err)
+	}
+	// Graceful exit: stop the role's side machinery (e.g. the learner's
+	// gap scanner), then drain the dataplane, unblocking Run below.
+	daemon.OnShutdown("incpaxosd", ctrlSrv, orch, func() {
+		if r.stop != nil {
+			r.stop()
+		}
+		r.eng.Close()
+	})
+
+	r.eng.Run()
+	log.Printf("incpaxosd: shut down cleanly")
 }
 
 func splitAddrs(s string) []string {

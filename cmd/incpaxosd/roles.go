@@ -7,254 +7,127 @@ import (
 	"sync"
 	"time"
 
+	"incod/internal/daemon"
+	"incod/internal/dataplane"
 	"incod/internal/paxos"
 	"incod/internal/simnet"
+	"incod/internal/telemetry"
 )
 
-// node is shared UDP plumbing for the real-socket roles.
-type node struct {
-	conn net.PacketConn
-	// observe meters each decoded message into the on-demand
-	// orchestrator's rate counter.
-	observe func()
-}
+// The protocol logic lives in internal/paxos (LiveAcceptor, LiveLeader,
+// LiveLearner); this file only wires sockets, senders and the dataplane
+// engine around it.
 
-func listen(addr string, observe func()) *node {
+func listen(addr string) net.PacketConn {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		log.Fatalf("incpaxosd: %v", err)
 	}
-	return &node{conn: conn, observe: observe}
+	return conn
 }
 
-func (n *node) send(to string, m paxos.Msg) {
-	dst, err := net.ResolveUDPAddr("udp", to)
-	if err != nil {
-		log.Printf("incpaxosd: resolve %s: %v", to, err)
-		return
-	}
-	if _, err := n.conn.WriteTo(paxos.Encode(m), dst); err != nil {
-		log.Printf("incpaxosd: send to %s: %v", to, err)
-	}
-}
-
-func (n *node) loop(handle func(m paxos.Msg, from net.Addr)) {
-	buf := make([]byte, 64*1024)
-	for {
-		sz, from, err := n.conn.ReadFrom(buf)
-		if err != nil {
-			log.Printf("incpaxosd: read: %v", err)
-			return
-		}
-		m, err := paxos.Decode(buf[:sz])
-		if err != nil {
-			continue
-		}
-		if n.observe != nil {
-			n.observe()
-		}
-		handle(m, from)
-	}
-}
-
-// --- acceptor -------------------------------------------------------------
-
-type accState struct {
-	promised uint32
-	accepted bool
-	vballot  uint32
-	m        paxos.Msg
-}
-
-func runAcceptor(addr string, id uint16, learners []string, observe func()) {
-	n := listen(addr, observe)
-	log.Printf("incpaxosd: acceptor %d on %s, learners %v", id, n.conn.LocalAddr(), learners)
-	states := make(map[uint64]*accState)
-	var lastVoted uint64
-
-	vote := func(inst uint64, st *accState, proposer string) {
-		out := st.m
-		out.Type = paxos.MsgPhase2B
-		out.Instance = inst
-		out.Ballot = st.vballot
-		out.VBallot = st.vballot
-		out.NodeID = id
-		out.LastVoted = lastVoted
-		for _, l := range learners {
-			n.send(l, out)
-		}
-		n.send(proposer, out)
-	}
-	n.loop(func(m paxos.Msg, from net.Addr) {
-		st, ok := states[m.Instance]
-		if !ok {
-			st = &accState{}
-			states[m.Instance] = st
-		}
-		switch m.Type {
-		case paxos.MsgPhase1A:
-			if m.Ballot >= st.promised {
-				st.promised = m.Ballot
-			}
-			resp := paxos.Msg{Type: paxos.MsgPhase1B, Instance: m.Instance,
-				Ballot: st.promised, NodeID: id, LastVoted: lastVoted}
-			if st.accepted {
-				resp.VBallot = st.vballot
-				resp.Value = st.m.Value
-			}
-			n.send(from.String(), resp)
-		case paxos.MsgPhase2A:
-			if st.accepted {
-				vote(m.Instance, st, from.String())
-				return
-			}
-			if m.Ballot < st.promised {
-				n.send(from.String(), paxos.Msg{Type: paxos.MsgPhase1B, Instance: m.Instance,
-					Ballot: st.promised, NodeID: id, LastVoted: lastVoted})
-				return
-			}
-			st.promised = m.Ballot
-			st.accepted = true
-			st.vballot = m.Ballot
-			st.m = m
-			if m.Instance > lastVoted {
-				lastVoted = m.Instance
-			}
-			vote(m.Instance, st, from.String())
-		}
-	})
-}
-
-// --- leader ---------------------------------------------------------------
-
-func runLeader(addr string, ballot uint32, acceptors []string, observe func()) {
-	n := listen(addr, observe)
-	log.Printf("incpaxosd: leader on %s, ballot %d, acceptors %v (starting at sequence 1 per §9.2)",
-		n.conn.LocalAddr(), ballot, acceptors)
-	next := uint64(1)
-	propose := func(m paxos.Msg) {
-		for _, a := range acceptors {
-			n.send(a, m)
-		}
-	}
-	n.loop(func(m paxos.Msg, from net.Addr) {
-		switch m.Type {
-		case paxos.MsgClientRequest:
-			inst := next
-			next++
-			clientAddr := m.ClientAddr
-			if clientAddr == "" {
-				clientAddr = simnet.Addr(from.String())
-			}
-			propose(paxos.Msg{Type: paxos.MsgPhase2A, Instance: inst, Ballot: ballot,
-				ClientID: m.ClientID, Seq: m.Seq, ClientAddr: clientAddr, Value: m.Value})
-		case paxos.MsgPhase2B, paxos.MsgPhase1B:
-			if m.LastVoted+1 > next {
-				next = m.LastVoted + 1
-			}
-		case paxos.MsgGapRequest:
-			propose(paxos.Msg{Type: paxos.MsgPhase2A, Instance: m.Instance, Ballot: ballot, Value: paxos.NoOp})
-		}
-	})
-}
-
-// --- learner --------------------------------------------------------------
-
-func runLearner(addr string, quorum int, leader string, observe func()) {
-	n := listen(addr, observe)
-	log.Printf("incpaxosd: learner on %s, quorum %d", n.conn.LocalAddr(), quorum)
-	votes := make(map[uint64]map[uint16]paxos.Msg)
-	decided := make(map[uint64]bool)
-	var highest uint64
+// sender returns a paxos.Sender transmitting from conn, caching address
+// resolution per destination.
+func sender(conn net.PacketConn) paxos.Sender {
 	var mu sync.Mutex
-
-	if leader != "" {
-		go func() {
-			tick := time.NewTicker(100 * time.Millisecond)
-			defer tick.Stop()
-			for range tick.C {
-				mu.Lock()
-				for inst := uint64(1); inst < highest; inst++ {
-					if !decided[inst] {
-						n.send(leader, paxos.Msg{Type: paxos.MsgGapRequest, Instance: inst})
-					}
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	n.loop(func(m paxos.Msg, from net.Addr) {
-		if m.Type != paxos.MsgPhase2B {
-			return
-		}
+	cache := map[string]*net.UDPAddr{}
+	return func(to string, m paxos.Msg) {
 		mu.Lock()
-		defer mu.Unlock()
-		if decided[m.Instance] {
-			return
-		}
-		byNode := votes[m.Instance]
-		if byNode == nil {
-			byNode = make(map[uint16]paxos.Msg)
-			votes[m.Instance] = byNode
-		}
-		byNode[m.NodeID] = m
-		var best uint32
-		for _, v := range byNode {
-			if v.VBallot > best {
-				best = v.VBallot
+		dst := cache[to]
+		mu.Unlock()
+		if dst == nil {
+			var err error
+			if dst, err = net.ResolveUDPAddr("udp", to); err != nil {
+				log.Printf("incpaxosd: resolve %s: %v", to, err)
+				return
 			}
+			mu.Lock()
+			cache[to] = dst
+			mu.Unlock()
 		}
-		agree := 0
-		var chosen paxos.Msg
-		for _, v := range byNode {
-			if v.VBallot == best {
-				agree++
-				chosen = v
-			}
+		if _, err := conn.WriteTo(paxos.Encode(m), dst); err != nil {
+			log.Printf("incpaxosd: send to %s: %v", to, err)
 		}
-		if agree < quorum {
-			return
-		}
-		decided[m.Instance] = true
-		delete(votes, m.Instance)
-		if m.Instance > highest {
-			highest = m.Instance
-		}
-		if chosen.ClientAddr != "" {
-			n.send(string(chosen.ClientAddr), paxos.Msg{Type: paxos.MsgDecision,
-				Instance: m.Instance, ClientID: chosen.ClientID, Seq: chosen.Seq, Value: chosen.Value})
-		}
-	})
+	}
 }
 
-// --- client ---------------------------------------------------------------
+// serverRole is a built server role: its engine plus any extra teardown
+// to run before the engine drains.
+type serverRole struct {
+	eng  *dataplane.Engine
+	stop func()
+}
 
-func runClient(leader string, rate float64, duration, timeout time.Duration, observe func()) {
+func newAcceptor(addr string, id uint16, learners []string, shards int) serverRole {
+	conn := listen(addr)
+	h := paxos.NewLiveAcceptor(id, learners, sender(conn))
+	log.Printf("incpaxosd: acceptor %d on %s, learners %v", id, conn.LocalAddr(), learners)
+	return serverRole{eng: dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards})}
+}
+
+func newLeader(addr string, ballot uint32, acceptors []string, shards int) serverRole {
+	conn := listen(addr)
+	h := paxos.NewLiveLeader(ballot, acceptors, sender(conn))
+	log.Printf("incpaxosd: leader on %s, ballot %d, acceptors %v (starting at sequence 1 per §9.2)",
+		conn.LocalAddr(), ballot, acceptors)
+	return serverRole{eng: dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards})}
+}
+
+func newLearner(addr string, quorum int, leader string, shards int) serverRole {
+	conn := listen(addr)
+	h := paxos.NewLiveLearner(quorum, leader, sender(conn))
+	h.Start(100 * time.Millisecond)
+	log.Printf("incpaxosd: learner on %s, quorum %d", conn.LocalAddr(), quorum)
+	return serverRole{
+		eng:  dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards}),
+		stop: h.Stop,
+	}
+}
+
+// runClient submits requests at rate for duration, retrying per §9.2 on
+// timeout, and reports decided count, retries and latency percentiles.
+// Decisions arrive through a single-shard engine so transient socket
+// errors can't kill the receive path.
+func runClient(leader string, rate float64, duration, timeout time.Duration, svc *daemon.ManagedService) {
 	if leader == "" {
 		log.Fatal("incpaxosd: client needs -leader")
 	}
-	n := listen(":0", observe)
-	self := n.conn.LocalAddr().String()
+	conn := listen(":0")
+	send := sender(conn)
+	self := conn.LocalAddr().String()
 	log.Printf("incpaxosd: client on %s -> leader %s, %.0f req/s for %v", self, leader, rate, duration)
 
 	var mu sync.Mutex
 	pending := make(map[uint64]time.Time)
 	var decidedCount, retries uint64
-	var totalLat time.Duration
+	hist := telemetry.NewHistogram()
 
-	go n.loop(func(m paxos.Msg, from net.Addr) {
-		if m.Type != paxos.MsgDecision {
-			return
+	eng := dataplane.New(conn, dataplane.HandlerFunc(func(in []byte, _ *[]byte) ([]byte, bool) {
+		m, err := paxos.Decode(in)
+		if err != nil || m.Type != paxos.MsgDecision {
+			return nil, false
 		}
 		mu.Lock()
 		if sent, ok := pending[m.Seq]; ok {
 			delete(pending, m.Seq)
 			decidedCount++
-			totalLat += time.Since(sent)
+			hist.Observe(time.Since(sent))
 		}
 		mu.Unlock()
-	})
+		return nil, false
+	}), dataplane.Config{Name: "incpaxosd", Shards: 1})
+	eng.Start()
+	defer eng.Close()
+	if svc != nil {
+		svc.UseCounter(eng.Handled)
+	}
 
+	request := func(s uint64) paxos.Msg {
+		v := make([]byte, 8)
+		binary.BigEndian.PutUint64(v, s)
+		return paxos.Msg{Type: paxos.MsgClientRequest, Seq: s,
+			ClientAddr: simnet.Addr(self), Value: v}
+	}
 	var seq uint64
 	submit := func() {
 		mu.Lock()
@@ -262,10 +135,7 @@ func runClient(leader string, rate float64, duration, timeout time.Duration, obs
 		s := seq
 		pending[s] = time.Now()
 		mu.Unlock()
-		v := make([]byte, 8)
-		binary.BigEndian.PutUint64(v, s)
-		n.send(leader, paxos.Msg{Type: paxos.MsgClientRequest, Seq: s,
-			ClientAddr: simnet.Addr(self), Value: v})
+		send(leader, request(s))
 		go func(s uint64) {
 			tick := time.NewTicker(timeout)
 			defer tick.Stop()
@@ -273,17 +143,13 @@ func runClient(leader string, rate float64, duration, timeout time.Duration, obs
 				mu.Lock()
 				_, still := pending[s]
 				if still {
-					pending[s] = pending[s] // keep first-send time
 					retries++
 				}
 				mu.Unlock()
 				if !still {
 					return
 				}
-				v := make([]byte, 8)
-				binary.BigEndian.PutUint64(v, s)
-				n.send(leader, paxos.Msg{Type: paxos.MsgClientRequest, Seq: s,
-					ClientAddr: simnet.Addr(self), Value: v})
+				send(leader, request(s))
 			}
 		}(s)
 	}
@@ -297,10 +163,6 @@ func runClient(leader string, rate float64, duration, timeout time.Duration, obs
 	time.Sleep(500 * time.Millisecond)
 	mu.Lock()
 	defer mu.Unlock()
-	avg := time.Duration(0)
-	if decidedCount > 0 {
-		avg = totalLat / time.Duration(decidedCount)
-	}
-	log.Printf("incpaxosd: client done: %d decided, %d outstanding, %d retries, avg latency %v",
-		decidedCount, len(pending), retries, avg)
+	log.Printf("incpaxosd: client done: %d decided, %d outstanding, %d retries, latency p50=%v p99=%v",
+		decidedCount, len(pending), retries, hist.Median(), hist.P99())
 }

@@ -24,10 +24,15 @@ import (
 //	                                         "network" | "auto"} (manual
 //	                                         pin; "auto" returns control
 //	                                         to the policy)
+//	GET  /v1/dataplane                    -> {name: dataplane.Stats}
+//	GET  /v1/services/{name}/dataplane    -> dataplane.Stats (per-shard
+//	                                         serving-engine counters,
+//	                                         rate, handler stats)
 //
-// Errors are JSON {"error": "..."} with 404 for unknown services, 400 for
-// invalid input, 409 for threshold operations on a policy without rate
-// thresholds, and 405 for unsupported methods.
+// Errors are JSON {"error": "..."} with 404 for unknown services or
+// services without an attached dataplane, 400 for invalid input, 409 for
+// threshold operations on a policy without rate thresholds, and 405 for
+// unsupported methods.
 func (o *Orchestrator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/services", func(w http.ResponseWriter, r *http.Request) {
@@ -61,6 +66,17 @@ func (o *Orchestrator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, got)
+	})
+	mux.HandleFunc("GET /v1/dataplane", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Dataplanes())
+	})
+	mux.HandleFunc("GET /v1/services/{name}/dataplane", func(w http.ResponseWriter, r *http.Request) {
+		st, err := o.Dataplane(r.PathValue("name"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, st)
 	})
 	mux.HandleFunc("POST /v1/services/{name}/placement", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
@@ -100,7 +116,7 @@ func (o *Orchestrator) Handler() http.Handler {
 // writeErr maps orchestrator errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrUnknownService):
+	case errors.Is(err, ErrUnknownService), errors.Is(err, ErrNoDataplane):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, ErrNotTunable):
 		writeError(w, http.StatusConflict, err.Error())

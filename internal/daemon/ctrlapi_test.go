@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"incod/internal/core"
+	"incod/internal/dataplane"
 )
 
 // newAPI builds an orchestrator with two threshold-policy services and
@@ -270,5 +271,90 @@ func TestServeCtrlLifecycle(t *testing.T) {
 	case err := <-cs.Err():
 		t.Errorf("unexpected serve error after shutdown: %v", err)
 	default:
+	}
+}
+
+// fakeDataplane is a canned DataplaneSource.
+type fakeDataplane struct{ st dataplane.Stats }
+
+func (f fakeDataplane) Snapshot() dataplane.Stats { return f.st }
+
+func TestV1DataplaneStats(t *testing.T) {
+	o, srv := newAPI(t)
+	want := dataplane.Stats{
+		Shards: []dataplane.ShardStats{
+			{Shard: 0, Received: 70, Handled: 70, Replies: 70},
+			{Shard: 1, Received: 30, Handled: 29, Replies: 29, Dropped: 1},
+		},
+		Received: 100, Handled: 99, Replies: 99, Dropped: 1,
+		RateKpps: 12.5,
+		Handler:  map[string]uint64{"hits": 80, "misses": 19},
+	}
+	if err := o.AttachDataplane("kvs", fakeDataplane{st: want}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AttachDataplane("ghost", fakeDataplane{}); err == nil {
+		t.Fatal("attaching to an unknown service should fail")
+	}
+
+	var got dataplane.Stats
+	if code := getJSON(t, srv.URL+"/v1/services/kvs/dataplane", &got); code != http.StatusOK {
+		t.Fatalf("GET dataplane: %d", code)
+	}
+	if got.Handled != 99 || got.Dropped != 1 || len(got.Shards) != 2 ||
+		got.Shards[1].Dropped != 1 || got.Handler["hits"] != 80 {
+		t.Fatalf("dataplane stats = %+v", got)
+	}
+
+	// Services without an engine 404; unknown services 404.
+	if code := getJSON(t, srv.URL+"/v1/services/dns/dataplane", nil); code != http.StatusNotFound {
+		t.Fatalf("no-dataplane service: %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/services/ghost/dataplane", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown service: %d, want 404", code)
+	}
+
+	// The all-engines view keys by service name.
+	var all map[string]dataplane.Stats
+	if code := getJSON(t, srv.URL+"/v1/dataplane", &all); code != http.StatusOK {
+		t.Fatalf("GET /v1/dataplane: %d", code)
+	}
+	if len(all) != 1 || all["kvs"].Received != 100 {
+		t.Fatalf("all dataplanes = %+v", all)
+	}
+}
+
+func TestUseCounterFeedsOrchestrator(t *testing.T) {
+	o := NewOrchestrator(0)
+	m, err := o.Register("kvs", ServiceConfig{
+		Policy: core.NewThresholdPolicy(core.DefaultNetworkConfig(100)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	m.UseCounter(func() uint64 { return total })
+
+	now := time.Now()
+	o.Tick(now)
+	total = 50_000 // 50k requests in 500ms = 100 kpps
+	o.Tick(now.Add(500 * time.Millisecond))
+
+	st, err := o.Status("kvs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 50_000 {
+		t.Fatalf("Requests = %d, want 50000 (external counter ignored)", st.Requests)
+	}
+	if st.WindowKpps < 99 || st.WindowKpps > 101 {
+		t.Fatalf("WindowKpps = %v, want ~100", st.WindowKpps)
+	}
+	// Observe still works when no external counter is wired.
+	m2, _ := o.Register("raw", ServiceConfig{})
+	m2.Observe()
+	m2.ObserveN(4)
+	if st, _ := o.Status("raw"); st.Requests != 5 {
+		t.Fatalf("raw Requests = %d, want 5", st.Requests)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"incod/internal/core"
+	"incod/internal/dataplane"
 	"incod/internal/power"
 )
 
@@ -26,7 +27,15 @@ var (
 	ErrUnknownService = errors.New("daemon: unknown service")
 	// ErrNotTunable marks a policy without runtime rate thresholds.
 	ErrNotTunable = errors.New("daemon: policy has no rate thresholds")
+	// ErrNoDataplane marks a service without an attached serving engine.
+	ErrNoDataplane = errors.New("daemon: service has no dataplane attached")
 )
+
+// DataplaneSource snapshots a serving engine's per-shard statistics;
+// *dataplane.Engine implements it.
+type DataplaneSource interface {
+	Snapshot() dataplane.Stats
+}
 
 // PowerModel estimates host package power and CPU utilization from the
 // observed request rate, standing in for RAPL on machines where the
@@ -57,7 +66,10 @@ type ServiceConfig struct {
 
 // ManagedService is one registered service. Its Observe method is the
 // daemon datapath hook and is safe for concurrent use without locking
-// (a single atomic increment per request).
+// (a single atomic increment per request). Daemons serving through the
+// dataplane engine skip per-packet Observe calls entirely: UseCounter
+// points the orchestrator at the engine's shared atomic meter, which it
+// samples once per tick.
 type ManagedService struct {
 	name  string
 	svc   core.Service
@@ -65,6 +77,9 @@ type ManagedService struct {
 	model PowerModel
 
 	count atomic.Uint64
+	// external, when set, supplies the monotonic request total instead
+	// of count (e.g. a dataplane engine's Handled).
+	external atomic.Pointer[func() uint64]
 
 	// Below are guarded by the orchestrator mutex.
 	lastCount   uint64
@@ -82,6 +97,21 @@ func (m *ManagedService) Observe() { m.count.Add(1) }
 // ObserveN records n served requests.
 func (m *ManagedService) ObserveN(n uint64) { m.count.Add(n) }
 
+// UseCounter replaces the per-call Observe counter with an external
+// monotonic total, sampled once per orchestrator tick — the dataplane
+// wiring, where the engine already counts every handled datagram. Call
+// it before traffic starts; fn must be safe for concurrent use.
+func (m *ManagedService) UseCounter(fn func() uint64) { m.external.Store(&fn) }
+
+// total returns the current request count from whichever source is
+// wired.
+func (m *ManagedService) total() uint64 {
+	if p := m.external.Load(); p != nil {
+		return (*p)()
+	}
+	return m.count.Load()
+}
+
 // Name returns the registered service name.
 func (m *ManagedService) Name() string { return m.name }
 
@@ -90,14 +120,15 @@ func (m *ManagedService) Name() string { return m.name }
 // applies (or, for advisory services, logs) the decision. One
 // orchestrator backs one daemon's /v1 control API.
 type Orchestrator struct {
-	mu       sync.Mutex
-	services map[string]*ManagedService
-	order    []string
-	epoch    time.Time
-	period   time.Duration
-	stop     chan struct{}
-	stopOnce sync.Once
-	started  bool
+	mu         sync.Mutex
+	services   map[string]*ManagedService
+	order      []string
+	dataplanes map[string]DataplaneSource
+	epoch      time.Time
+	period     time.Duration
+	stop       chan struct{}
+	stopOnce   sync.Once
+	started    bool
 }
 
 // NewOrchestrator returns an orchestrator sampling every period
@@ -188,7 +219,7 @@ func (o *Orchestrator) Tick(now time.Time) {
 }
 
 func (o *Orchestrator) tickService(m *ManagedService, now time.Time) {
-	count := m.count.Load()
+	count := m.total()
 	if m.lastAt.IsZero() {
 		m.lastCount, m.lastAt = count, now
 		return
@@ -296,7 +327,7 @@ func statusLocked(m *ManagedService) ServiceStatus {
 		Placement: m.svc.Placement().String(),
 		Policy:    m.pol.Name(),
 		Shifts:    m.shifts,
-		Requests:  m.count.Load(),
+		Requests:  m.total(),
 		LastError: m.lastErr,
 	}
 	if m.pinned != nil {
@@ -401,6 +432,53 @@ func (o *Orchestrator) Pin(name string, p core.Placement) error {
 		o.apply(m, time.Now(), p, "manual placement pin")
 	}
 	return nil
+}
+
+// AttachDataplane surfaces a serving engine's per-shard stats for the
+// registered service name on the /v1 control API. Typically paired with
+// ManagedService.UseCounter so rate metering and stats come from the
+// same engine.
+func (o *Orchestrator) AttachDataplane(name string, src DataplaneSource) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, err := o.lookup(name); err != nil {
+		return err
+	}
+	if o.dataplanes == nil {
+		o.dataplanes = make(map[string]DataplaneSource)
+	}
+	o.dataplanes[name] = src
+	return nil
+}
+
+// Dataplane snapshots the engine attached to name.
+func (o *Orchestrator) Dataplane(name string) (dataplane.Stats, error) {
+	o.mu.Lock()
+	src := o.dataplanes[name]
+	_, err := o.lookup(name)
+	o.mu.Unlock()
+	if err != nil {
+		return dataplane.Stats{}, err
+	}
+	if src == nil {
+		return dataplane.Stats{}, fmt.Errorf("%w: %q", ErrNoDataplane, name)
+	}
+	return src.Snapshot(), nil
+}
+
+// Dataplanes snapshots every attached engine by service name.
+func (o *Orchestrator) Dataplanes() map[string]dataplane.Stats {
+	o.mu.Lock()
+	srcs := make(map[string]DataplaneSource, len(o.dataplanes))
+	for name, src := range o.dataplanes {
+		srcs[name] = src
+	}
+	o.mu.Unlock()
+	out := make(map[string]dataplane.Stats, len(srcs))
+	for name, src := range srcs {
+		out[name] = src.Snapshot()
+	}
+	return out
 }
 
 // Unpin releases a manual placement pin, returning name to its policy.

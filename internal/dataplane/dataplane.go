@@ -1,0 +1,340 @@
+package dataplane
+
+import (
+	"errors"
+	"log"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incod/internal/telemetry"
+)
+
+// Handler processes one inbound datagram. in is only valid for the call;
+// implementations that keep data must copy it. scratch is a per-worker
+// reusable buffer: encode the reply into (*scratch)[:0], store the grown
+// slice back through the pointer, and return it — steady state then runs
+// without per-request allocation. ok=false sends no reply.
+type Handler interface {
+	HandleDatagram(in []byte, scratch *[]byte) (out []byte, ok bool)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(in []byte, scratch *[]byte) ([]byte, bool)
+
+// HandleDatagram implements Handler.
+func (f HandlerFunc) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
+	return f(in, scratch)
+}
+
+// SourceHandler is implemented by handlers that also need the datagram's
+// source address (Paxos roles route by it). When the handler passed to
+// New implements SourceHandler, the engine calls HandleDatagramFrom
+// instead of HandleDatagram; the returned reply still goes to the source.
+type SourceHandler interface {
+	HandleDatagramFrom(in []byte, from netip.AddrPort, scratch *[]byte) (out []byte, ok bool)
+}
+
+// StatsReporter is implemented by handlers that keep their own protocol
+// counters (hits, misses, malformed...); the engine folds a snapshot into
+// Stats so they surface on the /v1 control API.
+type StatsReporter interface {
+	StatsCounters() *telemetry.AtomicCounters
+}
+
+// Config parameterizes an Engine. The zero value is serviceable.
+type Config struct {
+	// Name prefixes log lines (default "dataplane").
+	Name string
+	// Shards is the number of worker goroutines (default GOMAXPROCS).
+	Shards int
+	// QueueDepth is the per-shard queue length (default 256). When a
+	// shard's queue is full the datagram is dropped and counted, like a
+	// NIC ring overrun — backpressure never blocks the reader. Every
+	// queued packet pins one MaxDatagram-sized pooled buffer, so worst
+	// case the engine holds Shards*QueueDepth*MaxDatagram of receive
+	// memory under overload; size the product accordingly.
+	QueueDepth int
+	// MaxDatagram is the receive buffer size (default 64 KiB, the
+	// memcached UDP maximum). Protocols with small datagrams (DNS)
+	// should pass their own bound — it also caps overload memory.
+	MaxDatagram int
+	// ShardBy picks the worker for a datagram (default SourceHash).
+	// Implementations must be pure: the same payload/source pair must
+	// always map to the same value, or per-flow ordering is lost.
+	ShardBy func(payload []byte, src netip.AddrPort) uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "dataplane"
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxDatagram <= 0 {
+		c.MaxDatagram = 64 * 1024
+	}
+	if c.ShardBy == nil {
+		c.ShardBy = SourceHash
+	}
+	return c
+}
+
+// packet is one queued datagram. buf comes from the engine's pool and is
+// returned to it by the worker.
+type packet struct {
+	buf *[]byte
+	n   int
+	src netip.AddrPort
+	// raw is the reply address for conns that are not *net.UDPConn
+	// (tests, in-memory transports); nil on the fast path.
+	raw net.Addr
+}
+
+// shard is one worker's queue and counters.
+type shard struct {
+	ch chan packet
+
+	received  atomic.Uint64
+	handled   atomic.Uint64
+	replies   atomic.Uint64
+	dropped   atomic.Uint64
+	writeErrs atomic.Uint64
+}
+
+// Engine is a sharded UDP serving runtime: one reader goroutine, N shard
+// workers, pooled buffers, graceful drain. See the package comment.
+type Engine struct {
+	conn net.PacketConn
+	udp  *net.UDPConn // non-nil enables the allocation-free address path
+	h    Handler
+	sh   SourceHandler // non-nil when h implements SourceHandler
+	cfg  Config
+
+	shards []*shard
+	pool   sync.Pool
+	meter  *telemetry.AtomicRateMeter
+
+	readErrs atomic.Uint64
+
+	closing    atomic.Bool
+	started    atomic.Bool
+	readerDone chan struct{}
+	workersWG  sync.WaitGroup
+	closeOnce  sync.Once
+	done       chan struct{}
+}
+
+// New builds an engine serving conn through h. Call Start (or Run) to
+// begin serving and Close to drain and stop.
+func New(conn net.PacketConn, h Handler, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		conn:       conn,
+		h:          h,
+		cfg:        cfg,
+		meter:      telemetry.NewAtomicRateMeter(100*time.Millisecond, 10),
+		readerDone: make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	e.udp, _ = conn.(*net.UDPConn)
+	e.sh, _ = h.(SourceHandler)
+	e.pool.New = func() any {
+		b := make([]byte, cfg.MaxDatagram)
+		return &b
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{ch: make(chan packet, cfg.QueueDepth)}
+	}
+	return e
+}
+
+// LocalAddr returns the serving socket's address.
+func (e *Engine) LocalAddr() net.Addr { return e.conn.LocalAddr() }
+
+// Meter returns the shared request-rate meter the workers feed.
+func (e *Engine) Meter() *telemetry.AtomicRateMeter { return e.meter }
+
+// Handled returns the lifetime count of handled datagrams. The daemon
+// orchestrator samples this monotonic total instead of being called back
+// per packet.
+func (e *Engine) Handled() uint64 { return e.meter.Total() }
+
+// Start launches the reader and the shard workers. It is not idempotent;
+// call it once.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, s := range e.shards {
+		e.workersWG.Add(1)
+		go e.worker(s)
+	}
+	go e.readLoop()
+}
+
+// Run starts the engine and blocks until Close has fully drained it.
+func (e *Engine) Run() {
+	e.Start()
+	<-e.done
+}
+
+// Close gracefully drains the engine: the reader stops accepting new
+// datagrams, already-queued ones are handled and answered, then the
+// socket closes. It is idempotent and blocks until the drain completes.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.closing.Store(true)
+		if e.started.Load() {
+			// Unblock the reader without tearing the socket down, so
+			// queued replies can still be written during the drain.
+			_ = e.conn.SetReadDeadline(time.Now())
+			<-e.readerDone
+			for _, s := range e.shards {
+				close(s.ch)
+			}
+			e.workersWG.Wait()
+		}
+		_ = e.conn.Close()
+		close(e.done)
+	})
+}
+
+func (e *Engine) readLoop() {
+	defer close(e.readerDone)
+	for {
+		bufp := e.pool.Get().(*[]byte)
+		var (
+			n   int
+			src netip.AddrPort
+			raw net.Addr
+			err error
+		)
+		if e.udp != nil {
+			n, src, err = e.udp.ReadFromUDPAddrPort(*bufp)
+		} else {
+			n, raw, err = e.conn.ReadFrom(*bufp)
+			if u, ok := raw.(*net.UDPAddr); ok {
+				src = u.AddrPort()
+			}
+		}
+		if err != nil {
+			e.pool.Put(bufp)
+			if e.closing.Load() {
+				return
+			}
+			if errors.Is(err, net.ErrClosed) {
+				// Not our shutdown path: the socket is gone, so serving
+				// is over — but only shutdown exits silently.
+				log.Printf("%s: socket closed unexpectedly: %v", e.cfg.Name, err)
+				return
+			}
+			// Transient: async ICMP errors surfaced by a previous write,
+			// spurious wakeups. Count, log sparsely, keep serving.
+			if c := e.readErrs.Add(1); c&(c-1) == 0 {
+				log.Printf("%s: transient read error (#%d, serving continues): %v", e.cfg.Name, c, err)
+			}
+			continue
+		}
+		s := e.shards[e.shardIndex((*bufp)[:n], src)]
+		s.received.Add(1)
+		select {
+		case s.ch <- packet{buf: bufp, n: n, src: src, raw: raw}:
+		default:
+			s.dropped.Add(1)
+			e.pool.Put(bufp)
+		}
+	}
+}
+
+func (e *Engine) worker(s *shard) {
+	defer e.workersWG.Done()
+	scratch := make([]byte, 0, e.cfg.MaxDatagram)
+	for pkt := range s.ch {
+		in := (*pkt.buf)[:pkt.n]
+		var out []byte
+		var ok bool
+		if e.sh != nil {
+			out, ok = e.sh.HandleDatagramFrom(in, pkt.src, &scratch)
+		} else {
+			out, ok = e.h.HandleDatagram(in, &scratch)
+		}
+		s.handled.Add(1)
+		e.meter.Add(1)
+		if ok && len(out) > 0 {
+			if err := e.reply(out, pkt); err != nil {
+				s.writeErrs.Add(1)
+			} else {
+				s.replies.Add(1)
+			}
+		}
+		e.pool.Put(pkt.buf)
+	}
+}
+
+func (e *Engine) reply(out []byte, pkt packet) error {
+	if e.udp != nil {
+		_, err := e.udp.WriteToUDPAddrPort(out, pkt.src)
+		return err
+	}
+	to := pkt.raw
+	if to == nil {
+		to = net.UDPAddrFromAddrPort(pkt.src)
+	}
+	_, err := e.conn.WriteTo(out, to)
+	return err
+}
+
+func (e *Engine) shardIndex(payload []byte, src netip.AddrPort) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(e.cfg.ShardBy(payload, src) % uint64(len(e.shards)))
+}
+
+// FNV-1a, the dispatch hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashBytes returns the FNV-1a hash of b, the building block for custom
+// ShardBy functions and for key-sharded stores.
+func HashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// HashString is HashBytes for a string, without a conversion.
+func HashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// SourceHash is the default dispatch: hash the source address and port,
+// so each client flow is handled in order by one worker.
+func SourceHash(_ []byte, src netip.AddrPort) uint64 {
+	a := src.Addr().As16()
+	h := uint64(fnvOffset)
+	for _, c := range a {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	p := src.Port()
+	h = (h ^ uint64(p&0xFF)) * fnvPrime
+	h = (h ^ uint64(p>>8)) * fnvPrime
+	return h
+}

@@ -1,0 +1,324 @@
+package dataplane
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- in-memory PacketConn for deterministic engine tests -----------------
+
+type fakePacket struct {
+	data []byte
+	from net.Addr
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+type fakeConn struct {
+	in       chan fakePacket
+	errs     chan error
+	closed   chan struct{}
+	deadline chan struct{}
+	closeOne sync.Once
+	dlOne    sync.Once
+
+	mu     sync.Mutex
+	writes []fakePacket
+}
+
+func newFakeConn(buf int) *fakeConn {
+	return &fakeConn{
+		in:       make(chan fakePacket, buf),
+		errs:     make(chan error, buf),
+		closed:   make(chan struct{}),
+		deadline: make(chan struct{}),
+	}
+}
+
+func (c *fakeConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	// Drain queued packets/errors before honoring deadline or close, so
+	// tests get deterministic ordering.
+	select {
+	case p := <-c.in:
+		return copy(b, p.data), p.from, nil
+	case err := <-c.errs:
+		return 0, nil, err
+	default:
+	}
+	select {
+	case p := <-c.in:
+		return copy(b, p.data), p.from, nil
+	case err := <-c.errs:
+		return 0, nil, err
+	case <-c.closed:
+		return 0, nil, net.ErrClosed
+	case <-c.deadline:
+		return 0, nil, timeoutErr{}
+	}
+}
+
+func (c *fakeConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes = append(c.writes, fakePacket{data: append([]byte(nil), b...), from: addr})
+	return len(b), nil
+}
+
+func (c *fakeConn) writeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.writes)
+}
+
+func (c *fakeConn) Close() error {
+	c.closeOne.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *fakeConn) LocalAddr() net.Addr { return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9} }
+
+func (c *fakeConn) SetDeadline(t time.Time) error      { return c.SetReadDeadline(t) }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error {
+	if !t.After(time.Now()) {
+		c.dlOne.Do(func() { close(c.deadline) })
+	}
+	return nil
+}
+
+var testSrc = &net.UDPAddr{IP: net.IPv4(10, 0, 0, 7), Port: 4242}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// --- dispatch ------------------------------------------------------------
+
+func TestShardDispatchDeterminism(t *testing.T) {
+	conn := newFakeConn(64)
+	e := New(conn, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) {
+		return nil, false
+	}), Config{Shards: 8, ShardBy: func(p []byte, _ netip.AddrPort) uint64 { return HashBytes(p) }})
+
+	// Pure function: the same payload always lands on the same shard.
+	for _, payload := range []string{"get key-1\r\n", "get key-2\r\n", "set a 0 0 1\r\nx\r\n"} {
+		want := e.shardIndex([]byte(payload), netip.AddrPort{})
+		for i := 0; i < 100; i++ {
+			if got := e.shardIndex([]byte(payload), netip.AddrPort{}); got != want {
+				t.Fatalf("payload %q: shard %d then %d", payload, want, got)
+			}
+		}
+	}
+
+	// Different keys spread across more than one shard.
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[e.shardIndex(fmt.Appendf(nil, "get key-%d\r\n", i), netip.AddrPort{})] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 distinct keys all hashed to one shard")
+	}
+
+	// End to end: copies of one payload are all counted on a single shard.
+	e.Start()
+	defer e.Close()
+	for i := 0; i < 20; i++ {
+		conn.in <- fakePacket{data: []byte("get key-1\r\n"), from: testSrc}
+	}
+	waitFor(t, "20 packets received", func() bool { return e.Snapshot().Received == 20 })
+	busy := 0
+	for _, s := range e.Snapshot().Shards {
+		if s.Received > 0 {
+			busy++
+			if s.Received != 20 {
+				t.Fatalf("shard %d received %d of 20", s.Shard, s.Received)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("one payload hit %d shards, want 1", busy)
+	}
+}
+
+func TestSourceHashDeterminism(t *testing.T) {
+	a := netip.MustParseAddrPort("10.1.2.3:5000")
+	b := netip.MustParseAddrPort("10.1.2.3:5001")
+	if SourceHash(nil, a) != SourceHash(nil, a) {
+		t.Fatal("SourceHash not deterministic")
+	}
+	if SourceHash(nil, a) == SourceHash(nil, b) {
+		t.Fatal("distinct ports should (overwhelmingly) hash differently")
+	}
+}
+
+// --- resilience ----------------------------------------------------------
+
+func TestTransientReadErrorsDoNotKillTheEngine(t *testing.T) {
+	conn := newFakeConn(16)
+	e := New(conn, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) {
+		*scratch = append((*scratch)[:0], in...)
+		return *scratch, true
+	}), Config{Shards: 1})
+	e.Start()
+	defer e.Close()
+
+	// An async ICMP-style error, then real traffic: serving continues.
+	conn.errs <- fmt.Errorf("read udp: connection refused")
+	conn.in <- fakePacket{data: []byte("ping"), from: testSrc}
+	waitFor(t, "packet served after transient error", func() bool { return conn.writeCount() == 1 })
+	st := e.Snapshot()
+	if st.ReadErrors != 1 {
+		t.Fatalf("ReadErrors = %d, want 1", st.ReadErrors)
+	}
+	if st.Handled != 1 || st.Replies != 1 {
+		t.Fatalf("handled=%d replies=%d, want 1/1", st.Handled, st.Replies)
+	}
+}
+
+func TestQueueOverrunDropsAreCounted(t *testing.T) {
+	conn := newFakeConn(64)
+	gate := make(chan struct{})
+	e := New(conn, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) {
+		<-gate
+		return nil, false
+	}), Config{Shards: 1, QueueDepth: 1})
+	e.Start()
+
+	for i := 0; i < 5; i++ {
+		conn.in <- fakePacket{data: []byte("x"), from: testSrc}
+	}
+	waitFor(t, "5 packets received", func() bool { return e.Snapshot().Received == 5 })
+	close(gate)
+	e.Close()
+
+	st := e.Snapshot()
+	if st.Dropped < 2 {
+		t.Fatalf("Dropped = %d, want >= 2 (queue depth 1, one in-flight)", st.Dropped)
+	}
+	if st.Handled+st.Dropped != st.Received {
+		t.Fatalf("handled %d + dropped %d != received %d", st.Handled, st.Dropped, st.Received)
+	}
+}
+
+func TestCloseDrainsQueuedDatagrams(t *testing.T) {
+	conn := newFakeConn(64)
+	gate := make(chan struct{})
+	e := New(conn, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) {
+		<-gate
+		*scratch = append((*scratch)[:0], in...)
+		return *scratch, true
+	}), Config{Shards: 2, QueueDepth: 64})
+	e.Start()
+
+	const k = 12
+	for i := 0; i < k; i++ {
+		conn.in <- fakePacket{data: fmt.Appendf(nil, "msg-%d", i), from: testSrc}
+	}
+	waitFor(t, "all packets queued", func() bool { return e.Snapshot().Received == k })
+
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	close(gate) // release the workers; Close must wait for the drain
+	<-closed
+
+	st := e.Snapshot()
+	if st.Handled != k || st.Replies != k {
+		t.Fatalf("after drain: handled=%d replies=%d, want %d/%d", st.Handled, st.Replies, k, k)
+	}
+	if conn.writeCount() != k {
+		t.Fatalf("%d replies written, want %d", conn.writeCount(), k)
+	}
+}
+
+func TestCloseBeforeStart(t *testing.T) {
+	conn := newFakeConn(1)
+	e := New(conn, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) { return nil, false }),
+		Config{})
+	e.Close() // must not hang or panic
+	select {
+	case <-conn.closed:
+	default:
+		t.Fatal("socket not closed")
+	}
+}
+
+// --- concurrency over real sockets (exercised under -race in CI) ---------
+
+func TestConcurrentClientsOverLoopback(t *testing.T) {
+	srv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(srv, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) {
+		*scratch = append((*scratch)[:0], "echo:"...)
+		*scratch = append(*scratch, in...)
+		return *scratch, true
+	}), Config{Shards: 4, Name: "test-echo"})
+	e.Start()
+	defer e.Close()
+
+	const clients, msgs = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", srv.LocalAddr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 2048)
+			for m := 0; m < msgs; m++ {
+				msg := fmt.Sprintf("c%d-m%d", c, m)
+				want := "echo:" + msg
+				ok := false
+				for attempt := 0; attempt < 5 && !ok; attempt++ { // UDP may drop
+					if _, err := conn.Write([]byte(msg)); err != nil {
+						errs <- err
+						return
+					}
+					conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+					n, err := conn.Read(buf)
+					if err == nil && bytes.Equal(buf[:n], []byte(want)) {
+						ok = true
+					}
+				}
+				if !ok {
+					errs <- fmt.Errorf("client %d: no echo for %q", c, msg)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := e.Snapshot(); st.Handled < clients*msgs {
+		t.Fatalf("handled %d, want >= %d", st.Handled, clients*msgs)
+	}
+	if e.Handled() == 0 || e.Meter().Total() != e.Handled() {
+		t.Fatal("meter total and Handled out of sync")
+	}
+}

@@ -1,0 +1,29 @@
+// Package dataplane is the shared UDP serving runtime behind the live
+// daemons (inckvsd, incdnsd, incpaxosd). The paper's premise — services
+// shift between host software and network hardware on demand — only pays
+// off if the host path can absorb line-rate traffic, so this package
+// replaces the daemons' copy-pasted single-goroutine read loops with one
+// concurrent engine:
+//
+//   - one reader goroutine pulls datagrams off the socket into pooled
+//     buffers (sync.Pool, zero steady-state allocation);
+//   - N shard workers consume from per-shard queues. Dispatch is hashed —
+//     by source address by default, or by protocol key (e.g. the memcached
+//     key, kvs.ShardByKey) so one shard owns one key range — which keeps
+//     per-source (and per-key) ordering while spreading load across cores;
+//   - handlers implement the small Handler interface and encode replies
+//     into a per-worker scratch buffer, so the memcached GET hot path runs
+//     with zero per-request heap allocations;
+//   - Close drains gracefully: the reader stops, queued datagrams are
+//     still handled and answered, then the socket closes. Daemons wire
+//     this into daemon.OnShutdown;
+//   - per-shard counters and a shared telemetry.AtomicRateMeter feed both
+//     the /v1 control API (GET /v1/dataplane) and the on-demand
+//     orchestrator, which samples the meter's monotonic total instead of
+//     paying a per-packet Observe call.
+//
+// Transient socket errors (e.g. Linux delivering an async ICMP
+// port-unreachable after a write to a vanished client) are counted and
+// served through; the engine exits its read loop only when shutdown
+// closed the socket.
+package dataplane

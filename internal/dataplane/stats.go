@@ -1,0 +1,56 @@
+package dataplane
+
+// ShardStats is one worker's counters.
+type ShardStats struct {
+	Shard       int    `json:"shard"`
+	Received    uint64 `json:"received"`
+	Handled     uint64 `json:"handled"`
+	Replies     uint64 `json:"replies"`
+	Dropped     uint64 `json:"dropped"`
+	WriteErrors uint64 `json:"write_errors"`
+}
+
+// Stats is a point-in-time snapshot of the engine, the payload of the
+// control API's GET /v1/dataplane.
+type Stats struct {
+	Shards      []ShardStats      `json:"shards"`
+	Received    uint64            `json:"received"`
+	Handled     uint64            `json:"handled"`
+	Replies     uint64            `json:"replies"`
+	Dropped     uint64            `json:"dropped"`
+	WriteErrors uint64            `json:"write_errors"`
+	ReadErrors  uint64            `json:"read_errors"`
+	RateKpps    float64           `json:"rate_kpps"`
+	Handler     map[string]uint64 `json:"handler,omitempty"`
+}
+
+// Snapshot collects per-shard and aggregate counters, the live request
+// rate, and — when the handler reports its own counters — a snapshot of
+// those too.
+func (e *Engine) Snapshot() Stats {
+	st := Stats{
+		Shards:     make([]ShardStats, len(e.shards)),
+		ReadErrors: e.readErrs.Load(),
+		RateKpps:   e.meter.Rate() / 1000,
+	}
+	for i, s := range e.shards {
+		ss := ShardStats{
+			Shard:       i,
+			Received:    s.received.Load(),
+			Handled:     s.handled.Load(),
+			Replies:     s.replies.Load(),
+			Dropped:     s.dropped.Load(),
+			WriteErrors: s.writeErrs.Load(),
+		}
+		st.Shards[i] = ss
+		st.Received += ss.Received
+		st.Handled += ss.Handled
+		st.Replies += ss.Replies
+		st.Dropped += ss.Dropped
+		st.WriteErrors += ss.WriteErrors
+	}
+	if r, ok := e.h.(StatsReporter); ok {
+		st.Handler = r.StatsCounters().Snapshot()
+	}
+	return st
+}

@@ -1,0 +1,76 @@
+package dns
+
+import (
+	"sync/atomic"
+
+	"incod/internal/dataplane"
+	"incod/internal/telemetry"
+)
+
+// Handler serves authoritative A lookups from a Zone — the dataplane
+// adapter behind incdnsd. The zone must be fully loaded before serving
+// starts: Zone is a plain map, safe for any number of concurrent readers
+// only while nobody writes, which is exactly the daemon's lifecycle
+// (load, then serve).
+type Handler struct {
+	zone *Zone
+
+	counters  *telemetry.AtomicCounters
+	answered  *atomic.Uint64
+	nxdomain  *atomic.Uint64
+	notimpl   *atomic.Uint64
+	malformed *atomic.Uint64
+	ignored   *atomic.Uint64
+}
+
+var _ dataplane.Handler = (*Handler)(nil)
+var _ dataplane.StatsReporter = (*Handler)(nil)
+
+// NewHandler returns a handler serving zone.
+func NewHandler(zone *Zone) *Handler {
+	c := telemetry.NewAtomicCounters()
+	return &Handler{
+		zone:      zone,
+		counters:  c,
+		answered:  c.Handle("answered"),
+		nxdomain:  c.Handle("nxdomain"),
+		notimpl:   c.Handle("notimpl"),
+		malformed: c.Handle("malformed"),
+		ignored:   c.Handle("ignored"),
+	}
+}
+
+// StatsCounters exposes protocol counters on the /v1 control API.
+func (h *Handler) StatsCounters() *telemetry.AtomicCounters { return h.counters }
+
+// HandleDatagram implements dataplane.Handler: decode the question,
+// resolve it against the zone, encode the answer into the scratch buffer.
+// Malformed datagrams and stray responses are dropped, like the old read
+// loop (and real resolvers) did.
+func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
+	q, err := Decode(in, 0)
+	if err != nil {
+		h.malformed.Add(1)
+		return nil, false
+	}
+	if q.Response {
+		h.ignored.Add(1)
+		return nil, false
+	}
+	resp := h.zone.Resolve(q)
+	switch {
+	case resp.HasAnswer:
+		h.answered.Add(1)
+	case resp.RCode == RCodeNXDomain:
+		h.nxdomain.Add(1)
+	case resp.RCode == RCodeNotImpl:
+		h.notimpl.Add(1)
+	}
+	out, err := AppendMessage((*scratch)[:0], resp)
+	if err != nil {
+		h.malformed.Add(1)
+		return nil, false
+	}
+	*scratch = out
+	return out, true
+}

@@ -133,6 +133,15 @@ func parseName(msg []byte, off int, depthLimit int) (string, int, error) {
 // Encode serializes the message. Responses carrying an answer use a
 // compression pointer to the question name, like real servers do.
 func Encode(m Message) ([]byte, error) {
+	return AppendMessage(make([]byte, 0, 12+len(m.Name)+2+4+16), m)
+}
+
+// AppendMessage is Encode into a caller-provided buffer: the serving path
+// encodes responses into a reusable dataplane scratch buffer, avoiding a
+// per-response allocation. The message must begin at the start of the
+// datagram the caller transmits (compression pointers are
+// message-relative), so handlers pass scratch[:0].
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	var flags uint16
 	if m.Response {
 		flags |= flagQR
@@ -148,11 +157,12 @@ func Encode(m Message) ([]byte, error) {
 	if m.HasAnswer {
 		an = 1
 	}
-	b := make([]byte, 12, 12+len(m.Name)+2+4+16)
-	binary.BigEndian.PutUint16(b[0:], m.ID)
-	binary.BigEndian.PutUint16(b[2:], flags)
-	binary.BigEndian.PutUint16(b[4:], 1) // QDCOUNT
-	binary.BigEndian.PutUint16(b[6:], uint16(an))
+	b := binary.BigEndian.AppendUint16(dst, m.ID)
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, 1) // QDCOUNT
+	b = binary.BigEndian.AppendUint16(b, uint16(an))
+	b = binary.BigEndian.AppendUint16(b, 0) // NSCOUNT
+	b = binary.BigEndian.AppendUint16(b, 0) // ARCOUNT
 	var err error
 	b, err = appendName(b, m.Name)
 	if err != nil {

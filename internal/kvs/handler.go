@@ -1,0 +1,168 @@
+package kvs
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"incod/internal/dataplane"
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// Handler serves the memcached UDP protocol from a ShardedStore — the
+// dataplane adapter behind inckvsd. Framed datagrams (memcached UDP mode)
+// and raw ASCII both work; the 8-byte frame header is all-binary so
+// framing is ambiguous, and the framed interpretation wins when both
+// parse. Expiry runs against a virtual clock started at construction,
+// matching the simulator's relative-exptime semantics.
+//
+// The single-key GET path — parse, shard lookup, encode — performs zero
+// heap allocations per request.
+type Handler struct {
+	store *ShardedStore
+	epoch time.Time
+
+	counters  *telemetry.AtomicCounters
+	hits      *atomic.Uint64
+	misses    *atomic.Uint64
+	sets      *atomic.Uint64
+	deletes   *atomic.Uint64
+	multiget  *atomic.Uint64
+	malformed *atomic.Uint64
+}
+
+var _ dataplane.Handler = (*Handler)(nil)
+var _ dataplane.StatsReporter = (*Handler)(nil)
+
+// NewHandler returns a handler serving store.
+func NewHandler(store *ShardedStore) *Handler {
+	c := telemetry.NewAtomicCounters()
+	return &Handler{
+		store:     store,
+		epoch:     time.Now(),
+		counters:  c,
+		hits:      c.Handle("hits"),
+		misses:    c.Handle("misses"),
+		sets:      c.Handle("sets"),
+		deletes:   c.Handle("deletes"),
+		multiget:  c.Handle("multiget"),
+		malformed: c.Handle("malformed"),
+	}
+}
+
+// Store returns the handler's backing store.
+func (h *Handler) Store() *ShardedStore { return h.store }
+
+// StatsCounters exposes protocol counters on the /v1 control API.
+func (h *Handler) StatsCounters() *telemetry.AtomicCounters { return h.counters }
+
+// HandleDatagram implements dataplane.Handler.
+func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
+	now := simnet.Time(time.Since(h.epoch))
+	var v memcache.RequestView
+	framed := false
+	var reqID uint16
+	body := in
+	if f, b, err := memcache.DecodeFrame(in); err == nil && memcache.ParseRequestView(b, &v) == nil {
+		framed, reqID, body = true, f.RequestID, b
+	} else if memcache.ParseRequestView(in, &v) != nil {
+		h.malformed.Add(1)
+		*scratch = memcache.AppendStatus((*scratch)[:0], memcache.StatusError)
+		return *scratch, true
+	}
+	out := (*scratch)[:0]
+	if framed {
+		out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqID, Total: 1})
+	}
+	switch {
+	case v.Op == memcache.OpGet && !v.MultiKey:
+		if e, ok := h.store.Get(v.Key, now); ok {
+			h.hits.Add(1)
+			out = memcache.AppendGetHit(out, v.Key, e.Flags, e.Value)
+		} else {
+			h.misses.Add(1)
+			out = memcache.AppendStatus(out, memcache.StatusEnd)
+		}
+	case v.Op == memcache.OpSet:
+		h.sets.Add(1)
+		var exp int64
+		if v.Exptime > 0 {
+			exp = int64(now.Add(time.Duration(v.Exptime) * time.Second))
+		}
+		// The view aliases the receive buffer; the store outlives it.
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		h.store.Set(string(v.Key), Entry{Flags: v.Flags, Value: val, Expires: exp})
+		out = memcache.AppendStatus(out, memcache.StatusStored)
+	case v.Op == memcache.OpDelete:
+		h.deletes.Add(1)
+		if h.store.Delete(string(v.Key)) {
+			out = memcache.AppendStatus(out, memcache.StatusDeleted)
+		} else {
+			out = memcache.AppendStatus(out, memcache.StatusNotFound)
+		}
+	default: // multi-key get: the general, allocating path
+		h.multiget.Add(1)
+		req, err := memcache.ParseRequest(body)
+		if err != nil {
+			out = memcache.AppendStatus(out, memcache.StatusError)
+			break
+		}
+		resp := h.store.Apply(req, now)
+		h.hits.Add(uint64(len(resp.Items)))
+		h.misses.Add(uint64(len(req.AllKeys()) - len(resp.Items)))
+		out = memcache.AppendResponse(out, resp)
+	}
+	*scratch = out
+	return out, true
+}
+
+// ShardByKey is the dataplane dispatch for memcached traffic: requests
+// hash by their key, so one worker owns one key range (cache-friendly and
+// contention-free), falling back to source hashing when no key can be
+// peeked. Framing is disambiguated by looking for a command verb at both
+// offsets, which keeps the mapping deterministic per datagram.
+func ShardByKey(payload []byte, src netip.AddrPort) uint64 {
+	if k := requestKey(payload); len(k) > 0 {
+		return dataplane.HashBytes(k)
+	}
+	return dataplane.SourceHash(payload, src)
+}
+
+func requestKey(p []byte) []byte {
+	if hasVerb(p) {
+		return peekKey(p)
+	}
+	if len(p) > memcache.FrameHeaderSize && hasVerb(p[memcache.FrameHeaderSize:]) {
+		return peekKey(p[memcache.FrameHeaderSize:])
+	}
+	return nil
+}
+
+func hasVerb(b []byte) bool {
+	for _, verb := range [...]string{"get ", "gets ", "set ", "delete "} {
+		if len(b) >= len(verb) && string(b[:len(verb)]) == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// peekKey returns the second field of the first request line — the key
+// position for get, set and delete alike.
+func peekKey(b []byte) []byte {
+	i := 0
+	for i < len(b) && b[i] != ' ' && b[i] != '\r' {
+		i++
+	}
+	for i < len(b) && b[i] == ' ' {
+		i++
+	}
+	j := i
+	for j < len(b) && b[j] != ' ' && b[j] != '\r' {
+		j++
+	}
+	return b[i:j]
+}

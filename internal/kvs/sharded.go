@@ -1,0 +1,177 @@
+package kvs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"incod/internal/dataplane"
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+)
+
+// ShardedStore is the concurrent serving form of Store: N independently
+// locked Store shards with key-hash fan-out, so dataplane workers on
+// different cores contend only when they touch the same key range. Each
+// shard keeps its own LRU order and counters; Stats merges them. Shard
+// count is rounded up to a power of two and fixed for the store's life,
+// which makes key->shard assignment deterministic.
+type ShardedStore struct {
+	shards []*storeShard
+	mask   uint64
+}
+
+type storeShard struct {
+	mu sync.Mutex
+	s  *Store
+	// Pad to a cache line so neighboring shard locks don't false-share.
+	_ [40]byte
+}
+
+// NewShardedStore returns a store with at least shards shards (0 means
+// GOMAXPROCS) bounded to maxEntries total (0 = unbounded; the bound is
+// split evenly across shards, so per-shard LRU approximates global LRU
+// under a hashed key distribution).
+func NewShardedStore(shards, maxEntries int) *ShardedStore {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	st := &ShardedStore{shards: make([]*storeShard, n), mask: uint64(n - 1)}
+	perShard := 0
+	if maxEntries > 0 {
+		perShard = (maxEntries + n - 1) / n
+	}
+	for i := range st.shards {
+		st.shards[i] = &storeShard{s: NewBoundedStore(perShard)}
+	}
+	return st
+}
+
+// Shards returns the shard count.
+func (st *ShardedStore) Shards() int { return len(st.shards) }
+
+func (st *ShardedStore) shardOf(key []byte) *storeShard {
+	return st.shards[dataplane.HashBytes(key)&st.mask]
+}
+
+func (st *ShardedStore) shardOfString(key string) *storeShard {
+	return st.shards[dataplane.HashString(key)&st.mask]
+}
+
+// Get returns the entry for key if present and unexpired at now. The key
+// is a byte slice so the serving path stays allocation-free.
+func (st *ShardedStore) Get(key []byte, now simnet.Time) (Entry, bool) {
+	sh := st.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.s.GetBytes(key, now)
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// GetString is Get for a string key.
+func (st *ShardedStore) GetString(key string, now simnet.Time) (Entry, bool) {
+	sh := st.shardOfString(key)
+	sh.mu.Lock()
+	e, ok := sh.s.Get(key, now)
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// Set stores key, evicting within the key's shard if bounded.
+func (st *ShardedStore) Set(key string, e Entry) {
+	sh := st.shardOfString(key)
+	sh.mu.Lock()
+	sh.s.Set(key, e)
+	sh.mu.Unlock()
+}
+
+// Delete removes key, reporting whether it existed.
+func (st *ShardedStore) Delete(key string) bool {
+	sh := st.shardOfString(key)
+	sh.mu.Lock()
+	ok := sh.s.Delete(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of live entries across all shards.
+func (st *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		n += sh.s.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Sweep reaps expired entries in every shard, returning the total.
+func (st *ShardedStore) Sweep(now simnet.Time) int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		n += sh.s.Sweep(now)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats merges every shard's counters.
+func (st *ShardedStore) Stats() StoreStats {
+	var out StoreStats
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		out.Add(sh.s.Stats())
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// HitRatio returns the merged lifetime get hit ratio.
+func (st *ShardedStore) HitRatio() float64 {
+	s := st.Stats()
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Apply executes a parsed memcached request at virtual time now, routing
+// each key to its shard — Store.Apply semantics over the sharded form.
+// Multi-key gets resolve each key independently.
+func (st *ShardedStore) Apply(req memcache.Request, now simnet.Time) memcache.Response {
+	switch req.Op {
+	case memcache.OpGet:
+		var items []memcache.Item
+		for _, k := range req.AllKeys() {
+			if e, ok := st.GetString(k, now); ok {
+				items = append(items, memcache.Item{Key: k, Flags: e.Flags, Value: e.Value})
+			}
+		}
+		if len(items) == 0 {
+			return memcache.Response{Status: memcache.StatusEnd}
+		}
+		return memcache.Response{
+			Status: memcache.StatusEnd,
+			Key:    items[0].Key, Flags: items[0].Flags, Value: items[0].Value,
+			Items: items, Hit: true,
+		}
+	case memcache.OpSet:
+		var exp int64
+		if req.Exptime > 0 {
+			exp = int64(now.Add(time.Duration(req.Exptime) * time.Second))
+		}
+		st.Set(req.Key, Entry{Flags: req.Flags, Value: req.Value, Expires: exp})
+		return memcache.Response{Status: memcache.StatusStored}
+	case memcache.OpDelete:
+		if st.Delete(req.Key) {
+			return memcache.Response{Status: memcache.StatusDeleted}
+		}
+		return memcache.Response{Status: memcache.StatusNotFound}
+	}
+	return memcache.Response{Status: memcache.StatusError}
+}

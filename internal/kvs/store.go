@@ -50,8 +50,18 @@ func (s *Store) Len() int { return len(s.data) }
 // Get returns the entry for key if present and unexpired at now.
 func (s *Store) Get(key string, now simnet.Time) (Entry, bool) {
 	s.gets++
-	el, ok := s.data[key]
-	if !ok {
+	return s.finishGet(s.data[key], now)
+}
+
+// GetBytes is Get for a byte-slice key: the map lookup converts in place
+// without allocating, which keeps the dataplane GET path heap-free.
+func (s *Store) GetBytes(key []byte, now simnet.Time) (Entry, bool) {
+	s.gets++
+	return s.finishGet(s.data[string(key)], now)
+}
+
+func (s *Store) finishGet(el *list.Element, now simnet.Time) (Entry, bool) {
+	if el == nil {
 		return Entry{}, false
 	}
 	it := el.Value.(*storeItem)
@@ -112,6 +122,35 @@ func (s *Store) Sweep(now simnet.Time) int {
 		s.expirations++
 	}
 	return len(reaped)
+}
+
+// StoreStats is a snapshot of a store's lifetime counters; shard stores
+// merge them with StoreStats.Add.
+type StoreStats struct {
+	Gets        uint64 `json:"gets"`
+	Hits        uint64 `json:"hits"`
+	Sets        uint64 `json:"sets"`
+	Deletes     uint64 `json:"deletes"`
+	Evictions   uint64 `json:"evictions"`
+	Expirations uint64 `json:"expirations"`
+}
+
+// Add accumulates o into s.
+func (s *StoreStats) Add(o StoreStats) {
+	s.Gets += o.Gets
+	s.Hits += o.Hits
+	s.Sets += o.Sets
+	s.Deletes += o.Deletes
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Gets: s.gets, Hits: s.hits, Sets: s.sets, Deletes: s.deletes,
+		Evictions: s.evictions, Expirations: s.expirations,
+	}
 }
 
 // HitRatio returns the lifetime get hit ratio.

@@ -36,6 +36,16 @@ func EncodeFrame(f Frame, body []byte) []byte {
 	return out
 }
 
+// AppendFrame appends the 8-byte frame header to dst and returns the
+// extended slice — the allocation-free counterpart of EncodeFrame for
+// dataplane handlers that build the whole datagram in a scratch buffer.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, f.RequestID)
+	dst = binary.BigEndian.AppendUint16(dst, f.SeqNo)
+	dst = binary.BigEndian.AppendUint16(dst, f.Total)
+	return binary.BigEndian.AppendUint16(dst, f.Reserved)
+}
+
 // DecodeFrame splits a datagram into its frame header and body. The body
 // aliases the input slice.
 func DecodeFrame(datagram []byte) (Frame, []byte, error) {

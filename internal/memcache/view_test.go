@@ -1,0 +1,121 @@
+package memcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The view parser must accept exactly what ParseRequest accepts and agree
+// with it field-for-field.
+func TestParseRequestViewParity(t *testing.T) {
+	cases := []string{
+		"get key\r\n",
+		"gets another-key\r\n",
+		"get a b c\r\n",
+		"set k 7 30 5\r\nhello\r\n",
+		"set k 0 -1 0\r\n\r\n",
+		"delete k\r\n",
+		"get \r\n",
+		"get missing-crlf",
+		"set k x 0 5\r\nhello\r\n",
+		"set k 0 0 99\r\nshort\r\n",
+		"set k 0 0 5 extra\r\nhello\r\n",
+		"set k\t0 0 5\r\nhello\r\n", // bytes.Fields splits on any whitespace
+		"get\ta\nb\r\n",
+		"delete a b\r\n",
+		"flush_all\r\n",
+		"\r\n",
+	}
+	for _, in := range cases {
+		want, wantErr := ParseRequest([]byte(in))
+		var v RequestView
+		gotErr := ParseRequestView([]byte(in), &v)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%q: ParseRequest err=%v, view err=%v", in, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if v.Op != want.Op {
+			t.Fatalf("%q: op %v != %v", in, v.Op, want.Op)
+		}
+		if string(v.Key) != want.Key {
+			t.Fatalf("%q: key %q != %q", in, v.Key, want.Key)
+		}
+		if v.MultiKey != (len(want.Extra) > 0) {
+			t.Fatalf("%q: MultiKey=%v, extra=%v", in, v.MultiKey, want.Extra)
+		}
+		if v.Flags != want.Flags || v.Exptime != want.Exptime {
+			t.Fatalf("%q: flags/exptime %d/%d != %d/%d", in, v.Flags, v.Exptime, want.Flags, want.Exptime)
+		}
+		if !bytes.Equal(v.Value, want.Value) {
+			t.Fatalf("%q: value %q != %q", in, v.Value, want.Value)
+		}
+	}
+}
+
+func TestParseRequestViewAliasesInput(t *testing.T) {
+	in := []byte("set k 0 0 5\r\nhello\r\n")
+	var v RequestView
+	if err := ParseRequestView(in, &v); err != nil {
+		t.Fatal(err)
+	}
+	in[len(in)-3] = 'O' // mutate the datagram: the view must see it
+	if string(v.Value) != "hellO" {
+		t.Fatalf("value does not alias input: %q", v.Value)
+	}
+}
+
+func TestAppendResponseMatchesEncodeResponse(t *testing.T) {
+	cases := []Response{
+		{Status: StatusStored},
+		{Status: StatusEnd},
+		{Status: StatusError},
+		{Status: StatusEnd, Hit: true, Key: "k", Flags: 9, Value: []byte("vvv")},
+		{Status: StatusEnd, Hit: true, Items: []Item{
+			{Key: "a", Flags: 1, Value: []byte("x")},
+			{Key: "b", Flags: 2, Value: []byte("yy")},
+		}},
+	}
+	for _, r := range cases {
+		want := EncodeResponse(r)
+		got := AppendResponse(nil, r)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendResponse = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAppendGetHitRoundTrips(t *testing.T) {
+	out := AppendGetHit(nil, []byte("key-1"), 7, []byte("value-1"))
+	resp, err := ParseResponse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Hit || resp.Key != "key-1" || resp.Flags != 7 || string(resp.Value) != "value-1" {
+		t.Fatalf("round trip: %+v", resp)
+	}
+}
+
+func TestAppendFrameMatchesEncodeFrame(t *testing.T) {
+	f := Frame{RequestID: 300, SeqNo: 2, Total: 5, Reserved: 1}
+	body := []byte("payload")
+	want := EncodeFrame(f, body)
+	got := append(AppendFrame(nil, f), body...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendFrame = %x, want %x", got, want)
+	}
+}
+
+func TestParseRequestViewDoesNotAllocate(t *testing.T) {
+	in := []byte("get key-123456\r\n")
+	var v RequestView
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ParseRequestView(in, &v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseRequestView allocates %.1f per run, want 0", allocs)
+	}
+}

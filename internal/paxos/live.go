@@ -1,0 +1,315 @@
+package paxos
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"incod/internal/dataplane"
+	"incod/internal/simnet"
+)
+
+// This file is the live (real-socket) restatement of the protocol roles:
+// the same rules the simulated runtime validates, packaged as dataplane
+// handlers so incpaxosd serves through the shared sharded engine. Role
+// state is mutex-protected — the engine may run several shard workers —
+// and replies to the message source travel back through the engine's
+// return path, while fan-out (acceptor→learners, leader→acceptors,
+// learner→client) goes through a Sender the daemon wires to its socket.
+
+// Sender transmits one message to a peer address ("host:port").
+type Sender func(to string, m Msg)
+
+// --- acceptor -------------------------------------------------------------
+
+type liveVoteState struct {
+	promised uint32
+	accepted bool
+	vballot  uint32
+	m        Msg
+}
+
+// LiveAcceptor is the acceptor role as a dataplane handler. Phase1B/2B
+// responses to the proposer are returned (the engine replies to the
+// source); votes additionally fan out to the learners. Every response
+// piggybacks the §9.2 last-voted instance.
+type LiveAcceptor struct {
+	id       uint16
+	learners []string
+	send     Sender
+
+	mu        sync.Mutex
+	states    map[uint64]*liveVoteState
+	lastVoted uint64
+}
+
+var _ dataplane.Handler = (*LiveAcceptor)(nil)
+
+// NewLiveAcceptor returns an acceptor with identity id voting to learners.
+func NewLiveAcceptor(id uint16, learners []string, send Sender) *LiveAcceptor {
+	return &LiveAcceptor{id: id, learners: learners, send: send,
+		states: make(map[uint64]*liveVoteState)}
+}
+
+// HandleDatagram implements dataplane.Handler.
+func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
+	m, err := Decode(in)
+	if err != nil {
+		return nil, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.states[m.Instance]
+	if st == nil {
+		st = &liveVoteState{}
+		a.states[m.Instance] = st
+	}
+	switch m.Type {
+	case MsgPhase1A:
+		if m.Ballot >= st.promised {
+			st.promised = m.Ballot
+		}
+		resp := Msg{Type: MsgPhase1B, Instance: m.Instance,
+			Ballot: st.promised, NodeID: a.id, LastVoted: a.lastVoted}
+		if st.accepted {
+			resp.VBallot = st.vballot
+			resp.Value = st.m.Value
+		}
+		return a.reply(resp, scratch)
+	case MsgPhase2A:
+		if st.accepted {
+			return a.reply(a.vote(m.Instance, st), scratch)
+		}
+		if m.Ballot < st.promised {
+			return a.reply(Msg{Type: MsgPhase1B, Instance: m.Instance,
+				Ballot: st.promised, NodeID: a.id, LastVoted: a.lastVoted}, scratch)
+		}
+		st.promised = m.Ballot
+		st.accepted = true
+		st.vballot = m.Ballot
+		st.m = m
+		if m.Instance > a.lastVoted {
+			a.lastVoted = m.Instance
+		}
+		return a.reply(a.vote(m.Instance, st), scratch)
+	}
+	return nil, false
+}
+
+// vote builds the Phase2B for st and fans it out to the learners; the
+// caller returns it to the proposer too.
+func (a *LiveAcceptor) vote(inst uint64, st *liveVoteState) Msg {
+	out := st.m
+	out.Type = MsgPhase2B
+	out.Instance = inst
+	out.Ballot = st.vballot
+	out.VBallot = st.vballot
+	out.NodeID = a.id
+	out.LastVoted = a.lastVoted
+	for _, l := range a.learners {
+		a.send(l, out)
+	}
+	return out
+}
+
+func (a *LiveAcceptor) reply(m Msg, scratch *[]byte) ([]byte, bool) {
+	*scratch = AppendMsg((*scratch)[:0], m)
+	return *scratch, true
+}
+
+// --- leader ---------------------------------------------------------------
+
+// LiveLeader is the coordinator role as a dataplane handler: it sequences
+// client requests into instances and proposes them to the acceptors. Per
+// §9.2 a fresh leader starts at instance 1 and fast-forwards from the
+// last-voted values piggybacked on acceptor responses. It never replies
+// to the source directly, so all output goes through the Sender.
+type LiveLeader struct {
+	ballot    uint32
+	acceptors []string
+	send      Sender
+
+	mu   sync.Mutex
+	next uint64
+}
+
+var _ dataplane.Handler = (*LiveLeader)(nil)
+var _ dataplane.SourceHandler = (*LiveLeader)(nil)
+
+// NewLiveLeader returns a leader proposing with ballot to acceptors.
+func NewLiveLeader(ballot uint32, acceptors []string, send Sender) *LiveLeader {
+	return &LiveLeader{ballot: ballot, acceptors: acceptors, send: send, next: 1}
+}
+
+// Next returns the next instance number (for logs and tests).
+func (l *LiveLeader) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// HandleDatagram implements dataplane.Handler.
+func (l *LiveLeader) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
+	return l.HandleDatagramFrom(in, netip.AddrPort{}, scratch)
+}
+
+// HandleDatagramFrom implements dataplane.SourceHandler; the source backs
+// the client address when a request does not carry one.
+func (l *LiveLeader) HandleDatagramFrom(in []byte, from netip.AddrPort, _ *[]byte) ([]byte, bool) {
+	m, err := Decode(in)
+	if err != nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch m.Type {
+	case MsgClientRequest:
+		inst := l.next
+		l.next++
+		clientAddr := m.ClientAddr
+		if clientAddr == "" && from.IsValid() {
+			clientAddr = simnet.Addr(from.String())
+		}
+		l.propose(Msg{Type: MsgPhase2A, Instance: inst, Ballot: l.ballot,
+			ClientID: m.ClientID, Seq: m.Seq, ClientAddr: clientAddr, Value: m.Value})
+	case MsgPhase2B, MsgPhase1B:
+		if m.LastVoted+1 > l.next {
+			l.next = m.LastVoted + 1
+		}
+	case MsgGapRequest:
+		l.propose(Msg{Type: MsgPhase2A, Instance: m.Instance, Ballot: l.ballot, Value: NoOp})
+	}
+	return nil, false
+}
+
+func (l *LiveLeader) propose(m Msg) {
+	for _, a := range l.acceptors {
+		l.send(a, m)
+	}
+}
+
+// --- learner --------------------------------------------------------------
+
+// LiveLearner is the learner role as a dataplane handler: it counts
+// Phase2B votes, decides at quorum, and routes each decision back to the
+// client address carried in the winning vote. When wired to a leader it
+// periodically scans for instance gaps and asks the leader to re-initiate
+// them (§9.2).
+type LiveLearner struct {
+	quorum int
+	leader string
+	send   Sender
+
+	mu      sync.Mutex
+	votes   map[uint64]map[uint16]Msg
+	decided map[uint64]bool
+	highest uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+var _ dataplane.Handler = (*LiveLearner)(nil)
+
+// NewLiveLearner returns a learner deciding at quorum votes, asking
+// leader (if non-empty) to fill gaps.
+func NewLiveLearner(quorum int, leader string, send Sender) *LiveLearner {
+	return &LiveLearner{quorum: quorum, leader: leader, send: send,
+		votes:   make(map[uint64]map[uint16]Msg),
+		decided: make(map[uint64]bool),
+		stop:    make(chan struct{})}
+}
+
+// DecidedCount returns how many instances have been decided.
+func (l *LiveLearner) DecidedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.decided)
+}
+
+// Start launches the gap scanner (no-op without a leader). Stop ends it.
+func (l *LiveLearner) Start(gapEvery time.Duration) {
+	if l.leader == "" {
+		return
+	}
+	if gapEvery <= 0 {
+		gapEvery = 100 * time.Millisecond
+	}
+	go func() {
+		tick := time.NewTicker(gapEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-tick.C:
+				l.requestGaps()
+			}
+		}
+	}()
+}
+
+// Stop ends the gap scanner. It is idempotent.
+func (l *LiveLearner) Stop() { l.stopOnce.Do(func() { close(l.stop) }) }
+
+func (l *LiveLearner) requestGaps() {
+	l.mu.Lock()
+	var gaps []uint64
+	for inst := uint64(1); inst < l.highest; inst++ {
+		if !l.decided[inst] {
+			gaps = append(gaps, inst)
+		}
+	}
+	l.mu.Unlock()
+	for _, inst := range gaps {
+		l.send(l.leader, Msg{Type: MsgGapRequest, Instance: inst})
+	}
+}
+
+// HandleDatagram implements dataplane.Handler.
+func (l *LiveLearner) HandleDatagram(in []byte, _ *[]byte) ([]byte, bool) {
+	m, err := Decode(in)
+	if err != nil || m.Type != MsgPhase2B {
+		return nil, false
+	}
+	l.mu.Lock()
+	if l.decided[m.Instance] {
+		l.mu.Unlock()
+		return nil, false
+	}
+	byNode := l.votes[m.Instance]
+	if byNode == nil {
+		byNode = make(map[uint16]Msg)
+		l.votes[m.Instance] = byNode
+	}
+	byNode[m.NodeID] = m
+	var best uint32
+	for _, v := range byNode {
+		if v.VBallot > best {
+			best = v.VBallot
+		}
+	}
+	agree := 0
+	var chosen Msg
+	for _, v := range byNode {
+		if v.VBallot == best {
+			agree++
+			chosen = v
+		}
+	}
+	if agree < l.quorum {
+		l.mu.Unlock()
+		return nil, false
+	}
+	l.decided[m.Instance] = true
+	delete(l.votes, m.Instance)
+	if m.Instance > l.highest {
+		l.highest = m.Instance
+	}
+	l.mu.Unlock()
+	if chosen.ClientAddr != "" {
+		l.send(string(chosen.ClientAddr), Msg{Type: MsgDecision,
+			Instance: m.Instance, ClientID: chosen.ClientID, Seq: chosen.Seq, Value: chosen.Value})
+	}
+	return nil, false
+}

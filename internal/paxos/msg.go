@@ -89,7 +89,13 @@ const headerSize = 1 + 8 + 4 + 4 + 2 + 8 + 2 + 8 + 2 + 2 // + addr + value
 
 // Encode serializes m.
 func Encode(m Msg) []byte {
-	b := make([]byte, 0, headerSize+len(m.ClientAddr)+len(m.Value))
+	return AppendMsg(make([]byte, 0, headerSize+len(m.ClientAddr)+len(m.Value)), m)
+}
+
+// AppendMsg is Encode into a caller-provided buffer; the live roles
+// encode replies into their dataplane scratch buffer with it.
+func AppendMsg(dst []byte, m Msg) []byte {
+	b := dst
 	b = append(b, byte(m.Type))
 	b = binary.BigEndian.AppendUint64(b, m.Instance)
 	b = binary.BigEndian.AppendUint32(b, m.Ballot)

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAtomicCountersBasics(t *testing.T) {
+	c := NewAtomicCounters()
+	c.Inc("hits", 2)
+	c.Inc("misses", 1)
+	c.Inc("hits", 3)
+	if got := c.Get("hits"); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+	if got := c.Get("absent"); got != 0 {
+		t.Fatalf("absent = %d, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Fatalf("names = %v", names)
+	}
+	snap := c.Snapshot()
+	if snap["hits"] != 5 || snap["misses"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if s := c.String(); s != "hits=5 misses=1" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestAtomicCountersConcurrent(t *testing.T) {
+	c := NewAtomicCounters()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.Handle("shared")
+			for i := 0; i < per; i++ {
+				h.Add(1)
+				c.Inc("also", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*per {
+		t.Fatalf("shared = %d, want %d", got, workers*per)
+	}
+	if got := c.Get("also"); got != workers*per {
+		t.Fatalf("also = %d, want %d", got, workers*per)
+	}
+}
+
+func TestAtomicRateMeterTotalAndRate(t *testing.T) {
+	m := NewAtomicRateMeter(10*time.Millisecond, 10)
+	const workers, per = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Total(); got != workers*per {
+		t.Fatalf("Total = %d, want %d", got, workers*per)
+	}
+	if r := m.Rate(); r <= 0 {
+		t.Fatalf("Rate = %v, want > 0 right after adds", r)
+	}
+}
+
+func TestAtomicRateMeterWindowExpiry(t *testing.T) {
+	m := NewAtomicRateMeter(time.Millisecond, 5)
+	m.Add(100)
+	// After far more than the 5ms window, the events should have aged out.
+	time.Sleep(30 * time.Millisecond)
+	if r := m.Rate(); r != 0 {
+		t.Fatalf("Rate after window expiry = %v, want 0", r)
+	}
+	if got := m.Total(); got != 100 {
+		t.Fatalf("Total = %d, want 100", got)
+	}
+}

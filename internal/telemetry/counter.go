@@ -5,6 +5,8 @@ import "fmt"
 // Counters is a small named-counter set used by application models for the
 // statistics the paper reports (hits, misses, forwarded queries, drops).
 // It is not safe for concurrent use; the simulator is single-threaded.
+// Live daemons, whose dataplane workers count concurrently, use
+// AtomicCounters instead.
 type Counters struct {
 	names  []string
 	values map[string]uint64

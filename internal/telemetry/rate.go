@@ -13,7 +13,9 @@ import (
 
 // RateMeter estimates an event rate over a sliding window of fixed-size
 // buckets. It is the data structure behind the network controller's
-// "average message rate over the averaging period" parameter.
+// "average message rate over the averaging period" parameter. Like every
+// sim-time instrument it is single-threaded by contract; live daemons
+// meter their wall-clock request streams with AtomicRateMeter.
 type RateMeter struct {
 	bucket  time.Duration
 	buckets []uint64
