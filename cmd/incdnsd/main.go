@@ -29,6 +29,7 @@ import (
 	"incod/internal/daemon"
 	"incod/internal/dataplane"
 	"incod/internal/dns"
+	"incod/internal/nictier"
 	"incod/internal/power"
 )
 
@@ -36,10 +37,12 @@ func main() {
 	addr := flag.String("addr", ":5353", "UDP listen address")
 	shards := flag.Int("shards", 0, "dataplane shard workers (0 = GOMAXPROCS)")
 	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
-	crossKpps := flag.Float64("crossover", 150, "advisory software/hardware crossover (kpps)")
+	crossKpps := flag.Float64("crossover", 150, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
 		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8081); empty disables")
+	useTier := flag.Bool("nictier", false,
+		"attach the emulated NIC offload tier (Emu-DNS-style answer table): policy shifts become real dataplane transitions")
 	flag.Parse()
 
 	// The zone must be fully loaded before serving starts: it is read
@@ -63,11 +66,17 @@ func main() {
 		// overload memory (Shards*QueueDepth*MaxDatagram).
 		MaxDatagram: 4096,
 	})
-	log.Printf("incdnsd: serving %d records on %s (policy %s)", zone.Len(), *addr, *policy)
+	var tierSvc core.Service
+	mode := "advisory"
+	if *useTier {
+		tierSvc = nictier.NewService("dns", eng, nictier.NewDNS(zone))
+		mode = "nictier"
+	}
+	log.Printf("incdnsd: serving %d records on %s (policy %s, %s)", zone.Len(), *addr, *policy, mode)
 
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "dns", Policy: *policy, CrossKpps: *crossKpps,
-		Curve: power.NSDServer, CtrlAddr: *ctrl,
+		Curve: power.NSDServer, CtrlAddr: *ctrl, Service: tierSvc,
 	})
 	if err != nil {
 		log.Fatalf("incdnsd: %v", err)

@@ -2,17 +2,18 @@
 // the same store and codec the simulator uses, served by the shared
 // sharded dataplane (internal/dataplane) with an embedded on-demand
 // orchestrator: it meters the live query rate, runs the selected §9.1
-// placement policy, and reports when the service would shift between host
-// and network (advisory, since this process has no FPGA attached).
+// placement policy, and — with -nictier — actually shifts the service
+// between the host handler and an emulated LaKe-style NIC cache tier
+// (without the flag the decision stays advisory).
 //
 // Try it:
 //
-//	inckvsd -addr :11211 -ctrl :8080 -policy threshold -shards 4 &
+//	inckvsd -addr :11211 -ctrl :8080 -policy threshold -shards 4 -nictier &
 //	# framed clients (memcached UDP mode) and raw ASCII both work:
 //	printf 'set k 0 0 5\r\nhello\r\n' | socat - UDP:localhost:11211
 //	printf 'get k\r\n' | socat - UDP:localhost:11211
-//	curl localhost:8080/v1/services/kvs
-//	curl localhost:8080/v1/services/kvs/dataplane
+//	curl localhost:8080/v1/services/kvs           # placement, shifts, durations
+//	curl localhost:8080/v1/services/kvs/dataplane # tier hit ratio + power
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"incod/internal/daemon"
 	"incod/internal/dataplane"
 	"incod/internal/kvs"
+	"incod/internal/nictier"
 	"incod/internal/power"
 )
 
@@ -32,10 +34,12 @@ func main() {
 	addr := flag.String("addr", ":11211", "UDP listen address")
 	shards := flag.Int("shards", 0, "dataplane shard workers (0 = GOMAXPROCS)")
 	maxEntries := flag.Int("max-entries", 0, "LRU-bound the store to this many entries (0 = unbounded)")
-	crossKpps := flag.Float64("crossover", 80, "advisory software/hardware crossover (kpps)")
+	crossKpps := flag.Float64("crossover", 80, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
 		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8080); empty disables")
+	useTier := flag.Bool("nictier", false,
+		"attach the emulated NIC offload tier (LaKe-style L1/L2 cache): policy shifts become real dataplane transitions")
 	flag.Parse()
 
 	conn, err := net.ListenPacket("udp", *addr)
@@ -44,15 +48,22 @@ func main() {
 	}
 
 	store := kvs.NewShardedStore(*shards, *maxEntries)
-	eng := dataplane.New(conn, kvs.NewHandler(store), dataplane.Config{
+	handler := kvs.NewHandler(store)
+	eng := dataplane.New(conn, handler, dataplane.Config{
 		Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey,
 	})
-	log.Printf("inckvsd: serving memcached UDP on %s (%d store shards, policy %s, advisory crossover %.0f kpps)",
-		*addr, store.Shards(), *policy, *crossKpps)
+	var tierSvc core.Service
+	mode := "advisory"
+	if *useTier {
+		tierSvc = nictier.NewService("kvs", eng, nictier.NewKVS(handler))
+		mode = "nictier"
+	}
+	log.Printf("inckvsd: serving memcached UDP on %s (%d store shards, policy %s, %s, crossover %.0f kpps)",
+		*addr, store.Shards(), *policy, mode, *crossKpps)
 
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "kvs", Policy: *policy, CrossKpps: *crossKpps,
-		Curve: power.MemcachedMellanox, CtrlAddr: *ctrl,
+		Curve: power.MemcachedMellanox, CtrlAddr: *ctrl, Service: tierSvc,
 	})
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)

@@ -7,6 +7,13 @@
 //	incloadgen -proto kvs -target localhost:11211 -rate 50000 -keys 1000 -duration 5s
 //	incloadgen -proto dns -target localhost:5353  -rate 20000 -keys 16   -duration 5s
 //
+// A phased profile exercises shift-up and shift-down in one run — ramp
+// across the placement threshold, hold above it, drop back under it —
+// with the achieved rate reported per phase:
+//
+//	incloadgen -proto kvs -target localhost:11211 \
+//	    -profile 'ramp:0-100000:5s,hold:100000:5s,spike:150000:1s,ramp:100000-0:5s'
+//
 // The pacer is open-loop (it does not wait for replies), sending in
 // batches every millisecond, so the offered rate holds even when the
 // server lags; the report then shows how much of it was answered:
@@ -22,6 +29,8 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,7 +47,14 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
 	keys := flag.Uint64("keys", 1000, "key-space size (Zipf popularity)")
 	preload := flag.Bool("preload", true, "kvs: SET every key before the run")
+	profile := flag.String("profile", "",
+		"phased load, comma-separated: ramp:<from>-<to>:<dur> | hold:<rate>:<dur> | spike:<rate>:<dur>; overrides -rate/-duration")
 	flag.Parse()
+
+	phases, err := parseProfile(*profile, *rate, *duration)
+	if err != nil {
+		log.Fatalf("incloadgen: %v", err)
+	}
 
 	conn, err := net.Dial("udp", *target)
 	if err != nil {
@@ -98,39 +114,58 @@ func main() {
 		log.Printf("incloadgen: preloaded %d keys", *keys)
 	}
 
-	log.Printf("incloadgen: %s load on %s, offered %.0f req/s for %v", *proto, *target, *rate, *duration)
+	var totalDur time.Duration
+	for _, ph := range phases {
+		totalDur += ph.dur
+	}
+	log.Printf("incloadgen: %s load on %s, %d phase(s) over %v", *proto, *target, len(phases), totalDur)
 
 	// Open-loop pacer: every tick, send however many requests are due by
-	// now. Batching decouples the offered rate from timer resolution, so
-	// tens of thousands of req/s are reachable from one goroutine.
+	// now per the current phase's rate curve. Batching decouples the
+	// offered rate from timer resolution, so tens of thousands of req/s
+	// are reachable from one goroutine.
 	var id uint16
 	var total uint64
-	start := time.Now()
 	const tickEvery = time.Millisecond
 	const maxBatch = 4096 // bound catch-up bursts after a stall
-	for {
-		elapsed := time.Since(start)
-		if elapsed >= *duration {
-			break
-		}
-		due := uint64(elapsed.Seconds() * *rate)
-		batch := uint64(0)
-		for total < due && batch < maxBatch {
-			id++
-			total++
-			batch++
-			payload, err := request(*proto, id, sampler)
-			if err != nil {
-				log.Fatalf("incloadgen: %v", err)
+	start := time.Now()
+	for i, ph := range phases {
+		phaseStart := time.Now()
+		var phaseSent uint64
+		mu.Lock()
+		recvAtStart := recv
+		mu.Unlock()
+		for {
+			elapsed := time.Since(phaseStart)
+			if elapsed >= ph.dur {
+				break
 			}
-			mu.Lock()
-			sent[id] = time.Now()
-			mu.Unlock()
-			if _, err := conn.Write(payload); err != nil {
-				log.Fatalf("incloadgen: %v", err)
+			due := ph.dueAt(elapsed)
+			batch := uint64(0)
+			for phaseSent < due && batch < maxBatch {
+				id++
+				total++
+				phaseSent++
+				batch++
+				payload, err := request(*proto, id, sampler)
+				if err != nil {
+					log.Fatalf("incloadgen: %v", err)
+				}
+				mu.Lock()
+				sent[id] = time.Now()
+				mu.Unlock()
+				if _, err := conn.Write(payload); err != nil {
+					log.Fatalf("incloadgen: %v", err)
+				}
 			}
+			time.Sleep(tickEvery)
 		}
-		time.Sleep(tickEvery)
+		span := time.Since(phaseStart)
+		mu.Lock()
+		answered := recv - recvAtStart
+		mu.Unlock()
+		log.Printf("incloadgen: phase %d/%d %s: sent %d (achieved %.1f kpps), answered %d in-phase",
+			i+1, len(phases), ph, phaseSent, float64(phaseSent)/span.Seconds()/1000, answered)
 	}
 	sendSpan := time.Since(start)
 	time.Sleep(300 * time.Millisecond) // collect stragglers
@@ -142,6 +177,76 @@ func main() {
 	log.Printf("incloadgen: sent %d (%.1f kpps), answered %d (%.1f kpps, %.1f%%), outstanding %d, bad %d",
 		total, sentKpps, recv, ansKpps, float64(recv)/float64(total)*100, len(sent), errs)
 	log.Printf("incloadgen: latency p50=%v p99=%v max=%v", hist.Median(), hist.P99(), hist.Max())
+}
+
+// phase is one segment of the offered-load profile.
+type phase struct {
+	kind     string // "ramp", "hold" or "spike"
+	from, to float64
+	dur      time.Duration
+}
+
+func (p phase) String() string {
+	if p.kind == "ramp" {
+		return fmt.Sprintf("ramp %.0f->%.0f req/s over %v", p.from, p.to, p.dur)
+	}
+	return fmt.Sprintf("%s %.0f req/s for %v", p.kind, p.from, p.dur)
+}
+
+// dueAt integrates the phase's rate curve: how many requests should have
+// been sent t into the phase (linear interpolation for ramps).
+func (p phase) dueAt(t time.Duration) uint64 {
+	s := t.Seconds()
+	if p.kind == "ramp" && p.dur > 0 {
+		d := p.dur.Seconds()
+		return uint64(p.from*s + (p.to-p.from)*s*s/(2*d))
+	}
+	return uint64(p.from * s)
+}
+
+// parseProfile parses the -profile spec. Empty means a single hold phase
+// at the -rate/-duration defaults, preserving the classic behavior.
+func parseProfile(spec string, rate float64, dur time.Duration) ([]phase, error) {
+	if strings.TrimSpace(spec) == "" {
+		return []phase{{kind: "hold", from: rate, to: rate, dur: dur}}, nil
+	}
+	var out []phase
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("profile phase %q: want <kind>:<rate>:<duration>", part)
+		}
+		d, err := time.ParseDuration(fields[2])
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("profile phase %q: bad duration %q", part, fields[2])
+		}
+		p := phase{kind: fields[0], dur: d}
+		switch p.kind {
+		case "ramp":
+			from, to, ok := strings.Cut(fields[1], "-")
+			if !ok {
+				return nil, fmt.Errorf("profile phase %q: ramp wants <from>-<to>", part)
+			}
+			if p.from, err = strconv.ParseFloat(from, 64); err != nil {
+				return nil, fmt.Errorf("profile phase %q: bad rate %q", part, from)
+			}
+			if p.to, err = strconv.ParseFloat(to, 64); err != nil {
+				return nil, fmt.Errorf("profile phase %q: bad rate %q", part, to)
+			}
+		case "hold", "spike":
+			if p.from, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("profile phase %q: bad rate %q", part, fields[1])
+			}
+			p.to = p.from
+		default:
+			return nil, fmt.Errorf("profile phase %q: unknown kind %q (want ramp, hold or spike)", part, p.kind)
+		}
+		if p.from < 0 || p.to < 0 {
+			return nil, fmt.Errorf("profile phase %q: negative rate", part)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func request(proto string, id uint16, sampler *trafficgen.KeySampler) ([]byte, error) {

@@ -17,7 +17,10 @@
 // Shifting leadership to a second leader process (higher -ballot) and
 // re-pointing clients at it reproduces the Figure 7 hand-off on real
 // sockets. Every role serves the same /v1 control API as the other
-// daemons when -ctrl is set, metering its own message stream.
+// daemons when -ctrl is set, metering its own message stream. An
+// acceptor started with -nictier additionally attaches the emulated
+// P4xos fast path: policy-driven shifts hand the acceptor's vote state
+// between the host role and the NIC tier for real.
 package main
 
 import (
@@ -45,44 +48,58 @@ func main() {
 	rate := flag.Float64("rate", 100, "client request rate (req/s)")
 	duration := flag.Duration("duration", 5*time.Second, "client run duration")
 	timeout := flag.Duration("timeout", 100*time.Millisecond, "client retry timeout (the §9.2 knob)")
-	crossKpps := flag.Float64("crossover", 150, "advisory software/hardware crossover (kpps)")
+	crossKpps := flag.Float64("crossover", 150, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
 		"placement policy: "+strings.Join(core.PolicyNames(), " | "))
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8082); empty disables")
+	useTier := flag.Bool("nictier", false,
+		"acceptor role: attach the emulated P4xos acceptor fast path; policy shifts hand the acceptor state between host and NIC")
 	flag.Parse()
 
-	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
-		Name: "paxos", Policy: *policy, CrossKpps: *crossKpps,
-		Curve: power.LibpaxosLeader, CtrlAddr: *ctrl,
-	})
-	if err != nil {
-		log.Fatalf("incpaxosd: %v", err)
-	}
-	defer orch.Close()
-	if ctrlSrv != nil {
-		log.Printf("incpaxosd: control plane on http://%s/v1/services", ctrlSrv.Addr())
+	startCtrl := func(tierSvc core.Service) (*daemon.Orchestrator, *daemon.ManagedService, *daemon.CtrlServer) {
+		orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
+			Name: "paxos", Policy: *policy, CrossKpps: *crossKpps,
+			Curve: power.LibpaxosLeader, CtrlAddr: *ctrl, Service: tierSvc,
+		})
+		if err != nil {
+			log.Fatalf("incpaxosd: %v", err)
+		}
+		if ctrlSrv != nil {
+			log.Printf("incpaxosd: control plane on http://%s/v1/services", ctrlSrv.Addr())
+		}
+		return orch, svc, ctrlSrv
 	}
 
-	var r serverRole
-	switch *role {
-	case "acceptor":
-		r = newAcceptor(*addr, uint16(*id), splitAddrs(*learners), *shards)
-	case "leader":
-		r = newLeader(*addr, uint32(*ballot), splitAddrs(*acceptors), *shards)
-	case "learner":
-		r = newLearner(*addr, *quorum, *leader, *shards)
-	case "client":
+	if *role == "client" {
+		orch, svc, ctrlSrv := startCtrl(nil)
+		defer orch.Close()
 		// The client has no engine to drain; a signal mid-run still
 		// stops the control plane and exits cleanly.
 		daemon.OnShutdown("incpaxosd", ctrlSrv, orch, func() { os.Exit(0) })
 		runClient(*leader, *rate, *duration, *timeout, svc)
 		daemon.GracefulStop("incpaxosd", ctrlSrv, orch)
 		return
+	}
+
+	if *useTier && *role != "acceptor" {
+		log.Printf("incpaxosd: -nictier only offloads the acceptor role (P4xos, §3.2); ignoring for %q", *role)
+	}
+	var r serverRole
+	switch *role {
+	case "acceptor":
+		r = newAcceptor(*addr, uint16(*id), splitAddrs(*learners), *shards, *useTier)
+	case "leader":
+		r = newLeader(*addr, uint32(*ballot), splitAddrs(*acceptors), *shards)
+	case "learner":
+		r = newLearner(*addr, *quorum, *leader, *shards)
 	default:
 		log.Println("incpaxosd: -role must be acceptor, leader, learner or client")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	orch, svc, ctrlSrv := startCtrl(r.svc)
+	defer orch.Close()
 
 	svc.UseCounter(r.eng.Handled)
 	if err := orch.AttachDataplane("paxos", r.eng); err != nil {

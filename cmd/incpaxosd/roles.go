@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"incod/internal/core"
 	"incod/internal/daemon"
 	"incod/internal/dataplane"
+	"incod/internal/nictier"
 	"incod/internal/paxos"
 	"incod/internal/simnet"
 	"incod/internal/telemetry"
@@ -51,18 +53,27 @@ func sender(conn net.PacketConn) paxos.Sender {
 	}
 }
 
-// serverRole is a built server role: its engine plus any extra teardown
-// to run before the engine drains.
+// serverRole is a built server role: its engine, any extra teardown to
+// run before the engine drains, and — when the role supports offload —
+// the placement-bearing service for the orchestrator.
 type serverRole struct {
 	eng  *dataplane.Engine
 	stop func()
+	svc  core.Service
 }
 
-func newAcceptor(addr string, id uint16, learners []string, shards int) serverRole {
+func newAcceptor(addr string, id uint16, learners []string, shards int, useTier bool) serverRole {
 	conn := listen(addr)
 	h := paxos.NewLiveAcceptor(id, learners, sender(conn))
-	log.Printf("incpaxosd: acceptor %d on %s, learners %v", id, conn.LocalAddr(), learners)
-	return serverRole{eng: dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards})}
+	eng := dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards})
+	r := serverRole{eng: eng}
+	mode := "advisory"
+	if useTier {
+		r.svc = nictier.NewService("paxos", eng, nictier.NewPaxosAcceptor(h))
+		mode = "nictier"
+	}
+	log.Printf("incpaxosd: acceptor %d on %s (%s), learners %v", id, conn.LocalAddr(), mode, learners)
+	return r
 }
 
 func newLeader(addr string, ballot uint32, acceptors []string, shards int) serverRole {

@@ -15,7 +15,11 @@ import (
 // P4Runtime/gRPC channel plays for a hardware deployment's controller:
 //
 //	GET  /v1/services                     -> [ServiceStatus]
-//	GET  /v1/services/{name}              -> ServiceStatus
+//	GET  /v1/services/{name}              -> ServiceStatus (placement,
+//	                                         shifts, in-flight shifting
+//	                                         flag, last shift duration,
+//	                                         retry count, last error,
+//	                                         transition log)
 //	GET  /v1/services/{name}/thresholds   -> Thresholds
 //	POST /v1/services/{name}/thresholds   <- Thresholds (partial updates;
 //	                                         400 on invalid values, clamp

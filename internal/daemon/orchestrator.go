@@ -1,10 +1,14 @@
 // Package daemon provides the shared control plane for the runnable UDP
 // daemons: a multi-service Orchestrator that applies the same core.Policy
 // decision code the simulator validates to live, wall-clock request
-// streams, and the versioned /v1 HTTP API that exposes it. The daemons
-// have no FPGA attached, so by default each service is advisory — the
-// orchestrator reports where the service *would* run and when it would
-// shift — but any core.Service can be registered.
+// streams, and the versioned /v1 HTTP API that exposes it. A service
+// registered without a Service implementation is advisory — the
+// orchestrator only reports where it *would* run — while a real one
+// (nictier.Service, wired by the daemons' -nictier flag) performs actual
+// transition work on every shift: the orchestrator releases its mutex
+// for the duration, so warm-ups and drains never stall the control API,
+// and the measured shift duration, retry count and last error surface in
+// ServiceStatus.
 package daemon
 
 import (
@@ -89,6 +93,13 @@ type ManagedService struct {
 	shifts      int
 	transitions []string
 	lastErr     string
+	// shifting marks a transition task in flight: the orchestrator
+	// releases its mutex while Shift runs (warm-up and drains take real
+	// time and must not block the control plane), and this flag keeps a
+	// concurrent tick or pin from starting a second one.
+	shifting     bool
+	shiftRetries int           // lifetime count of failed shift attempts
+	lastShiftDur time.Duration // duration of the last completed attempt
 }
 
 // Observe records n=1 served request.
@@ -172,8 +183,26 @@ func (o *Orchestrator) Register(name string, cfg ServiceConfig) (*ManagedService
 
 // Advisory returns a Service with no hardware attached: shifts always
 // succeed, modeling where the workload would run (apply logs each one).
+// Placement is atomic because the orchestrator releases its mutex while
+// Shift runs — status reads race the write on a plain field.
 func Advisory(name string) core.Service {
-	return &core.FuncService{ServiceName: name, Where: core.Host}
+	return &advisoryService{name: name}
+}
+
+type advisoryService struct {
+	name  string
+	where atomic.Int32 // core.Placement; zero value = Host
+}
+
+func (a *advisoryService) Name() string { return a.name }
+
+func (a *advisoryService) Placement() core.Placement {
+	return core.Placement(a.where.Load())
+}
+
+func (a *advisoryService) Shift(to core.Placement) error {
+	a.where.Store(int32(to))
+	return nil
 }
 
 // Start launches the background evaluation loop.
@@ -235,6 +264,12 @@ func (o *Orchestrator) tickService(m *ManagedService, now time.Time) {
 		m.window = m.window[1:]
 	}
 
+	// A transition is in flight on another goroutine (or further up this
+	// stack): keep metering, but make no new decision until it lands.
+	if m.shifting {
+		return
+	}
+
 	placement := m.svc.Placement()
 	// A manual pin overrides the policy until released.
 	if m.pinned != nil {
@@ -261,10 +296,28 @@ func (o *Orchestrator) tickService(m *ManagedService, now time.Time) {
 }
 
 // apply shifts m to target, logging the outcome. It reports success.
+// It is called with the orchestrator mutex held and RELEASES it while
+// the service's transition task runs — real transition work (cache
+// warm-up, state handoff, fast-path drains) takes wall time, and the
+// control plane must stay responsive (and pinnable) throughout. The
+// m.shifting flag keeps concurrent ticks and pins from overlapping a
+// second transition; they re-evaluate on the next tick instead.
 // Repeated identical failures (a pinned service whose transition task
 // keeps failing is retried every tick) are logged once, not per tick.
 func (o *Orchestrator) apply(m *ManagedService, now time.Time, target core.Placement, reason string) bool {
-	if err := m.svc.Shift(target); err != nil {
+	if m.shifting {
+		return false
+	}
+	m.shifting = true
+	o.mu.Unlock()
+	start := time.Now()
+	err := m.svc.Shift(target)
+	dur := time.Since(start)
+	o.mu.Lock()
+	m.shifting = false
+	m.lastShiftDur = dur
+	if err != nil {
+		m.shiftRetries++
 		if err.Error() != m.lastErr {
 			log.Printf("%s: on-demand: shift to %s failed: %v", m.name, target, err)
 		}
@@ -273,7 +326,8 @@ func (o *Orchestrator) apply(m *ManagedService, now time.Time, target core.Place
 	}
 	m.lastErr = ""
 	m.shifts++
-	entry := fmt.Sprintf("%s -> %s (%s)", now.Format(time.RFC3339), target, reason)
+	entry := fmt.Sprintf("%s -> %s in %v (%s)", now.Format(time.RFC3339), target,
+		dur.Round(time.Microsecond), reason)
 	if cr, ok := m.svc.(core.CostReporter); ok {
 		if c := cr.TransitionCost(target); c.Note != "" {
 			entry += " [task: " + c.Note + "]"
@@ -283,7 +337,7 @@ func (o *Orchestrator) apply(m *ManagedService, now time.Time, target core.Place
 	if len(m.transitions) > 32 {
 		m.transitions = m.transitions[1:]
 	}
-	log.Printf("%s: on-demand: shift to %s (%s)", m.name, target, reason)
+	log.Printf("%s: on-demand: shift to %s in %v (%s)", m.name, target, dur.Round(time.Microsecond), reason)
 	return true
 }
 
@@ -308,6 +362,14 @@ type ServiceStatus struct {
 	Requests   uint64  `json:"requests"`
 	WindowKpps float64 `json:"window_kpps"`
 
+	// Shifting reports a transition task in flight right now.
+	Shifting bool `json:"shifting,omitempty"`
+	// ShiftRetries counts failed shift attempts over the service's life.
+	ShiftRetries int `json:"shift_retries,omitempty"`
+	// LastShiftDuration is how long the most recent shift attempt took
+	// (successful or not), as a Go duration string.
+	LastShiftDuration string `json:"last_shift_duration,omitempty"`
+
 	Thresholds  *Thresholds `json:"thresholds,omitempty"`
 	Transitions []string    `json:"transitions,omitempty"`
 	LastError   string      `json:"last_error,omitempty"`
@@ -323,12 +385,17 @@ func (o *Orchestrator) lookup(name string) (*ManagedService, error) {
 
 func statusLocked(m *ManagedService) ServiceStatus {
 	s := ServiceStatus{
-		Name:      m.name,
-		Placement: m.svc.Placement().String(),
-		Policy:    m.pol.Name(),
-		Shifts:    m.shifts,
-		Requests:  m.total(),
-		LastError: m.lastErr,
+		Name:         m.name,
+		Placement:    m.svc.Placement().String(),
+		Policy:       m.pol.Name(),
+		Shifts:       m.shifts,
+		Requests:     m.total(),
+		LastError:    m.lastErr,
+		Shifting:     m.shifting,
+		ShiftRetries: m.shiftRetries,
+	}
+	if m.lastShiftDur > 0 {
+		s.LastShiftDuration = m.lastShiftDur.Round(time.Microsecond).String()
 	}
 	if m.pinned != nil {
 		s.Pinned = m.pinned.String()

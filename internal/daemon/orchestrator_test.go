@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -209,6 +210,117 @@ func TestPinWithFailingShiftRetries(t *testing.T) {
 	s, _ = o.Status("flaky")
 	if s.Placement != "network" || s.LastError != "" {
 		t.Fatalf("pin retry should converge, got %+v", s)
+	}
+}
+
+// A manual pin arriving while a policy-driven shift is in flight must
+// neither deadlock nor be lost: the orchestrator releases its mutex for
+// the duration of the transition task, stays responsive (status shows
+// shifting), and converges on the pinned placement once the in-flight
+// shift lands.
+func TestPinRacesInFlightShift(t *testing.T) {
+	o := NewOrchestrator(0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc := &core.FuncService{ServiceName: "slow", Where: core.Host,
+		OnShift: func(to core.Placement) error {
+			if to == core.Network {
+				// Block the first up-shift mid-flight until released.
+				once.Do(func() {
+					close(entered)
+					<-release
+				})
+			}
+			return nil
+		}}
+	m, err := o.Register("slow", ServiceConfig{
+		Service: svc,
+		Policy:  core.NewThresholdPolicy(core.DefaultNetworkConfig(100)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	o.Tick(start)
+
+	// Drive a sustained high rate on another goroutine; the decisive
+	// Tick will block inside svc.Shift with the mutex released.
+	tickDone := make(chan time.Time, 1)
+	go func() {
+		tickDone <- drive(o, m, start, 300, 3*time.Second)
+	}()
+	<-entered
+
+	// Mid-shift: the control plane must stay responsive and honest...
+	s, err := o.Status("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Shifting {
+		t.Fatalf("status during a transition must report shifting, got %+v", s)
+	}
+	// ...and a manual pin must be accepted without deadlock. The service
+	// is still on the host (the shift has not landed), so the pin's
+	// immediate apply is a no-op; the in-flight shift lands afterwards
+	// and the next ticks must bring the service back to the pin.
+	if err := o.Pin("slow", core.Host); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	now := <-tickDone
+
+	_ = drive(o, m, now, 300, time.Second)
+	s, _ = o.Status("slow")
+	if s.Placement != "host" || s.Pinned != "host" {
+		t.Fatalf("pin must win over the raced shift, got %+v", s)
+	}
+	if s.Shifting {
+		t.Fatalf("no transition should be in flight at rest, got %+v", s)
+	}
+	if s.LastShiftDuration == "" {
+		t.Fatalf("shift duration must be recorded, got %+v", s)
+	}
+}
+
+// Shift failures surface on the status API: the retry count and the last
+// error string, which clear-on-success semantics keep honest.
+func TestShiftRetryCountAndDurationInStatus(t *testing.T) {
+	o := NewOrchestrator(0)
+	fail := true
+	svc := &core.FuncService{ServiceName: "flaky", Where: core.Host,
+		OnShift: func(core.Placement) error {
+			if fail {
+				return errTest
+			}
+			return nil
+		}}
+	m, err := o.Register("flaky", ServiceConfig{
+		Service: svc,
+		Policy:  core.NewThresholdPolicy(core.DefaultNetworkConfig(100)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	o.Tick(start)
+	now := drive(o, m, start, 300, 3*time.Second)
+	s, _ := o.Status("flaky")
+	if s.ShiftRetries == 0 {
+		t.Fatalf("failed attempts must be counted, got %+v", s)
+	}
+	if s.LastError == "" || s.LastShiftDuration == "" {
+		t.Fatalf("failure detail missing from status: %+v", s)
+	}
+	retriesSoFar := s.ShiftRetries
+	fail = false
+	_ = drive(o, m, now, 300, 2*time.Second)
+	s, _ = o.Status("flaky")
+	if s.Placement != "network" || s.LastError != "" {
+		t.Fatalf("success must clear the error, got %+v", s)
+	}
+	if s.ShiftRetries != retriesSoFar {
+		t.Fatalf("retry count is lifetime (%d), got %+v", retriesSoFar, s)
 	}
 }
 

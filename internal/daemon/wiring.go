@@ -20,19 +20,26 @@ type StartOptions struct {
 	Curve power.SoftwareCurve
 	// CtrlAddr serves the /v1 control API when non-empty.
 	CtrlAddr string
+	// Service, when non-nil, is the placement-bearing workload (e.g. a
+	// nictier.Service whose Shift flips the live dataplane). Nil
+	// registers the advisory stand-in.
+	Service core.Service
 }
 
 // StartControlPlane builds the common daemon control plane: a started
-// orchestrator with one advisory service under the selected policy
-// (curve-calibrated via core.CalibratedPolicyByName), and (when enabled)
-// the /v1 control server.
+// orchestrator with one service (o.Service, or the advisory stand-in
+// when nil) under the selected policy (curve-calibrated via
+// core.CalibratedPolicyByName), and (when enabled) the /v1 control
+// server.
 func StartControlPlane(o StartOptions) (*Orchestrator, *ManagedService, *CtrlServer, error) {
 	pol, err := core.CalibratedPolicyByName(o.Policy, o.CrossKpps, o.Curve)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	orch := NewOrchestrator(0)
-	svc, err := orch.Register(o.Name, ServiceConfig{Policy: pol, Model: CurveModel(o.Curve)})
+	svc, err := orch.Register(o.Name, ServiceConfig{
+		Service: o.Service, Policy: pol, Model: CurveModel(o.Curve),
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -45,6 +45,26 @@ type StatsReporter interface {
 	StatsCounters() *telemetry.AtomicCounters
 }
 
+// FastPath is an offload tier interposed on dispatch *before* the host
+// handler — the emulated NIC of internal/nictier. For each datagram the
+// worker first offers it to the installed fast path: served=true means
+// the tier consumed it (the host handler never sees it), and reply=true
+// with a non-empty out sends out back to the source; served=false falls
+// through to the host handler with the datagram untouched. Installing
+// and removing a fast path is how a live placement shift becomes real:
+// SetFastPath atomically flips dispatch to the tier, ClearFastPath drains
+// it without dropping in-flight requests.
+//
+// Implementations are called concurrently from every shard worker and
+// must be safe for that; like Handler, they encode replies into the
+// per-worker scratch buffer so a tier hit can stay allocation-free.
+type FastPath interface {
+	TryHandleDatagram(in []byte, src netip.AddrPort, scratch *[]byte) (out []byte, served, reply bool)
+}
+
+// fastPathRef boxes a FastPath so the engine can swap it atomically.
+type fastPathRef struct{ fp FastPath }
+
 // Config parameterizes an Engine. The zero value is serviceable.
 type Config struct {
 	// Name prefixes log lines (default "dataplane").
@@ -96,6 +116,9 @@ type packet struct {
 	// raw is the reply address for conns that are not *net.UDPConn
 	// (tests, in-memory transports); nil on the fast path.
 	raw net.Addr
+	// barrier, when non-nil, marks a sentinel injected by Barrier: the
+	// worker signals it and handles nothing.
+	barrier chan<- struct{}
 }
 
 // shard is one worker's queue and counters.
@@ -104,6 +127,7 @@ type shard struct {
 
 	received  atomic.Uint64
 	handled   atomic.Uint64
+	offloaded atomic.Uint64
 	replies   atomic.Uint64
 	dropped   atomic.Uint64
 	writeErrs atomic.Uint64
@@ -122,6 +146,13 @@ type Engine struct {
 	pool   sync.Pool
 	meter  *telemetry.AtomicRateMeter
 
+	// fastPath is the installed offload tier (nil = host-only dispatch);
+	// lastTier remembers the most recently installed one so Snapshot can
+	// keep reporting its lifetime counters after a shift back to host.
+	fastPath   atomic.Pointer[fastPathRef]
+	lastTier   atomic.Pointer[fastPathRef]
+	fpInflight atomic.Int64
+
 	readErrs atomic.Uint64
 
 	closing    atomic.Bool
@@ -130,6 +161,10 @@ type Engine struct {
 	workersWG  sync.WaitGroup
 	closeOnce  sync.Once
 	done       chan struct{}
+	// barrierMu serializes Barrier's sentinel sends with Close's channel
+	// close, so a placement shift racing a shutdown cannot panic on a
+	// closed shard queue.
+	barrierMu sync.Mutex
 }
 
 // New builds an engine serving conn through h. Call Start (or Run) to
@@ -168,6 +203,65 @@ func (e *Engine) Meter() *telemetry.AtomicRateMeter { return e.meter }
 // per packet.
 func (e *Engine) Handled() uint64 { return e.meter.Total() }
 
+// SetFastPath installs fp as the offload tier: from the next dequeued
+// datagram on, every worker offers traffic to fp before the host handler.
+// Passing nil is equivalent to ClearFastPath. Datagrams already being
+// handled by the host when the flip lands finish on the host; callers
+// that need those to have fully landed before snapshotting host state
+// (cache warm-up, state handoff) follow with Barrier.
+func (e *Engine) SetFastPath(fp FastPath) {
+	if fp == nil {
+		e.ClearFastPath()
+		return
+	}
+	ref := &fastPathRef{fp: fp}
+	e.fastPath.Store(ref)
+	e.lastTier.Store(ref)
+}
+
+// ClearFastPath uninstalls the offload tier and drains it: it blocks
+// until no worker is still inside the tier's TryHandleDatagram, so when
+// it returns the tier can be parked (state flushed) without dropping an
+// in-flight request. Subsequent datagrams go to the host handler.
+func (e *Engine) ClearFastPath() {
+	e.fastPath.Store(nil)
+	for e.fpInflight.Load() != 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// FastPathActive reports whether an offload tier is installed.
+func (e *Engine) FastPathActive() bool { return e.fastPath.Load() != nil }
+
+// Barrier blocks until every shard worker has finished the datagrams it
+// had dequeued (or queued ahead of the sentinel) when Barrier was called.
+// The offload shift uses it after SetFastPath so host-handled stragglers
+// from before the flip have fully landed before transition work snapshots
+// host state. It is safe against a concurrent Close — a shutdown racing
+// a shift degrades to a no-op barrier rather than a panic; on an engine
+// that is not started (or already closing) it is a no-op.
+func (e *Engine) Barrier() {
+	if !e.started.Load() {
+		return
+	}
+	done := make(chan struct{}, len(e.shards))
+	sent := 0
+	e.barrierMu.Lock()
+	// Re-check under the lock: Close sets closing before it waits for
+	// barrierMu, so either we see it here (and skip the sends) or we
+	// finish sending before Close can close the queues.
+	if !e.closing.Load() {
+		for _, s := range e.shards {
+			s.ch <- packet{barrier: done}
+		}
+		sent = len(e.shards)
+	}
+	e.barrierMu.Unlock()
+	for i := 0; i < sent; i++ {
+		<-done
+	}
+}
+
 // Start launches the reader and the shard workers. It is not idempotent;
 // call it once.
 func (e *Engine) Start() {
@@ -198,9 +292,14 @@ func (e *Engine) Close() {
 			// queued replies can still be written during the drain.
 			_ = e.conn.SetReadDeadline(time.Now())
 			<-e.readerDone
+			// Hold barrierMu across the close: a Barrier that already
+			// passed its closing check finishes its sends first (the
+			// workers are still draining, so those sends progress).
+			e.barrierMu.Lock()
 			for _, s := range e.shards {
 				close(s.ch)
 			}
+			e.barrierMu.Unlock()
 			e.workersWG.Wait()
 		}
 		_ = e.conn.Close()
@@ -259,7 +358,39 @@ func (e *Engine) worker(s *shard) {
 	defer e.workersWG.Done()
 	scratch := make([]byte, 0, e.cfg.MaxDatagram)
 	for pkt := range s.ch {
+		if pkt.barrier != nil {
+			pkt.barrier <- struct{}{}
+			continue
+		}
 		in := (*pkt.buf)[:pkt.n]
+		if e.fastPath.Load() != nil {
+			// Token first, then re-load: ClearFastPath stores nil and
+			// waits for fpInflight==0, so once it reads zero, any worker
+			// that later takes a token re-reads the pointer as nil —
+			// no worker can slip into a tier that is being parked.
+			e.fpInflight.Add(1)
+			ref := e.fastPath.Load()
+			var out []byte
+			var served, reply bool
+			if ref != nil {
+				out, served, reply = ref.fp.TryHandleDatagram(in, pkt.src, &scratch)
+			}
+			e.fpInflight.Add(-1)
+			if served {
+				s.offloaded.Add(1)
+				s.handled.Add(1)
+				e.meter.Add(1)
+				if reply && len(out) > 0 {
+					if err := e.reply(out, pkt); err != nil {
+						s.writeErrs.Add(1)
+					} else {
+						s.replies.Add(1)
+					}
+				}
+				e.pool.Put(pkt.buf)
+				continue
+			}
+		}
 		var out []byte
 		var ok bool
 		if e.sh != nil {

@@ -14,6 +14,12 @@
 //   - handlers implement the small Handler interface and encode replies
 //     into a per-worker scratch buffer, so the memcached GET hot path runs
 //     with zero per-request heap allocations;
+//   - an offload tier (FastPath) can be interposed on dispatch before
+//     the host handler: the emulated NIC of internal/nictier. SetFastPath
+//     atomically flips dispatch to the tier, Barrier fences host work that
+//     predates the flip, and ClearFastPath drains the tier without
+//     dropping in-flight requests — the mechanics a live placement shift
+//     is built on;
 //   - Close drains gracefully: the reader stops, queued datagrams are
 //     still handled and answered, then the socket closes. Daemons wire
 //     this into daemon.OnShutdown;

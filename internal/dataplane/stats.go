@@ -5,6 +5,7 @@ type ShardStats struct {
 	Shard       int    `json:"shard"`
 	Received    uint64 `json:"received"`
 	Handled     uint64 `json:"handled"`
+	Offloaded   uint64 `json:"offloaded"`
 	Replies     uint64 `json:"replies"`
 	Dropped     uint64 `json:"dropped"`
 	WriteErrors uint64 `json:"write_errors"`
@@ -16,17 +17,31 @@ type Stats struct {
 	Shards      []ShardStats      `json:"shards"`
 	Received    uint64            `json:"received"`
 	Handled     uint64            `json:"handled"`
+	Offloaded   uint64            `json:"offloaded"`
 	Replies     uint64            `json:"replies"`
 	Dropped     uint64            `json:"dropped"`
 	WriteErrors uint64            `json:"write_errors"`
 	ReadErrors  uint64            `json:"read_errors"`
 	RateKpps    float64           `json:"rate_kpps"`
 	Handler     map[string]uint64 `json:"handler,omitempty"`
+
+	// Offload tier telemetry. TierActive reports whether a fast path is
+	// installed right now; the remaining fields describe the most
+	// recently installed tier (lifetime counters survive a shift back to
+	// host so the control plane can still show what the tier did).
+	TierActive bool              `json:"tier_active"`
+	TierName   string            `json:"tier_name,omitempty"`
+	Tier       map[string]uint64 `json:"tier,omitempty"`
+	// No omitempty: a 0.0 hit ratio on an active tier is a real reading
+	// (e.g. an NXDOMAIN-only DNS workload), not "no data".
+	TierHitRatio   float64 `json:"tier_hit_ratio"`
+	TierPowerWatts float64 `json:"tier_power_watts,omitempty"`
 }
 
 // Snapshot collects per-shard and aggregate counters, the live request
 // rate, and — when the handler reports its own counters — a snapshot of
-// those too.
+// those too. When an offload tier is (or was) installed, its counters,
+// hit ratio and modeled power draw are folded in as well.
 func (e *Engine) Snapshot() Stats {
 	st := Stats{
 		Shards:     make([]ShardStats, len(e.shards)),
@@ -38,6 +53,7 @@ func (e *Engine) Snapshot() Stats {
 			Shard:       i,
 			Received:    s.received.Load(),
 			Handled:     s.handled.Load(),
+			Offloaded:   s.offloaded.Load(),
 			Replies:     s.replies.Load(),
 			Dropped:     s.dropped.Load(),
 			WriteErrors: s.writeErrs.Load(),
@@ -45,12 +61,28 @@ func (e *Engine) Snapshot() Stats {
 		st.Shards[i] = ss
 		st.Received += ss.Received
 		st.Handled += ss.Handled
+		st.Offloaded += ss.Offloaded
 		st.Replies += ss.Replies
 		st.Dropped += ss.Dropped
 		st.WriteErrors += ss.WriteErrors
 	}
 	if r, ok := e.h.(StatsReporter); ok {
 		st.Handler = r.StatsCounters().Snapshot()
+	}
+	st.TierActive = e.fastPath.Load() != nil
+	if ref := e.lastTier.Load(); ref != nil {
+		if n, ok := ref.fp.(interface{ Name() string }); ok {
+			st.TierName = n.Name()
+		}
+		if r, ok := ref.fp.(StatsReporter); ok {
+			st.Tier = r.StatsCounters().Snapshot()
+		}
+		if hr, ok := ref.fp.(interface{ HitRatio() float64 }); ok {
+			st.TierHitRatio = hr.HitRatio()
+		}
+		if pw, ok := ref.fp.(interface{ PowerWatts() float64 }); ok {
+			st.TierPowerWatts = pw.PowerWatts()
+		}
 	}
 	return st
 }

@@ -55,6 +55,10 @@ func NewHandler(store *ShardedStore) *Handler {
 // Store returns the handler's backing store.
 func (h *Handler) Store() *ShardedStore { return h.store }
 
+// Epoch returns the handler's virtual-clock origin. The NIC offload tier
+// shares it so both substrates judge entry expiry identically.
+func (h *Handler) Epoch() time.Time { return h.epoch }
+
 // StatsCounters exposes protocol counters on the /v1 control API.
 func (h *Handler) StatsCounters() *telemetry.AtomicCounters { return h.counters }
 

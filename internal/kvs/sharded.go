@@ -89,6 +89,44 @@ func (st *ShardedStore) Set(key string, e Entry) {
 	sh.mu.Unlock()
 }
 
+// SetIfAbsent stores key only when it is not already present, reporting
+// whether it stored. The check and the insert run under the key's shard
+// lock, so a concurrent Set for the same key can never be overwritten by
+// a stale snapshot value — the property the offload tier's warm-up
+// depends on.
+func (st *ShardedStore) SetIfAbsent(key string, e Entry) bool {
+	sh := st.shardOfString(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.s.Contains(key) {
+		return false
+	}
+	sh.s.Set(key, e)
+	return true
+}
+
+// Range calls fn for every live entry, shard by shard, until fn returns
+// false. Each shard's lock is held while fn walks it, so fn must be quick
+// and must not call back into this store (other stores are fine — the
+// tier warm-up copies entries into its own cache layers from here).
+func (st *ShardedStore) Range(fn func(key string, e Entry) bool) {
+	for _, sh := range st.shards {
+		stop := false
+		sh.mu.Lock()
+		sh.s.Range(func(key string, e Entry) bool {
+			if !fn(key, e) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
 // Delete removes key, reporting whether it existed.
 func (st *ShardedStore) Delete(key string) bool {
 	sh := st.shardOfString(key)

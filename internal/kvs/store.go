@@ -107,6 +107,26 @@ func (s *Store) remove(el *list.Element) {
 	delete(s.data, el.Value.(*storeItem).key)
 }
 
+// Contains reports whether key is present, without touching LRU order or
+// get counters (expiry is not evaluated; an expired entry still counts as
+// present until reaped).
+func (s *Store) Contains(key string) bool {
+	_, ok := s.data[key]
+	return ok
+}
+
+// Range calls fn for every live entry from most to least recently used,
+// stopping early when fn returns false. fn must not mutate the store.
+// The offload tier's cache warm-up walks the store of record through it.
+func (s *Store) Range(fn func(key string, e Entry) bool) {
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*storeItem)
+		if !fn(it.key, it.entry) {
+			return
+		}
+	}
+}
+
 // Sweep reaps expired entries eagerly (memcached's background reaper) and
 // returns how many were removed.
 func (s *Store) Sweep(now simnet.Time) int {

@@ -1,0 +1,161 @@
+package nictier
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"incod/internal/dns"
+	"incod/internal/fpga"
+	"incod/internal/telemetry"
+)
+
+// DNSTier is the Emu-DNS-style fast path (§3.3): an answer table synced
+// from the authoritative zone, serving A/IN resolution directly —
+// including authoritative NXDOMAIN for unknown names ("Emu DNS informs
+// the client that it cannot resolve the name"). Non-A/IN questions and
+// stray responses fall through to the host handler, like the hardware
+// classifier punting what the pipeline does not support.
+type DNSTier struct {
+	zone *dns.Zone
+
+	mu     sync.RWMutex
+	table  map[string]dns.ARecord
+	active atomic.Bool
+	meter  *telemetry.AtomicRateMeter
+
+	counters    *telemetry.AtomicCounters
+	answered    *atomic.Uint64
+	nxdomain    *atomic.Uint64
+	passthrough *atomic.Uint64
+	synced      *atomic.Uint64
+}
+
+// NewDNS returns an Emu-DNS-style tier synced from zone.
+func NewDNS(zone *dns.Zone) *DNSTier {
+	c := telemetry.NewAtomicCounters()
+	return &DNSTier{
+		zone:        zone,
+		meter:       telemetry.NewAtomicRateMeter(meterBucket, meterBuckets),
+		counters:    c,
+		answered:    c.Handle("answered"),
+		nxdomain:    c.Handle("nxdomain"),
+		passthrough: c.Handle("passthrough"),
+		synced:      c.Handle("synced_records"),
+	}
+}
+
+// Name implements Tier.
+func (t *DNSTier) Name() string { return "emu-dns" }
+
+// Counters implements Tier.
+func (t *DNSTier) Counters() *telemetry.AtomicCounters { return t.counters }
+
+// StatsCounters lets dataplane.Snapshot fold the tier counters in.
+func (t *DNSTier) StatsCounters() *telemetry.AtomicCounters { return t.counters }
+
+// HitRatio implements Tier: the fraction of classified queries answered
+// from the table (NXDOMAINs are answers too, but only positive
+// resolutions count as hits).
+func (t *DNSTier) HitRatio() float64 {
+	hits := t.answered.Load()
+	total := hits + t.nxdomain.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// PowerWatts implements Tier.
+func (t *DNSTier) PowerWatts() float64 {
+	if t.active.Load() {
+		return designWatts(fpga.EmuDNSDesign, utilization(t.meter, fpga.EmuDNSDesign.PeakKpps))
+	}
+	return parkedWatts(fpga.EmuDNSDesign)
+}
+
+// Stage implements Tier. The table stays empty until Warm, so queries
+// keep falling through to the host zone.
+func (t *DNSTier) Stage() error {
+	t.active.Store(true)
+	return nil
+}
+
+// Warm implements Tier: the zone sync — snapshot every record into the
+// tier's own answer table while the host keeps serving.
+func (t *DNSTier) Warm() error {
+	table := make(map[string]dns.ARecord, t.zone.Len())
+	t.zone.Range(func(name string, r dns.ARecord) bool {
+		table[name] = r
+		return true
+	})
+	t.mu.Lock()
+	t.table = table
+	t.mu.Unlock()
+	t.synced.Store(uint64(len(table)))
+	return nil
+}
+
+// Park implements Tier: drop the table (park-reset; state lost).
+func (t *DNSTier) Park() error {
+	t.active.Store(false)
+	t.mu.Lock()
+	t.table = nil
+	t.mu.Unlock()
+	return nil
+}
+
+// TryHandleDatagram implements dataplane.FastPath.
+func (t *DNSTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scratch *[]byte) ([]byte, bool, bool) {
+	q, err := dns.Decode(in, dns.MaxLabels)
+	if err != nil || q.Response {
+		// Malformed or stray response: host path semantics apply.
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	t.meter.Add(1)
+	if q.QType != dns.TypeA || q.QClass != dns.ClassIN {
+		// Beyond the pipeline: punt to the host software.
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	t.mu.RLock()
+	table := t.table
+	t.mu.RUnlock()
+	if table == nil {
+		// Not yet warmed: the host zone answers.
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	resp := dns.Message{
+		ID:        q.ID,
+		Response:  true,
+		Authority: true,
+		RecDes:    q.RecDes,
+		Name:      q.Name,
+		QType:     q.QType,
+		QClass:    q.QClass,
+	}
+	rec, ok := table[q.Name]
+	if !ok {
+		// Zone names are stored lowercased; retry case-folded.
+		rec, ok = table[strings.ToLower(q.Name)]
+	}
+	if ok {
+		t.answered.Add(1)
+		resp.HasAnswer = true
+		resp.Addr = rec.Addr
+		resp.TTL = rec.TTL
+	} else {
+		t.nxdomain.Add(1)
+		resp.RCode = dns.RCodeNXDomain
+	}
+	out, err := dns.AppendMessage((*scratch)[:0], resp)
+	if err != nil {
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	*scratch = out
+	return out, true, true
+}

@@ -1,0 +1,32 @@
+// Package nictier is the live offload tier: an emulated NIC fast path
+// that makes placement a real, observable property of the wall-clock
+// dataplane instead of an advisory log line. The paper's three hardware
+// designs are restated as dataplane.FastPath implementations that
+// interpose on engine dispatch before the host handler:
+//
+//   - KVSTier — a LaKe-style layered lookaside cache (§3.1): L1 sized to
+//     the on-chip BRAM entry budget, L2 to the DRAM layer, serving
+//     single-key memcached GET hits with zero heap allocations; writes
+//     are write-through-interposed and fall to the host store of record.
+//   - DNSTier — an Emu-DNS-style answer table (§3.3) synced from the
+//     authoritative zone, answering A/IN queries and NXDOMAIN directly.
+//   - PaxosAcceptorTier — a P4xos-style acceptor (§3.2) that takes a
+//     state handoff of the host role's AcceptorTable and serves
+//     Phase1A/2A, fanning votes out to the learners.
+//
+// Each tier models its card's power draw from the internal/fpga §5
+// component constants (active design watts when serving, the §9.2
+// park-reset draw when idle), so power-aware policies and the /v1 API see
+// a live per-tier wattage.
+//
+// Service binds a tier to an engine as a core.Service whose Shift
+// performs the §9.2 transition tasks for real: shifting to "network"
+// stages the tier, flips engine dispatch, fences pre-flip host work with
+// Engine.Barrier, then warms (cache fill from the store, zone snapshot
+// install, acceptor state handoff) while the host keeps serving every
+// miss; shifting back drains the fast path without dropping an in-flight
+// request, then parks the tier. Correctness across the migration relies
+// on two invariants: the host store/zone/role stays the source of truth
+// (a tier cache may miss, never lie), and same-key operations are
+// serialized by the engine's key-hashed dispatch.
+package nictier

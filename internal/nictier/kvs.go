@@ -1,0 +1,233 @@
+package nictier
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incod/internal/fpga"
+	"incod/internal/kvs"
+	"incod/internal/memcache"
+	"incod/internal/simnet"
+	"incod/internal/telemetry"
+)
+
+// KVSTier is the LaKe-style fast path (§3.1): a layered lookaside cache
+// in front of the host memcached handler. L1 is sized to the on-chip
+// BRAM value budget, L2 to the (simulation-default) DRAM layer. GET hits
+// are served from the cache with zero heap allocations; GET misses and
+// everything else fall through to the host, with SET/DELETE interposed
+// write-through so the cache never holds a value the store of record
+// does not ("a query is only forwarded to software if there are misses
+// at both layers" — here the miss *is* the forward).
+//
+// Coherence contract: the engine must dispatch by key (kvs.ShardByKey),
+// so all operations on one key are serialized by one worker; the cache
+// then observes every write in store order. The one writer the engine
+// does not serialize is Warm's bulk snapshot, which is made safe by
+// SetIfAbsent installs plus a deletion log covering the warm window.
+type KVSTier struct {
+	store *kvs.ShardedStore // host store of record (warm-up source)
+	epoch time.Time         // shared with the host handler's virtual clock
+
+	l1, l2 *kvs.ShardedStore
+	active atomic.Bool
+	meter  *telemetry.AtomicRateMeter
+
+	// The deletion log: while warming, write-through deletes are
+	// recorded so the final warm pass can undo any snapshot install
+	// that raced them (a resurrected deleted key would be served
+	// incorrectly; a missing cache entry is merely a host round trip).
+	delMu   sync.Mutex
+	warming bool
+	delLog  []string
+
+	counters    *telemetry.AtomicCounters
+	l1Hits      *atomic.Uint64
+	l2Hits      *atomic.Uint64
+	misses      *atomic.Uint64
+	writes      *atomic.Uint64
+	passthrough *atomic.Uint64
+	warmed      *atomic.Uint64
+}
+
+// NewKVS returns a LaKe-style tier in front of h's store, sharing h's
+// expiry clock.
+func NewKVS(h *kvs.Handler) *KVSTier {
+	c := telemetry.NewAtomicCounters()
+	return &KVSTier{
+		store:       h.Store(),
+		epoch:       h.Epoch(),
+		l1:          kvs.NewShardedStore(0, fpga.OnChipValueEntries),
+		l2:          kvs.NewShardedStore(0, kvs.L2DefaultCapacity),
+		meter:       telemetry.NewAtomicRateMeter(meterBucket, meterBuckets),
+		counters:    c,
+		l1Hits:      c.Handle("l1_hit"),
+		l2Hits:      c.Handle("l2_hit"),
+		misses:      c.Handle("miss"),
+		writes:      c.Handle("write_through"),
+		passthrough: c.Handle("passthrough"),
+		warmed:      c.Handle("warmed_entries"),
+	}
+}
+
+// Name implements Tier.
+func (t *KVSTier) Name() string { return "lake" }
+
+// Counters implements Tier.
+func (t *KVSTier) Counters() *telemetry.AtomicCounters { return t.counters }
+
+// StatsCounters lets dataplane.Snapshot fold the tier counters in.
+func (t *KVSTier) StatsCounters() *telemetry.AtomicCounters { return t.counters }
+
+// CacheSizes returns the current L1 and L2 entry counts.
+func (t *KVSTier) CacheSizes() (l1, l2 int) { return t.l1.Len(), t.l2.Len() }
+
+// HitRatio implements Tier: the fraction of classified GETs served from
+// either cache layer.
+func (t *KVSTier) HitRatio() float64 {
+	hits := t.l1Hits.Load() + t.l2Hits.Load()
+	total := hits + t.misses.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// PowerWatts implements Tier: the LaKe design draw while serving, the
+// park-reset draw while idle.
+func (t *KVSTier) PowerWatts() float64 {
+	if t.active.Load() {
+		return designWatts(fpga.LaKeDesign, utilization(t.meter, fpga.LaKeDesign.PeakKpps))
+	}
+	return parkedWatts(fpga.LaKeDesign)
+}
+
+// Stage implements Tier: cold caches, deletion log armed.
+func (t *KVSTier) Stage() error {
+	t.delMu.Lock()
+	t.warming = true
+	t.delLog = t.delLog[:0]
+	t.delMu.Unlock()
+	t.active.Store(true)
+	return nil
+}
+
+// Warm implements Tier: the LaKe cache activation — bulk-install the
+// store of record into L2 (and an initial working set into L1) while
+// the host keeps serving. SetIfAbsent keeps concurrent write-through
+// values (newer by definition) from being clobbered, and the deletion
+// log erases any install that raced a delete.
+func (t *KVSTier) Warm() error {
+	installed := 0
+	t.store.Range(func(key string, e kvs.Entry) bool {
+		if t.l2.SetIfAbsent(key, e) {
+			installed++
+		}
+		if installed <= fpga.OnChipValueEntries {
+			// Seed L1 with the first slice of the walk; its own LRU
+			// bound caps it at the on-chip budget either way, and real
+			// popularity sorts itself out through promotion.
+			t.l1.SetIfAbsent(key, e)
+		}
+		return true
+	})
+	t.delMu.Lock()
+	for _, k := range t.delLog {
+		t.l1.Delete(k)
+		t.l2.Delete(k)
+	}
+	t.delLog = nil
+	t.warming = false
+	t.delMu.Unlock()
+	t.warmed.Store(uint64(installed))
+	return nil
+}
+
+// Park implements Tier: the §9.2 park-reset — memories in reset, cached
+// state lost.
+func (t *KVSTier) Park() error {
+	t.active.Store(false)
+	t.l1 = kvs.NewShardedStore(0, fpga.OnChipValueEntries)
+	t.l2 = kvs.NewShardedStore(0, kvs.L2DefaultCapacity)
+	t.delMu.Lock()
+	t.warming = false
+	t.delLog = nil
+	t.delMu.Unlock()
+	return nil
+}
+
+// TryHandleDatagram implements dataplane.FastPath. The single-key GET
+// hit path — frame decode, view parse, L1 lookup, reply encode — does no
+// heap allocation.
+func (t *KVSTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scratch *[]byte) ([]byte, bool, bool) {
+	var v memcache.RequestView
+	framed := false
+	var reqID uint16
+	if f, b, err := memcache.DecodeFrame(in); err == nil && memcache.ParseRequestView(b, &v) == nil {
+		framed, reqID = true, f.RequestID
+	} else if memcache.ParseRequestView(in, &v) != nil {
+		// Malformed: the host path owns error replies.
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	t.meter.Add(1)
+	now := simnet.Time(time.Since(t.epoch))
+	switch {
+	case v.Op == memcache.OpGet && !v.MultiKey:
+		e, ok := t.l1.Get(v.Key, now)
+		if ok {
+			t.l1Hits.Add(1)
+		} else if e, ok = t.l2.Get(v.Key, now); ok {
+			t.l2Hits.Add(1)
+			t.l1.Set(string(v.Key), e) // promote; off the allocation-free path
+		} else {
+			// Miss at both layers: the host software services it (§3.1).
+			t.misses.Add(1)
+			return nil, false, false
+		}
+		out := (*scratch)[:0]
+		if framed {
+			out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqID, Total: 1})
+		}
+		out = memcache.AppendGetHit(out, v.Key, e.Flags, e.Value)
+		*scratch = out
+		return out, true, true
+	case v.Op == memcache.OpSet:
+		// Write-through into the cache layers, then fall through so the
+		// host store stays authoritative and sends the reply.
+		t.writes.Add(1)
+		var exp int64
+		if v.Exptime > 0 {
+			exp = int64(now.Add(time.Duration(v.Exptime) * time.Second))
+		}
+		val := make([]byte, len(v.Value))
+		copy(val, v.Value)
+		key := string(v.Key)
+		e := kvs.Entry{Flags: v.Flags, Value: val, Expires: exp}
+		t.l2.Set(key, e)
+		t.l1.Set(key, e)
+		return nil, false, false
+	case v.Op == memcache.OpDelete:
+		t.writes.Add(1)
+		key := string(v.Key)
+		// Log BEFORE invalidating: if the warm pass already replayed the
+		// log (warming=false here), its snapshot installs are all done
+		// and the deletes below land last; if it has not, the key is in
+		// the log and the replay erases any racing snapshot install.
+		// Invalidate-first would leave a window where Warm reinstalls
+		// the key after the delete but before the log append.
+		t.delMu.Lock()
+		if t.warming {
+			t.delLog = append(t.delLog, key)
+		}
+		t.delMu.Unlock()
+		t.l1.Delete(key)
+		t.l2.Delete(key)
+		return nil, false, false
+	}
+	// Multi-key gets and anything else: the general host path.
+	t.passthrough.Add(1)
+	return nil, false, false
+}

@@ -1,0 +1,429 @@
+package nictier_test
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"incod/internal/dns"
+	"incod/internal/fpga"
+	"incod/internal/kvs"
+	"incod/internal/memcache"
+	"incod/internal/nictier"
+	"incod/internal/paxos"
+	"incod/internal/simnet"
+)
+
+func framedGet(id uint16, key string) []byte {
+	return memcache.EncodeFrame(memcache.Frame{RequestID: id, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: key}))
+}
+
+func framedSet(id uint16, key, value string) []byte {
+	return memcache.EncodeFrame(memcache.Frame{RequestID: id, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: key, Value: []byte(value)}))
+}
+
+func framedDelete(id uint16, key string) []byte {
+	return memcache.EncodeFrame(memcache.Frame{RequestID: id, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpDelete, Key: key}))
+}
+
+// worker mimics one engine shard worker: offer to the tier first, fall
+// through to the host handler — the dispatch order the engine uses.
+func worker(t *testing.T, tier nictier.Tier, h *kvs.Handler, in []byte, scratch *[]byte) (out []byte, offloaded bool) {
+	t.Helper()
+	out, served, reply := tier.TryHandleDatagram(in, netip.AddrPort{}, scratch)
+	if served {
+		if !reply {
+			return nil, true
+		}
+		return out, true
+	}
+	out, _ = h.HandleDatagram(in, scratch)
+	return out, false
+}
+
+func parseFramedResponse(t *testing.T, out []byte) memcache.Response {
+	t.Helper()
+	_, body, err := memcache.DecodeFrame(out)
+	if err != nil {
+		t.Fatalf("reply frame: %v", err)
+	}
+	resp, err := memcache.ParseResponse(body)
+	if err != nil {
+		t.Fatalf("reply parse: %v", err)
+	}
+	return resp
+}
+
+func TestKVSTierLifecycle(t *testing.T) {
+	store := kvs.NewShardedStore(2, 0)
+	h := kvs.NewHandler(store)
+	tier := nictier.NewKVS(h)
+	scratch := make([]byte, 0, 64*1024)
+
+	// Preload through the host handler, as a daemon would before a shift.
+	for i := 0; i < 10; i++ {
+		h.HandleDatagram(framedSet(1, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)), &scratch)
+	}
+
+	// Parked tier: everything falls through.
+	out, offloaded := worker(t, tier, h, framedGet(2, "k3"), &scratch)
+	if offloaded {
+		t.Fatal("parked tier must not serve")
+	}
+	if resp := parseFramedResponse(t, out); !resp.Hit || string(resp.Value) != "v3" {
+		t.Fatalf("host fall-through reply: %+v", resp)
+	}
+
+	if err := tier.Stage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.Counters().Get("warmed_entries"); got != 10 {
+		t.Fatalf("warmed_entries = %d, want 10", got)
+	}
+
+	// Warm tier serves GET hits itself, framed and raw ASCII alike.
+	out, offloaded = worker(t, tier, h, framedGet(3, "k3"), &scratch)
+	if !offloaded {
+		t.Fatal("warm tier should serve the GET")
+	}
+	if resp := parseFramedResponse(t, out); !resp.Hit || string(resp.Value) != "v3" {
+		t.Fatalf("tier reply: %+v", resp)
+	}
+	out, offloaded = worker(t, tier, h, []byte("get k4\r\n"), &scratch)
+	if !offloaded {
+		t.Fatal("warm tier should serve the raw ASCII GET")
+	}
+	if resp, err := memcache.ParseResponse(out); err != nil || !resp.Hit || string(resp.Value) != "v4" {
+		t.Fatalf("raw tier reply: %+v err %v", resp, err)
+	}
+	if tier.HitRatio() <= 0 {
+		t.Fatal("hit ratio should be positive")
+	}
+
+	// SET write-through: tier updates its cache, host stays authoritative
+	// and replies; the next GET serves the new value from the tier.
+	out, offloaded = worker(t, tier, h, framedSet(4, "k3", "v3-new"), &scratch)
+	if offloaded {
+		t.Fatal("SET must fall through to the host store of record")
+	}
+	if resp := parseFramedResponse(t, out); resp.Status != memcache.StatusStored {
+		t.Fatalf("set reply: %+v", resp)
+	}
+	out, offloaded = worker(t, tier, h, framedGet(5, "k3"), &scratch)
+	if !offloaded {
+		t.Fatal("tier should serve the updated key")
+	}
+	if resp := parseFramedResponse(t, out); string(resp.Value) != "v3-new" {
+		t.Fatalf("tier must serve the written-through value, got %q", resp.Value)
+	}
+	if e, ok := store.GetString("k3", simnet.Time(0)); !ok || string(e.Value) != "v3-new" {
+		t.Fatalf("store of record: %+v ok=%v", e, ok)
+	}
+
+	// DELETE invalidates the cache; the GET then misses to the host.
+	worker(t, tier, h, framedDelete(6, "k3"), &scratch)
+	out, offloaded = worker(t, tier, h, framedGet(7, "k3"), &scratch)
+	if offloaded {
+		t.Fatal("deleted key must not be served from the tier")
+	}
+	if resp := parseFramedResponse(t, out); resp.Hit {
+		t.Fatalf("deleted key must miss, got %+v", resp)
+	}
+
+	// Multi-key gets punt to the host.
+	out, offloaded = worker(t, tier, h, framedGet(8, "k1 k2"), &scratch)
+	if offloaded {
+		t.Fatal("multiget must fall through")
+	}
+	if resp := parseFramedResponse(t, out); !resp.Hit || len(resp.Items) != 2 {
+		t.Fatalf("multiget host reply: %+v", resp)
+	}
+
+	// Park flushes state: back to full fall-through.
+	if err := tier.Park(); err != nil {
+		t.Fatal(err)
+	}
+	if _, offloaded = worker(t, tier, h, framedGet(9, "k4"), &scratch); offloaded {
+		t.Fatal("parked tier must not serve")
+	}
+	if l1, l2 := tier.CacheSizes(); l1 != 0 || l2 != 0 {
+		t.Fatalf("park must flush caches, have l1=%d l2=%d", l1, l2)
+	}
+}
+
+// A delete racing the warm-up's bulk snapshot must never be resurrected:
+// a key deleted while Warm runs may be missing from the cache (a host
+// round trip) but must not be served with the old value.
+func TestKVSTierWarmDeleteRace(t *testing.T) {
+	store := kvs.NewShardedStore(4, 0)
+	h := kvs.NewHandler(store)
+	tier := nictier.NewKVS(h)
+	scratch := make([]byte, 0, 64*1024)
+
+	const n = 20000
+	for i := 0; i < n; i++ {
+		store.Set(fmt.Sprintf("k%d", i), kvs.Entry{Value: []byte("v")})
+	}
+	if err := tier.Stage(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := tier.Warm(); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		sc := make([]byte, 0, 64*1024)
+		for i := 0; i < n; i += 2 {
+			// The worker order: tier write-through, then host handler.
+			in := framedDelete(uint16(i), fmt.Sprintf("k%d", i))
+			if _, served, _ := tier.TryHandleDatagram(in, netip.AddrPort{}, &sc); served {
+				t.Error("delete must fall through")
+				return
+			}
+			h.HandleDatagram(in, &sc)
+		}
+	}()
+	wg.Wait()
+
+	for i := 0; i < n; i += 2 {
+		in := framedGet(uint16(i), fmt.Sprintf("k%d", i))
+		out, served, _ := tier.TryHandleDatagram(in, netip.AddrPort{}, &scratch)
+		if served {
+			t.Fatalf("k%d: deleted key resurrected by warm-up: %q", i, out)
+		}
+	}
+}
+
+func TestDNSTier(t *testing.T) {
+	zone := dns.NewZone()
+	zone.PopulateSequential(8)
+	tier := nictier.NewDNS(zone)
+	scratch := make([]byte, 0, 4096)
+
+	q, err := dns.Encode(dns.NewQuery(7, dns.SequentialName(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, served, _ := tier.TryHandleDatagram(q, netip.AddrPort{}, &scratch); served {
+		t.Fatal("unwarmed tier must fall through")
+	}
+
+	if err := tier.Stage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.Counters().Get("synced_records"); got != 8 {
+		t.Fatalf("synced_records = %d, want 8", got)
+	}
+
+	out, served, reply := tier.TryHandleDatagram(q, netip.AddrPort{}, &scratch)
+	if !served || !reply {
+		t.Fatal("warm tier should answer the A query")
+	}
+	m, err := dns.Decode(out, 0)
+	if err != nil || !m.HasAnswer || m.ID != 7 || m.Addr != [4]byte{10, 0, 0, 3} {
+		t.Fatalf("tier answer: %+v err %v", m, err)
+	}
+	if !m.Authority {
+		t.Fatal("tier answers must be authoritative")
+	}
+
+	// Unknown name: authoritative NXDOMAIN from the tier (§3.3).
+	q2, _ := dns.Encode(dns.NewQuery(8, "nowhere.example.com"))
+	out, served, _ = tier.TryHandleDatagram(q2, netip.AddrPort{}, &scratch)
+	if !served {
+		t.Fatal("tier should answer NXDOMAIN itself")
+	}
+	if m, err = dns.Decode(out, 0); err != nil || m.RCode != dns.RCodeNXDomain {
+		t.Fatalf("nxdomain: %+v err %v", m, err)
+	}
+
+	// Non-A questions punt to the host software.
+	mx := dns.NewQuery(9, dns.SequentialName(1))
+	mx.QType = 15
+	q3, _ := dns.Encode(mx)
+	if _, served, _ = tier.TryHandleDatagram(q3, netip.AddrPort{}, &scratch); served {
+		t.Fatal("non-A questions must fall through")
+	}
+
+	if err := tier.Park(); err != nil {
+		t.Fatal(err)
+	}
+	if _, served, _ = tier.TryHandleDatagram(q, netip.AddrPort{}, &scratch); served {
+		t.Fatal("parked tier must fall through")
+	}
+}
+
+func TestPaxosTierHandoff(t *testing.T) {
+	var mu sync.Mutex
+	fanout := map[string][]paxos.Msg{}
+	send := func(to string, m paxos.Msg) {
+		mu.Lock()
+		fanout[to] = append(fanout[to], m)
+		mu.Unlock()
+	}
+	host := paxos.NewLiveAcceptor(3, []string{"learner-1"}, send)
+	scratch := make([]byte, 0, 4096)
+
+	// The host role votes on instance 1 before any shift.
+	p2a := paxos.Encode(paxos.Msg{Type: paxos.MsgPhase2A, Instance: 1, Ballot: 5,
+		ClientID: 9, Seq: 42, Value: []byte("cmd")})
+	out, ok := host.HandleDatagram(p2a, &scratch)
+	if !ok {
+		t.Fatal("host must answer the 2A")
+	}
+	if m, err := paxos.Decode(out); err != nil || m.Type != paxos.MsgPhase2B || m.VBallot != 5 {
+		t.Fatalf("host vote: %+v err %v", m, err)
+	}
+
+	tier := nictier.NewPaxosAcceptor(host)
+	if err := tier.Stage(); err != nil {
+		t.Fatal(err)
+	}
+	// Before the handoff the tier has no state and must fall through.
+	p1a := paxos.Encode(paxos.Msg{Type: paxos.MsgPhase1A, Instance: 1, Ballot: 6})
+	if _, served, _ := tier.TryHandleDatagram(p1a, netip.AddrPort{}, &scratch); served {
+		t.Fatal("unwarmed tier must fall through")
+	}
+	if err := tier.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.Counters().Get("handoff_instances"); got != 1 {
+		t.Fatalf("handoff_instances = %d, want 1", got)
+	}
+
+	// The tier's 1B for instance 1 must carry the host-made vote.
+	out, served, reply := tier.TryHandleDatagram(p1a, netip.AddrPort{}, &scratch)
+	if !served || !reply {
+		t.Fatal("warm tier should serve the 1A")
+	}
+	m, err := paxos.Decode(out)
+	if err != nil || m.Type != paxos.MsgPhase1B || m.VBallot != 5 || string(m.Value) != "cmd" {
+		t.Fatalf("tier 1B must carry the handed-off vote: %+v err %v", m, err)
+	}
+	if m.NodeID != 3 {
+		t.Fatalf("tier must keep the acceptor identity, got node %d", m.NodeID)
+	}
+
+	// A straggler dispatched to the host is delegated to the tier's copy.
+	out, ok = host.HandleDatagram(p1a, &scratch)
+	if !ok {
+		t.Fatal("host must delegate the straggler")
+	}
+	if m, err = paxos.Decode(out); err != nil || m.VBallot != 5 {
+		t.Fatalf("delegated 1B: %+v err %v", m, err)
+	}
+
+	// A vote made on the tier fans out to the learners...
+	p2a2 := paxos.Encode(paxos.Msg{Type: paxos.MsgPhase2A, Instance: 2, Ballot: 6, Value: []byte("c2")})
+	if _, served, _ = tier.TryHandleDatagram(p2a2, netip.AddrPort{}, &scratch); !served {
+		t.Fatal("warm tier should serve the 2A")
+	}
+	mu.Lock()
+	learnerVotes := len(fanout["learner-1"])
+	mu.Unlock()
+	if learnerVotes < 2 { // one host vote + one tier vote
+		t.Fatalf("learner fan-out = %d votes, want >= 2", learnerVotes)
+	}
+
+	// ...and survives the shift back: after Park the host's 1B for
+	// instance 2 reflects the tier-made vote.
+	if err := tier.Park(); err != nil {
+		t.Fatal(err)
+	}
+	p1a2 := paxos.Encode(paxos.Msg{Type: paxos.MsgPhase1A, Instance: 2, Ballot: 7})
+	out, ok = host.HandleDatagram(p1a2, &scratch)
+	if !ok {
+		t.Fatal("host must serve after the handback")
+	}
+	if m, err = paxos.Decode(out); err != nil || m.VBallot != 6 || string(m.Value) != "c2" {
+		t.Fatalf("handback lost the tier vote: %+v err %v", m, err)
+	}
+	if _, served, _ := tier.TryHandleDatagram(p1a2, netip.AddrPort{}, &scratch); served {
+		t.Fatal("parked tier must fall through")
+	}
+}
+
+// The acceptance bar for the fast path: a warmed single-key GET hit does
+// zero heap allocations.
+func TestKVSTierGetHitZeroAlloc(t *testing.T) {
+	store := kvs.NewShardedStore(2, 0)
+	h := kvs.NewHandler(store)
+	tier := nictier.NewKVS(h)
+	store.Set("hot", kvs.Entry{Flags: 7, Value: []byte("payload")})
+	if err := tier.Stage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	req := framedGet(1, "hot")
+	scratch := make([]byte, 0, 64*1024)
+	served := true
+	allocs := testing.AllocsPerRun(2000, func() {
+		_, ok, _ := tier.TryHandleDatagram(req, netip.AddrPort{}, &scratch)
+		served = served && ok
+	})
+	if !served {
+		t.Fatal("hit path did not serve")
+	}
+	if allocs != 0 {
+		t.Fatalf("GET hit path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestTierPowerModel(t *testing.T) {
+	store := kvs.NewShardedStore(2, 0)
+	tier := nictier.NewKVS(kvs.NewHandler(store))
+	parked := tier.PowerWatts()
+	if err := tier.Stage(); err != nil {
+		t.Fatal(err)
+	}
+	active := tier.PowerWatts()
+	if parked >= active {
+		t.Fatalf("park-reset draw (%.1fW) must be below the active design draw (%.1fW)", parked, active)
+	}
+	if parked < fpga.NICBaseCardWatts {
+		t.Fatalf("parked card still forwards as a NIC: %.1fW < base %.1fW", parked, fpga.NICBaseCardWatts)
+	}
+	// §4.2 anchor: the active LaKe card adds roughly 20 W to the server.
+	if active < 15 || active > 25 {
+		t.Fatalf("active LaKe draw %.1fW implausible vs the ~20W §4.2 anchor", active)
+	}
+}
+
+func BenchmarkNICTierKVSGetHit(b *testing.B) {
+	store := kvs.NewShardedStore(4, 0)
+	h := kvs.NewHandler(store)
+	tier := nictier.NewKVS(h)
+	store.Set("hot", kvs.Entry{Flags: 7, Value: []byte("payload-of-a-modest-size")})
+	if err := tier.Stage(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tier.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	req := framedGet(1, "hot")
+	scratch := make([]byte, 0, 64*1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, served, _ := tier.TryHandleDatagram(req, netip.AddrPort{}, &scratch); !served {
+			b.Fatal("miss on the hit path")
+		}
+	}
+}

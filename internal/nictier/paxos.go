@@ -1,0 +1,174 @@
+package nictier
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"incod/internal/fpga"
+	"incod/internal/paxos"
+	"incod/internal/telemetry"
+)
+
+// PaxosAcceptorTier is the P4xos-style fast path (§3.2): the acceptor
+// role served from "NIC memory". Warm takes a state handoff of the host
+// role's AcceptorTable (every promise and vote made on the host is in
+// the table the tier serves from); until the down-shift hands it back,
+// the host role delegates stragglers here, so exactly one copy of the
+// acceptor state ever answers. Messages other than Phase1A/2A fall
+// through to the host handler.
+type PaxosAcceptorTier struct {
+	host *paxos.LiveAcceptor
+
+	mu    sync.Mutex
+	table *paxos.AcceptorTable // nil while parked
+
+	active atomic.Bool
+	meter  *telemetry.AtomicRateMeter
+
+	counters    *telemetry.AtomicCounters
+	phase1      *atomic.Uint64
+	phase2      *atomic.Uint64
+	passthrough *atomic.Uint64
+	handedOff   *atomic.Uint64
+}
+
+var _ paxos.AcceptorDelegate = (*PaxosAcceptorTier)(nil)
+
+// NewPaxosAcceptor returns a tier that can take over host's acceptor
+// state. Vote fan-out reuses the host role's learner list and sender.
+func NewPaxosAcceptor(host *paxos.LiveAcceptor) *PaxosAcceptorTier {
+	c := telemetry.NewAtomicCounters()
+	return &PaxosAcceptorTier{
+		host:        host,
+		meter:       telemetry.NewAtomicRateMeter(meterBucket, meterBuckets),
+		counters:    c,
+		phase1:      c.Handle("phase1"),
+		phase2:      c.Handle("phase2"),
+		passthrough: c.Handle("passthrough"),
+		handedOff:   c.Handle("handoff_instances"),
+	}
+}
+
+// Name implements Tier.
+func (t *PaxosAcceptorTier) Name() string { return "p4xos-acceptor" }
+
+// Counters implements Tier.
+func (t *PaxosAcceptorTier) Counters() *telemetry.AtomicCounters { return t.counters }
+
+// StatsCounters lets dataplane.Snapshot fold the tier counters in.
+func (t *PaxosAcceptorTier) StatsCounters() *telemetry.AtomicCounters { return t.counters }
+
+// HitRatio implements Tier: the fraction of classified consensus
+// messages the tier served.
+func (t *PaxosAcceptorTier) HitRatio() float64 {
+	hits := t.phase1.Load() + t.phase2.Load()
+	total := hits + t.passthrough.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// PowerWatts implements Tier.
+func (t *PaxosAcceptorTier) PowerWatts() float64 {
+	if t.active.Load() {
+		return designWatts(fpga.P4xosDesign, utilization(t.meter, fpga.P4xosDesign.PeakKpps))
+	}
+	return parkedWatts(fpga.P4xosDesign)
+}
+
+// Stage implements Tier. The tier has no state yet, so consensus traffic
+// keeps falling through to the host role until Warm hands it over.
+func (t *PaxosAcceptorTier) Stage() error {
+	t.active.Store(true)
+	return nil
+}
+
+// Warm implements Tier: the acceptor state handoff. The host role
+// surrenders its table (serialized with its in-flight processing) and
+// starts delegating stragglers here; the tier installs a deep copy — the
+// modeled DMA into NIC memory.
+func (t *PaxosAcceptorTier) Warm() error {
+	moved := t.host.BeginHandoff(t)
+	clone := moved.Clone()
+	instances := clone.Instances() // before publishing: workers own it after
+	t.mu.Lock()
+	t.table = clone
+	t.mu.Unlock()
+	t.handedOff.Store(uint64(instances))
+	return nil
+}
+
+// Park implements Tier: hand the state back to the host role. Called
+// after the fast path has been drained; a straggler delegated in the
+// instant between the detach and the reattach is dropped (UDP loss
+// semantics — proposers retry), never answered from a stale copy. The
+// table moves back by reference — the tier holds the only live copy at
+// this point, and cloning here would only widen the drop window.
+func (t *PaxosAcceptorTier) Park() error {
+	t.active.Store(false)
+	t.mu.Lock()
+	table := t.table
+	t.table = nil
+	t.mu.Unlock()
+	t.host.EndHandoff(table)
+	return nil
+}
+
+// ProcessDelegated implements paxos.AcceptorDelegate: a straggler that
+// reached the host role after the handoff lands on the tier's copy of
+// the state. Called with the host role's mutex held (lock order: role,
+// then tier).
+func (t *PaxosAcceptorTier) ProcessDelegated(m paxos.Msg) (paxos.Msg, bool) {
+	return t.process(m)
+}
+
+// process applies the acceptor rules on the tier's table and fans votes
+// out to the learners.
+func (t *PaxosAcceptorTier) process(m paxos.Msg) (paxos.Msg, bool) {
+	t.mu.Lock()
+	if t.table == nil {
+		t.mu.Unlock()
+		return paxos.Msg{}, false
+	}
+	resp, vote, ok := t.table.Process(m, t.host.ID())
+	t.mu.Unlock()
+	if !ok {
+		return paxos.Msg{}, false
+	}
+	switch m.Type {
+	case paxos.MsgPhase1A:
+		t.phase1.Add(1)
+	case paxos.MsgPhase2A:
+		t.phase2.Add(1)
+	}
+	if vote {
+		send := t.host.Sender()
+		for _, l := range t.host.Learners() {
+			send(l, resp)
+		}
+	}
+	return resp, true
+}
+
+// TryHandleDatagram implements dataplane.FastPath.
+func (t *PaxosAcceptorTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scratch *[]byte) ([]byte, bool, bool) {
+	m, err := paxos.Decode(in)
+	if err != nil {
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	if m.Type != paxos.MsgPhase1A && m.Type != paxos.MsgPhase2A {
+		t.passthrough.Add(1)
+		return nil, false, false
+	}
+	t.meter.Add(1)
+	resp, ok := t.process(m)
+	if !ok {
+		// Not yet warmed: the host role still owns the state.
+		return nil, false, false
+	}
+	*scratch = paxos.AppendMsg((*scratch)[:0], resp)
+	return *scratch, true, true
+}

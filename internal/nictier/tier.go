@@ -1,0 +1,108 @@
+package nictier
+
+import (
+	"time"
+
+	"incod/internal/dataplane"
+	"incod/internal/fpga"
+	"incod/internal/telemetry"
+)
+
+// Tier is one emulated NIC offload module: a dataplane fast path with the
+// shift lifecycle Service drives. The up-shift sequence is
+// Stage -> SetFastPath -> Barrier -> Warm, so a tier starts interposing
+// on the write path (and falling through on reads) before its bulk state
+// transfer runs; the down-shift sequence is ClearFastPath -> Park.
+type Tier interface {
+	dataplane.FastPath
+	// Name identifies the tier in stats and logs ("lake", "emu-dns",
+	// "p4xos-acceptor").
+	Name() string
+	// Stage arms the tier for installation: state cleared, write
+	// interposition enabled, serving still falling through. Called
+	// before engine dispatch flips to the tier.
+	Stage() error
+	// Warm performs the §9.2 bulk transition work — cache warm-up from
+	// the store, zone snapshot install, acceptor state handoff — with
+	// the tier already installed and pre-flip host work fenced, so no
+	// update can fall between the snapshot and the flip. The host keeps
+	// serving throughout.
+	Warm() error
+	// Park performs the down-shift transition work after the fast path
+	// has been drained: flush caches, drop tables, hand state back.
+	Park() error
+	// Counters exposes the tier's protocol counters (folded into
+	// dataplane Stats as the "tier" map).
+	Counters() *telemetry.AtomicCounters
+	// HitRatio is the fraction of tier-classified traffic the tier
+	// served itself rather than passing to the host.
+	HitRatio() float64
+	// PowerWatts is the card's modeled in-server power increment right
+	// now: the active design draw while serving, the park-reset draw
+	// while idle.
+	PowerWatts() float64
+}
+
+// meterBuckets configures every tier's utilization rate meter.
+const (
+	meterBucket  = 100 * time.Millisecond
+	meterBuckets = 10
+)
+
+// designWatts models the in-server power increment of a board running
+// design c at pipeline utilization util, from the §5 component constants:
+// reference-NIC base, fixed application logic, PEs, external memories,
+// plus the (small, §4.3) dynamic term. This deliberately does not reuse
+// fpga.Board, which is bound to the simulator clock; the two models share
+// the same §5 constants but the board adds sim-time load tracking the
+// wall-clock tiers meter themselves.
+func designWatts(c fpga.Config, util float64) float64 {
+	p := fpga.NICBaseCardWatts + c.LogicFixedWatts + float64(c.NumPEs)*fpga.PEWatts
+	if c.UsesDRAM {
+		p += fpga.DRAMWatts
+	}
+	if c.UsesSRAM {
+		p += fpga.SRAMWatts
+	}
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return p + c.DynamicWattsMax*util
+}
+
+// parkedWatts models the same board parked with the paper's chosen idle
+// strategy (§9.2 park-reset): module inactive, external memory interfaces
+// held in reset (saving MemoryResetSaveFraction of their draw), clocks
+// gated. The card keeps forwarding as a NIC, so it never drops below the
+// reference-NIC base.
+func parkedWatts(c fpga.Config) float64 {
+	p := fpga.NICBaseCardWatts + c.LogicFixedWatts + float64(c.NumPEs)*fpga.PEWatts
+	mem := 0.0
+	if c.UsesDRAM {
+		mem += fpga.DRAMWatts
+	}
+	if c.UsesSRAM {
+		mem += fpga.SRAMWatts
+	}
+	p += mem * (1 - fpga.MemoryResetSaveFraction)
+	p -= fpga.ClockGatingSavesWatts
+	if p < fpga.NICBaseCardWatts {
+		p = fpga.NICBaseCardWatts
+	}
+	return p
+}
+
+// utilization is rate/peak clamped to [0,1].
+func utilization(meter *telemetry.AtomicRateMeter, peakKpps float64) float64 {
+	if peakKpps <= 0 {
+		return 0
+	}
+	u := meter.Rate() / 1000 / peakKpps
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

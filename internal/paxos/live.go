@@ -29,18 +29,119 @@ type liveVoteState struct {
 	m        Msg
 }
 
+// AcceptorTable is the substrate-independent acceptor state machine: the
+// promise/vote rules over per-instance records plus the §9.2 last-voted
+// high-water mark. It is the unit of state a placement shift hands
+// between the host role and the emulated NIC fast path. It does no
+// locking; the owner (LiveAcceptor or the NIC tier) serializes access.
+type AcceptorTable struct {
+	states    map[uint64]*liveVoteState
+	lastVoted uint64
+}
+
+// NewAcceptorTable returns an empty table.
+func NewAcceptorTable() *AcceptorTable {
+	return &AcceptorTable{states: make(map[uint64]*liveVoteState)}
+}
+
+// Instances returns how many per-instance records the table holds — the
+// size of a state handoff.
+func (t *AcceptorTable) Instances() int { return len(t.states) }
+
+// LastVoted returns the highest instance this acceptor has voted on.
+func (t *AcceptorTable) LastVoted() uint64 { return t.lastVoted }
+
+// Clone deep-copies the table: the modeled DMA of acceptor state into (or
+// out of) NIC memory during a placement shift.
+func (t *AcceptorTable) Clone() *AcceptorTable {
+	out := &AcceptorTable{
+		states:    make(map[uint64]*liveVoteState, len(t.states)),
+		lastVoted: t.lastVoted,
+	}
+	for inst, st := range t.states {
+		cp := *st
+		out.states[inst] = &cp
+	}
+	return out
+}
+
+// Process applies the acceptor rules to m for the acceptor identity id.
+// ok=false means the message type is not for an acceptor. vote=true means
+// resp is a Phase2B that must also fan out to the learners (the caller
+// returns resp to the proposer either way).
+func (t *AcceptorTable) Process(m Msg, id uint16) (resp Msg, vote, ok bool) {
+	st := t.states[m.Instance]
+	if st == nil {
+		st = &liveVoteState{}
+		t.states[m.Instance] = st
+	}
+	switch m.Type {
+	case MsgPhase1A:
+		if m.Ballot >= st.promised {
+			st.promised = m.Ballot
+		}
+		resp = Msg{Type: MsgPhase1B, Instance: m.Instance,
+			Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted}
+		if st.accepted {
+			resp.VBallot = st.vballot
+			resp.Value = st.m.Value
+		}
+		return resp, false, true
+	case MsgPhase2A:
+		if st.accepted {
+			return t.vote(m.Instance, st, id), true, true
+		}
+		if m.Ballot < st.promised {
+			return Msg{Type: MsgPhase1B, Instance: m.Instance,
+				Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted}, false, true
+		}
+		st.promised = m.Ballot
+		st.accepted = true
+		st.vballot = m.Ballot
+		st.m = m
+		if m.Instance > t.lastVoted {
+			t.lastVoted = m.Instance
+		}
+		return t.vote(m.Instance, st, id), true, true
+	}
+	return Msg{}, false, false
+}
+
+// vote builds the Phase2B for st.
+func (t *AcceptorTable) vote(inst uint64, st *liveVoteState, id uint16) Msg {
+	out := st.m
+	out.Type = MsgPhase2B
+	out.Instance = inst
+	out.Ballot = st.vballot
+	out.VBallot = st.vballot
+	out.NodeID = id
+	out.LastVoted = t.lastVoted
+	return out
+}
+
+// AcceptorDelegate is where a LiveAcceptor routes datagrams while its
+// state is handed off to the NIC tier: stragglers that were dispatched to
+// the host after the fast path flipped still land on the one live copy of
+// the acceptor state. ok=false drops the message (UDP loss semantics —
+// proposers retry), which is the safe answer while no copy is serving.
+type AcceptorDelegate interface {
+	ProcessDelegated(m Msg) (resp Msg, ok bool)
+}
+
 // LiveAcceptor is the acceptor role as a dataplane handler. Phase1B/2B
 // responses to the proposer are returned (the engine replies to the
 // source); votes additionally fan out to the learners. Every response
-// piggybacks the §9.2 last-voted instance.
+// piggybacks the §9.2 last-voted instance. While a handoff is in effect
+// (BeginHandoff..EndHandoff) the role delegates to the NIC tier instead
+// of touching its own — surrendered — table.
 type LiveAcceptor struct {
 	id       uint16
 	learners []string
 	send     Sender
 
-	mu        sync.Mutex
-	states    map[uint64]*liveVoteState
-	lastVoted uint64
+	mu       sync.Mutex
+	table    *AcceptorTable
+	delegate AcceptorDelegate
 }
 
 var _ dataplane.Handler = (*LiveAcceptor)(nil)
@@ -48,7 +149,44 @@ var _ dataplane.Handler = (*LiveAcceptor)(nil)
 // NewLiveAcceptor returns an acceptor with identity id voting to learners.
 func NewLiveAcceptor(id uint16, learners []string, send Sender) *LiveAcceptor {
 	return &LiveAcceptor{id: id, learners: learners, send: send,
-		states: make(map[uint64]*liveVoteState)}
+		table: NewAcceptorTable()}
+}
+
+// ID returns the acceptor's identity, piggybacked on every response.
+func (a *LiveAcceptor) ID() uint16 { return a.id }
+
+// Learners returns the learner addresses votes fan out to.
+func (a *LiveAcceptor) Learners() []string { return a.learners }
+
+// Sender returns the fan-out transmitter.
+func (a *LiveAcceptor) Sender() Sender { return a.send }
+
+// BeginHandoff surrenders the acceptor's state table to d (the NIC tier)
+// and returns it. Until EndHandoff, any datagram that still reaches the
+// host role — a straggler dispatched before the fast path flipped — is
+// delegated to d, so exactly one copy of the state ever serves. The
+// handoff is serialized with in-flight host processing by the role's own
+// mutex: every promise or vote made before this call is in the returned
+// table.
+func (a *LiveAcceptor) BeginHandoff(d AcceptorDelegate) *AcceptorTable {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.table
+	a.table = NewAcceptorTable()
+	a.delegate = d
+	return t
+}
+
+// EndHandoff reinstalls t as the acceptor's state and stops delegating —
+// the down-shift counterpart of BeginHandoff, called after the fast path
+// has been drained.
+func (a *LiveAcceptor) EndHandoff(t *AcceptorTable) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t != nil {
+		a.table = t
+	}
+	a.delegate = nil
 }
 
 // HandleDatagram implements dataplane.Handler.
@@ -58,58 +196,28 @@ func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool)
 		return nil, false
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	st := a.states[m.Instance]
-	if st == nil {
-		st = &liveVoteState{}
-		a.states[m.Instance] = st
-	}
-	switch m.Type {
-	case MsgPhase1A:
-		if m.Ballot >= st.promised {
-			st.promised = m.Ballot
-		}
-		resp := Msg{Type: MsgPhase1B, Instance: m.Instance,
-			Ballot: st.promised, NodeID: a.id, LastVoted: a.lastVoted}
-		if st.accepted {
-			resp.VBallot = st.vballot
-			resp.Value = st.m.Value
+	if d := a.delegate; d != nil {
+		// The NIC tier owns the state; route this straggler there. The
+		// role's mutex is held across the call (lock order: role, then
+		// tier), keeping it ordered with BeginHandoff/EndHandoff.
+		resp, ok := d.ProcessDelegated(m)
+		a.mu.Unlock()
+		if !ok {
+			return nil, false
 		}
 		return a.reply(resp, scratch)
-	case MsgPhase2A:
-		if st.accepted {
-			return a.reply(a.vote(m.Instance, st), scratch)
-		}
-		if m.Ballot < st.promised {
-			return a.reply(Msg{Type: MsgPhase1B, Instance: m.Instance,
-				Ballot: st.promised, NodeID: a.id, LastVoted: a.lastVoted}, scratch)
-		}
-		st.promised = m.Ballot
-		st.accepted = true
-		st.vballot = m.Ballot
-		st.m = m
-		if m.Instance > a.lastVoted {
-			a.lastVoted = m.Instance
-		}
-		return a.reply(a.vote(m.Instance, st), scratch)
 	}
-	return nil, false
-}
-
-// vote builds the Phase2B for st and fans it out to the learners; the
-// caller returns it to the proposer too.
-func (a *LiveAcceptor) vote(inst uint64, st *liveVoteState) Msg {
-	out := st.m
-	out.Type = MsgPhase2B
-	out.Instance = inst
-	out.Ballot = st.vballot
-	out.VBallot = st.vballot
-	out.NodeID = a.id
-	out.LastVoted = a.lastVoted
-	for _, l := range a.learners {
-		a.send(l, out)
+	resp, vote, ok := a.table.Process(m, a.id)
+	a.mu.Unlock()
+	if !ok {
+		return nil, false
 	}
-	return out
+	if vote {
+		for _, l := range a.learners {
+			a.send(l, resp)
+		}
+	}
+	return a.reply(resp, scratch)
 }
 
 func (a *LiveAcceptor) reply(m Msg, scratch *[]byte) ([]byte, bool) {
