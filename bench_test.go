@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"incod/internal/core"
+	"incod/internal/dataplane"
 	"incod/internal/dns"
 	"incod/internal/experiments"
 	"incod/internal/fpga"
@@ -79,6 +80,46 @@ func BenchmarkDataplaneKVSGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if out, ok := h.HandleDatagram(get, &scratch); !ok || len(out) == 0 {
 			b.Fatal("get failed")
+		}
+	}
+}
+
+// BenchmarkDataplaneBatchedKVSGet is the batch form of the headline hot
+// path: 32 framed GETs per HandleBatch call, one virtual-clock read and
+// one store-shard lock acquisition per shard per batch. It must also
+// report 0 B/op.
+func BenchmarkDataplaneBatchedKVSGet(b *testing.B) {
+	h := kvs.NewHandler(kvs.NewShardedStore(4, 0))
+	scratch := make([]byte, 0, 4096)
+	const batch = 32
+	for i := 0; i < batch; i++ {
+		set := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+			memcache.EncodeRequest(memcache.Request{
+				Op: memcache.OpSet, Key: fmt.Sprintf("key-%d", i), Value: []byte("value-abcdef")}))
+		if _, ok := h.HandleDatagram(set, &scratch); !ok {
+			b.Fatal("set failed")
+		}
+	}
+	items := make([]*dataplane.BatchItem, batch)
+	scratches := make([][]byte, batch)
+	gets := make([][]byte, batch)
+	for i := range items {
+		scratches[i] = make([]byte, 0, 4096)
+		gets[i] = memcache.EncodeFrame(memcache.Frame{RequestID: uint16(i), Total: 1},
+			memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: fmt.Sprintf("key-%d", i)}))
+		items[i] = &dataplane.BatchItem{Scratch: &scratches[i]}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for k := range items {
+			items[k].In = gets[k]
+			items[k].Out = nil
+			items[k].Served = false
+		}
+		h.HandleBatch(items)
+		if len(items[0].Out) == 0 {
+			b.Fatal("batched get failed")
 		}
 	}
 }

@@ -36,6 +36,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":5353", "UDP listen address")
 	shards := flag.Int("shards", 0, "dataplane shard workers (0 = GOMAXPROCS)")
+	sockets := flag.Int("sockets", 0,
+		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
+	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
+	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
 	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
 	crossKpps := flag.Float64("crossover", 150, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -55,24 +59,28 @@ func main() {
 		log.Fatalf("incdnsd: %v", err)
 	}
 
-	conn, err := net.ListenPacket("udp", *addr)
+	eng, err := daemon.ListenEngine(
+		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch},
+		dns.NewHandler(zone), dataplane.Config{
+			Name: "incdnsd", Shards: *shards,
+			// DNS datagrams are small; a tight bound also caps the
+			// engine's overload memory (see the dataplane package doc).
+			MaxDatagram: 4096,
+		})
 	if err != nil {
 		log.Fatalf("incdnsd: %v", err)
 	}
-
-	eng := dataplane.New(conn, dns.NewHandler(zone), dataplane.Config{
-		Name: "incdnsd", Shards: *shards,
-		// DNS datagrams are small; a tight bound also caps the engine's
-		// overload memory (Shards*QueueDepth*MaxDatagram).
-		MaxDatagram: 4096,
-	})
 	var tierSvc core.Service
 	mode := "advisory"
 	if *useTier {
 		tierSvc = nictier.NewService("dns", eng, nictier.NewDNS(zone))
 		mode = "nictier"
 	}
-	log.Printf("incdnsd: serving %d records on %s (policy %s, %s)", zone.Len(), *addr, *policy, mode)
+	io := "single-reader"
+	if eng.Batched() {
+		io = fmt.Sprintf("batched over %d sockets", *sockets)
+	}
+	log.Printf("incdnsd: serving %d records on %s (%s, policy %s, %s)", zone.Len(), *addr, io, *policy, mode)
 
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "dns", Policy: *policy, CrossKpps: *crossKpps,

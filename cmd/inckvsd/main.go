@@ -18,8 +18,8 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
-	"net"
 	"strings"
 
 	"incod/internal/core"
@@ -33,6 +33,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":11211", "UDP listen address")
 	shards := flag.Int("shards", 0, "dataplane shard workers (0 = GOMAXPROCS)")
+	sockets := flag.Int("sockets", 0,
+		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
+	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
+	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
 	maxEntries := flag.Int("max-entries", 0, "LRU-bound the store to this many entries (0 = unbounded)")
 	crossKpps := flag.Float64("crossover", 80, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -42,24 +46,26 @@ func main() {
 		"attach the emulated NIC offload tier (LaKe-style L1/L2 cache): policy shifts become real dataplane transitions")
 	flag.Parse()
 
-	conn, err := net.ListenPacket("udp", *addr)
+	store := kvs.NewShardedStore(*shards, *maxEntries)
+	handler := kvs.NewHandler(store)
+	eng, err := daemon.ListenEngine(
+		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch},
+		handler, dataplane.Config{Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey})
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)
 	}
-
-	store := kvs.NewShardedStore(*shards, *maxEntries)
-	handler := kvs.NewHandler(store)
-	eng := dataplane.New(conn, handler, dataplane.Config{
-		Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey,
-	})
 	var tierSvc core.Service
 	mode := "advisory"
 	if *useTier {
 		tierSvc = nictier.NewService("kvs", eng, nictier.NewKVS(handler))
 		mode = "nictier"
 	}
-	log.Printf("inckvsd: serving memcached UDP on %s (%d store shards, policy %s, %s, crossover %.0f kpps)",
-		*addr, store.Shards(), *policy, mode, *crossKpps)
+	io := "single-reader"
+	if eng.Batched() {
+		io = fmt.Sprintf("batched over %d sockets", *sockets)
+	}
+	log.Printf("inckvsd: serving memcached UDP on %s (%d store shards, %s, policy %s, %s, crossover %.0f kpps)",
+		*addr, store.Shards(), io, *policy, mode, *crossKpps)
 
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "kvs", Policy: *policy, CrossKpps: *crossKpps,

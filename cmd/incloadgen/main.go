@@ -36,6 +36,7 @@ import (
 
 	"incod/internal/dns"
 	"incod/internal/memcache"
+	"incod/internal/netio"
 	"incod/internal/telemetry"
 	"incod/internal/trafficgen"
 )
@@ -47,6 +48,10 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
 	keys := flag.Uint64("keys", 1000, "key-space size (Zipf popularity)")
 	preload := flag.Bool("preload", true, "kvs: SET every key before the run")
+	sockets := flag.Int("sockets", 1,
+		"client sockets (distinct source ports, so a reuseport server spreads the flows)")
+	rxBatch := flag.Int("rxbatch", 32, "replies read per recvmmsg batch")
+	txBatch := flag.Int("txbatch", 32, "requests sent per sendmmsg batch")
 	profile := flag.String("profile", "",
 		"phased load, comma-separated: ramp:<from>-<to>:<dur> | hold:<rate>:<dur> | spike:<rate>:<dur>; overrides -rate/-duration")
 	flag.Parse()
@@ -55,12 +60,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("incloadgen: %v", err)
 	}
-
-	conn, err := net.Dial("udp", *target)
-	if err != nil {
-		log.Fatalf("incloadgen: %v", err)
+	if *sockets < 1 {
+		*sockets = 1
 	}
-	defer conn.Close()
+	if *rxBatch < 1 {
+		*rxBatch = 1
+	}
+	if *txBatch < 1 {
+		*txBatch = 1
+	}
+
+	// One connected socket per flow: distinct source ports make a
+	// reuseport server spread the load across its shard sockets, and
+	// every socket gets batched send/recv so the generator can offer
+	// more than the server's single-reader mode can absorb.
+	conns := make([]net.Conn, *sockets)
+	bconns := make([]netio.BatchConn, *sockets)
+	for i := range conns {
+		c, err := net.Dial("udp", *target)
+		if err != nil {
+			log.Fatalf("incloadgen: %v", err)
+		}
+		defer c.Close()
+		conns[i] = c
+		bconns[i] = netio.NewBatchConn(c.(*net.UDPConn))
+	}
 
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	sampler := trafficgen.NewZipfKeys(rng, *keys, 1.06)
@@ -74,36 +98,43 @@ func main() {
 	hist := telemetry.NewHistogram()
 	var recv, errs uint64
 
-	// Receiver.
-	go func() {
-		buf := make([]byte, 64*1024)
-		for {
-			n, err := conn.Read(buf)
-			if err != nil {
-				return
+	// One batched receiver per socket.
+	for _, bc := range bconns {
+		go func(bc netio.BatchConn) {
+			ms := make([]netio.Message, *rxBatch)
+			for i := range ms {
+				ms[i].Buf = make([]byte, 64*1024)
 			}
-			now := time.Now()
-			id, ok := responseID(*proto, buf[:n])
-			mu.Lock()
-			if ok {
-				if t0, pending := sent[id]; pending {
-					delete(sent, id)
-					hist.Observe(now.Sub(t0))
-					recv++
+			for {
+				n, err := bc.ReadBatch(ms)
+				if err != nil {
+					return
 				}
-			} else {
-				errs++
+				now := time.Now()
+				mu.Lock()
+				for i := 0; i < n; i++ {
+					id, ok := responseID(*proto, ms[i].Buf[:ms[i].N])
+					if !ok {
+						errs++
+						continue
+					}
+					if t0, pending := sent[id]; pending {
+						delete(sent, id)
+						hist.Observe(now.Sub(t0))
+						recv++
+					}
+				}
+				mu.Unlock()
 			}
-			mu.Unlock()
-		}
-	}()
+		}(bc)
+	}
 
 	if *proto == "kvs" && *preload {
 		for i := uint64(0); i < *keys; i++ {
 			payload := memcache.EncodeFrame(memcache.Frame{RequestID: 0, Total: 1},
 				memcache.EncodeRequest(memcache.Request{
 					Op: memcache.OpSet, Key: fmt.Sprintf("key-%d", i), Value: []byte("value")}))
-			if _, err := conn.Write(payload); err != nil {
+			if _, err := conns[i%uint64(len(conns))].Write(payload); err != nil {
 				log.Fatalf("incloadgen: preload: %v", err)
 			}
 			if i%256 == 255 {
@@ -118,14 +149,28 @@ func main() {
 	for _, ph := range phases {
 		totalDur += ph.dur
 	}
-	log.Printf("incloadgen: %s load on %s, %d phase(s) over %v", *proto, *target, len(phases), totalDur)
+	log.Printf("incloadgen: %s load on %s, %d phase(s) over %v (%d sockets, tx batch %d)",
+		*proto, *target, len(phases), totalDur, *sockets, *txBatch)
 
 	// Open-loop pacer: every tick, send however many requests are due by
-	// now per the current phase's rate curve. Batching decouples the
-	// offered rate from timer resolution, so tens of thousands of req/s
-	// are reachable from one goroutine.
+	// now per the current phase's rate curve, in sendmmsg batches rotated
+	// across the client sockets. Batching decouples the offered rate from
+	// timer resolution AND from the per-packet syscall cost, so hundreds
+	// of thousands of req/s are reachable from one goroutine.
 	var id uint16
 	var total uint64
+	nextConn := 0
+	txq := make([]netio.Message, 0, *txBatch)
+	flush := func() {
+		if len(txq) == 0 {
+			return
+		}
+		if _, err := bconns[nextConn].WriteBatch(txq); err != nil {
+			log.Fatalf("incloadgen: %v", err)
+		}
+		nextConn = (nextConn + 1) % len(bconns)
+		txq = txq[:0]
+	}
 	const tickEvery = time.Millisecond
 	const maxBatch = 4096 // bound catch-up bursts after a stall
 	start := time.Now()
@@ -154,10 +199,12 @@ func main() {
 				mu.Lock()
 				sent[id] = time.Now()
 				mu.Unlock()
-				if _, err := conn.Write(payload); err != nil {
-					log.Fatalf("incloadgen: %v", err)
+				txq = append(txq, netio.Message{Buf: payload, N: len(payload)})
+				if len(txq) == *txBatch {
+					flush()
 				}
 			}
+			flush()
 			time.Sleep(tickEvery)
 		}
 		span := time.Since(phaseStart)

@@ -39,6 +39,10 @@ func main() {
 	role := flag.String("role", "", "acceptor | leader | learner | client")
 	addr := flag.String("addr", ":0", "UDP listen address")
 	shards := flag.Int("shards", 1, "dataplane shard workers (role state is serialized either way; >1 only parallelizes decode)")
+	sockets := flag.Int("sockets", 0,
+		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
+	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
+	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
 	id := flag.Int("id", 0, "acceptor id")
 	ballot := flag.Int("ballot", 1, "leader ballot (epoch); a replacement leader must use a higher one")
 	acceptors := flag.String("acceptors", "", "comma-separated acceptor addresses (leader)")
@@ -84,14 +88,15 @@ func main() {
 	if *useTier && *role != "acceptor" {
 		log.Printf("incpaxosd: -nictier only offloads the acceptor role (P4xos, §3.2); ignoring for %q", *role)
 	}
+	io := daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch}
 	var r serverRole
 	switch *role {
 	case "acceptor":
-		r = newAcceptor(*addr, uint16(*id), splitAddrs(*learners), *shards, *useTier)
+		r = newAcceptor(io, uint16(*id), splitAddrs(*learners), *shards, *useTier)
 	case "leader":
-		r = newLeader(*addr, uint32(*ballot), splitAddrs(*acceptors), *shards)
+		r = newLeader(io, uint32(*ballot), splitAddrs(*acceptors), *shards)
 	case "learner":
-		r = newLearner(*addr, *quorum, *leader, *shards)
+		r = newLearner(io, *quorum, *leader, *shards)
 	default:
 		log.Println("incpaxosd: -role must be acceptor, leader, learner or client")
 		flag.Usage()

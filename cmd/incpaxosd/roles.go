@@ -28,9 +28,18 @@ func listen(addr string) net.PacketConn {
 	return conn
 }
 
-// sender returns a paxos.Sender transmitting from conn, caching address
-// resolution per destination.
-func sender(conn net.PacketConn) paxos.Sender {
+// datagramWriter is the outbound side a role needs: net.PacketConn and
+// *dataplane.Engine (whose WriteTo transmits from the serving socket,
+// shard 0's in batched mode) both satisfy it.
+type datagramWriter interface {
+	WriteTo(b []byte, to net.Addr) (int, error)
+}
+
+// sender returns a paxos.Sender transmitting through w, caching address
+// resolution per destination. w is read through the pointer on every
+// send, so a role can hand out its sender before the serving engine
+// exists (the engine needs the handler, the handler needs the sender).
+func sender(w *datagramWriter) paxos.Sender {
 	var mu sync.Mutex
 	cache := map[string]*net.UDPAddr{}
 	return func(to string, m paxos.Msg) {
@@ -47,7 +56,11 @@ func sender(conn net.PacketConn) paxos.Sender {
 			cache[to] = dst
 			mu.Unlock()
 		}
-		if _, err := conn.WriteTo(paxos.Encode(m), dst); err != nil {
+		if *w == nil {
+			log.Printf("incpaxosd: send to %s before the engine is up; dropped", to)
+			return
+		}
+		if _, err := (*w).WriteTo(paxos.Encode(m), dst); err != nil {
 			log.Printf("incpaxosd: send to %s: %v", to, err)
 		}
 	}
@@ -62,37 +75,47 @@ type serverRole struct {
 	svc  core.Service
 }
 
-func newAcceptor(addr string, id uint16, learners []string, shards int, useTier bool) serverRole {
-	conn := listen(addr)
-	h := paxos.NewLiveAcceptor(id, learners, sender(conn))
-	eng := dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards})
+// buildEngine opens the role's serving engine per the shared I/O flags
+// and publishes it as the role's outbound writer.
+func buildEngine(io daemon.EngineOptions, w *datagramWriter, h dataplane.Handler, shards int) *dataplane.Engine {
+	eng, err := daemon.ListenEngine(io, h, dataplane.Config{Name: "incpaxosd", Shards: shards})
+	if err != nil {
+		log.Fatalf("incpaxosd: %v", err)
+	}
+	*w = eng
+	return eng
+}
+
+func newAcceptor(io daemon.EngineOptions, id uint16, learners []string, shards int, useTier bool) serverRole {
+	var w datagramWriter
+	h := paxos.NewLiveAcceptor(id, learners, sender(&w))
+	eng := buildEngine(io, &w, h, shards)
 	r := serverRole{eng: eng}
 	mode := "advisory"
 	if useTier {
 		r.svc = nictier.NewService("paxos", eng, nictier.NewPaxosAcceptor(h))
 		mode = "nictier"
 	}
-	log.Printf("incpaxosd: acceptor %d on %s (%s), learners %v", id, conn.LocalAddr(), mode, learners)
+	log.Printf("incpaxosd: acceptor %d on %s (%s), learners %v", id, eng.LocalAddr(), mode, learners)
 	return r
 }
 
-func newLeader(addr string, ballot uint32, acceptors []string, shards int) serverRole {
-	conn := listen(addr)
-	h := paxos.NewLiveLeader(ballot, acceptors, sender(conn))
+func newLeader(io daemon.EngineOptions, ballot uint32, acceptors []string, shards int) serverRole {
+	var w datagramWriter
+	h := paxos.NewLiveLeader(ballot, acceptors, sender(&w))
+	eng := buildEngine(io, &w, h, shards)
 	log.Printf("incpaxosd: leader on %s, ballot %d, acceptors %v (starting at sequence 1 per §9.2)",
-		conn.LocalAddr(), ballot, acceptors)
-	return serverRole{eng: dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards})}
+		eng.LocalAddr(), ballot, acceptors)
+	return serverRole{eng: eng}
 }
 
-func newLearner(addr string, quorum int, leader string, shards int) serverRole {
-	conn := listen(addr)
-	h := paxos.NewLiveLearner(quorum, leader, sender(conn))
+func newLearner(io daemon.EngineOptions, quorum int, leader string, shards int) serverRole {
+	var w datagramWriter
+	h := paxos.NewLiveLearner(quorum, leader, sender(&w))
+	eng := buildEngine(io, &w, h, shards)
 	h.Start(100 * time.Millisecond)
-	log.Printf("incpaxosd: learner on %s, quorum %d", conn.LocalAddr(), quorum)
-	return serverRole{
-		eng:  dataplane.New(conn, h, dataplane.Config{Name: "incpaxosd", Shards: shards}),
-		stop: h.Stop,
-	}
+	log.Printf("incpaxosd: learner on %s, quorum %d", eng.LocalAddr(), quorum)
+	return serverRole{eng: eng, stop: h.Stop}
 }
 
 // runClient submits requests at rate for duration, retrying per §9.2 on
@@ -104,7 +127,8 @@ func runClient(leader string, rate float64, duration, timeout time.Duration, svc
 		log.Fatal("incpaxosd: client needs -leader")
 	}
 	conn := listen(":0")
-	send := sender(conn)
+	var w datagramWriter = conn
+	send := sender(&w)
 	self := conn.LocalAddr().String()
 	log.Printf("incpaxosd: client on %s -> leader %s, %.0f req/s for %v", self, leader, rate, duration)
 

@@ -1,0 +1,41 @@
+package daemon
+
+import (
+	"net"
+
+	"incod/internal/dataplane"
+	"incod/internal/netio"
+)
+
+// EngineOptions sizes a daemon's serving engine from its I/O flags.
+type EngineOptions struct {
+	// Addr is the UDP listen address.
+	Addr string
+	// Sockets selects the I/O mode: 0 keeps the classic single-reader
+	// engine; > 0 opens that many SO_REUSEPORT sockets and serves them
+	// in the batched per-shard-socket mode (one shard worker per
+	// socket, recvmmsg/sendmmsg batches). Requires Linux when > 1.
+	Sockets int
+	// RxBatch and TxBatch override the batched-mode batch sizes
+	// (0 = engine defaults).
+	RxBatch, TxBatch int
+}
+
+// ListenEngine opens o.Addr and builds the serving engine in the mode
+// o.Sockets selects. In batched mode cfg.Shards is superseded by the
+// socket count (one shard owns one socket).
+func ListenEngine(o EngineOptions, h dataplane.Handler, cfg dataplane.Config) (*dataplane.Engine, error) {
+	cfg.RxBatch, cfg.TxBatch = o.RxBatch, o.TxBatch
+	if o.Sockets <= 0 {
+		conn, err := net.ListenPacket("udp", o.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return dataplane.New(conn, h, cfg), nil
+	}
+	conns, err := netio.ListenReusePortGroup("udp", o.Addr, o.Sockets)
+	if err != nil {
+		return nil, err
+	}
+	return dataplane.NewBatched(conns, h, cfg), nil
+}

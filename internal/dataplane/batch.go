@@ -1,0 +1,403 @@
+package dataplane
+
+import (
+	"errors"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"incod/internal/netio"
+)
+
+// BatchItem is one datagram of a batch in flight through the batched
+// engine. In and Src are inputs; a handler encodes its reply into
+// (*Scratch)[:0] (each item has its own reusable buffer, so replies in
+// one batch never alias) and sets Out to the encoded bytes — a nil or
+// empty Out sends nothing. Served is set by a BatchFastPath when the
+// offload tier consumed the datagram, in which case the host handler
+// never sees it.
+type BatchItem struct {
+	In      []byte
+	Src     netip.AddrPort
+	Scratch *[]byte
+	Out     []byte
+	Served  bool
+}
+
+// BatchHandler is implemented by handlers that can amortize per-request
+// work across a whole batch — one virtual-clock read, one lock
+// acquisition per store shard (kvs.Handler) — instead of paying it per
+// datagram. When the handler passed to NewBatched implements it, the
+// engine calls HandleBatch with every host-bound datagram of a batch;
+// otherwise it falls back to per-datagram Handler/SourceHandler calls.
+// Like Handler, implementations are called concurrently from different
+// shard workers and each call must only touch the items it was given.
+type BatchHandler interface {
+	HandleBatch(items []*BatchItem)
+}
+
+// BatchFastPath is the batch form of FastPath: the offload tier is
+// offered a whole batch at once so it can check its epoch and take its
+// locks once per batch (nictier.KVSTier). Items it consumes are marked
+// Served (with Out set when a reply should go out); the rest fall
+// through to the host handler untouched.
+type BatchFastPath interface {
+	TryHandleBatch(items []*BatchItem)
+}
+
+// NewBatched builds an engine in per-shard-socket batched mode: conns[i]
+// becomes shard i's socket (normally a SO_REUSEPORT group from
+// netio.ListenReusePortGroup, all bound to one address), each shard
+// reads its own recvmmsg batches, handles same-shard traffic inline
+// without the channel hop, hands cross-shard datagrams to the owning
+// shard's queue, and flushes replies with one sendmmsg per TxBatch.
+// cfg.Shards is forced to len(conns). Call Start/Run and Close exactly
+// as with New.
+// With the default dispatch (no cfg.ShardBy), the arrival socket IS the
+// shard: the kernel's reuseport 4-tuple hash already pins each flow to
+// one socket, so per-flow ordering holds with no cross-shard handoff at
+// all (one flow -> one socket -> one shard). An explicit ShardBy (e.g.
+// kvs.ShardByKey, whose key serialization the offload tier's coherence
+// depends on) re-enables the queue handoff for datagrams the kernel
+// landed on the wrong shard's socket.
+func NewBatched(conns []net.PacketConn, h Handler, cfg Config) *Engine {
+	if len(conns) == 0 {
+		panic("dataplane: NewBatched needs at least one socket")
+	}
+	arrival := cfg.ShardBy == nil
+	cfg.Shards = len(conns)
+	e := New(conns[0], h, cfg)
+	e.batched = true
+	e.arrivalDispatch = arrival
+	e.bconns = make([]netio.BatchConn, len(conns))
+	for i, c := range conns {
+		e.bconns[i] = netio.NewBatchConn(c)
+	}
+	e.bh, _ = h.(BatchHandler)
+	return e
+}
+
+// Batched reports whether the engine runs in per-shard-socket batched
+// mode.
+func (e *Engine) Batched() bool { return e.batched }
+
+// queuePollInterval bounds how long a batched shard blocks in recvmmsg
+// before checking its cross-shard queue: the worst-case added latency
+// for a handoff (or Barrier sentinel) landing on an otherwise idle
+// socket. Under load reads return immediately and the deadline never
+// fires.
+const queuePollInterval = time.Millisecond
+
+// batchState is one batched shard worker's reusable I/O state: receive
+// slots with their pooled buffers, the item vector handed to batch
+// handlers, per-item reply buffers, and the pending TX batch.
+type batchState struct {
+	e  *Engine
+	s  *shard
+	i  int
+	bc netio.BatchConn
+
+	rx     []netio.Message
+	rxBufs []*[]byte
+
+	items     []BatchItem
+	ptrs      []*BatchItem
+	host      []*BatchItem
+	replyBufs [][]byte
+
+	qpkts []packet
+	tx    []netio.Message
+}
+
+func (e *Engine) newBatchState(i int) *batchState {
+	n := e.cfg.RxBatch
+	w := &batchState{
+		e: e, s: e.shards[i], i: i, bc: e.bconns[i],
+		rx:        make([]netio.Message, n),
+		rxBufs:    make([]*[]byte, n),
+		items:     make([]BatchItem, n),
+		ptrs:      make([]*BatchItem, 0, n),
+		host:      make([]*BatchItem, 0, n),
+		replyBufs: make([][]byte, n),
+		qpkts:     make([]packet, 0, n),
+		tx:        make([]netio.Message, 0, n),
+	}
+	for k := range w.replyBufs {
+		w.replyBufs[k] = make([]byte, 0, 512)
+	}
+	return w
+}
+
+// batchWorker is shard i's goroutine in batched mode: it owns the
+// shard's socket and the shard's queue, so all traffic for the shard —
+// read inline or handed off by another reader — is serialized by one
+// goroutine, preserving the per-flow (and per-key) ordering contract.
+func (e *Engine) batchWorker(i int) {
+	defer e.workersWG.Done()
+	w := e.newBatchState(i)
+	for !e.closing.Load() {
+		_ = w.bc.SetReadDeadline(time.Now().Add(queuePollInterval))
+		w.fillRx()
+		n, err := w.bc.ReadBatch(w.rx)
+		if err == nil {
+			w.s.readBatches.Add(1)
+			w.processRead(n)
+		} else if !isTimeout(err) {
+			if e.closing.Load() {
+				break
+			}
+			if errors.Is(err, net.ErrClosed) {
+				log.Printf("%s: shard %d socket closed unexpectedly: %v", e.cfg.Name, i, err)
+				break
+			}
+			if c := e.readErrs.Add(1); c&(c-1) == 0 {
+				log.Printf("%s: transient read error (#%d, serving continues): %v", e.cfg.Name, c, err)
+			}
+		}
+		w.drainQueue(false)
+	}
+	e.readPhase.Done()
+	// Final drain: once every reader has left its read phase, Close
+	// closes the queues; handle what is left (and any Barrier sentinel
+	// racing the shutdown), then return the receive slots to the pool.
+	w.drainQueue(true)
+	w.release()
+}
+
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// fillRx tops up receive slots whose buffers moved into a cross-shard
+// queue since the last read.
+func (w *batchState) fillRx() {
+	for j := range w.rx {
+		if w.rxBufs[j] == nil {
+			bufp := w.e.getBuf()
+			w.rxBufs[j] = bufp
+			w.rx[j].Buf = (*bufp)[:w.e.cfg.MaxDatagram]
+		}
+	}
+}
+
+// processRead dispatches one received batch: same-shard datagrams are
+// handled inline (no channel hop), cross-shard ones are handed to the
+// owning shard's queue with buffer ownership.
+func (w *batchState) processRead(n int) {
+	e, s := w.e, w.s
+	w.ptrs = w.ptrs[:0]
+	k := 0
+	for j := 0; j < n; j++ {
+		m := &w.rx[j]
+		payload := m.Buf[:m.N]
+		if !m.Src.IsValid() {
+			// Same guard as the single-reader readLoop: a transport that
+			// cannot produce a source address (portable fallback over a
+			// custom conn) must not dispatch a zero source. The slot
+			// keeps its buffer.
+			if c := s.badSrc.Add(1); c&(c-1) == 0 {
+				log.Printf("%s: dropped datagram with unusable source address (#%d)", e.cfg.Name, c)
+			}
+			continue
+		}
+		if e.arrivalDispatch {
+			it := &w.items[k]
+			*it = BatchItem{In: payload, Src: m.Src, Scratch: &w.replyBufs[k]}
+			k++
+			w.ptrs = append(w.ptrs, it)
+			continue
+		}
+		t := e.shardIndex(payload, m.Src)
+		if t == w.i {
+			it := &w.items[k]
+			*it = BatchItem{In: payload, Src: m.Src, Scratch: &w.replyBufs[k]}
+			k++
+			w.ptrs = append(w.ptrs, it)
+			continue
+		}
+		target := e.shards[t]
+		target.received.Add(1)
+		select {
+		case target.ch <- packet{buf: w.rxBufs[j], n: m.N, src: m.Src}:
+			// Ownership moved to the queue; refill the slot next read.
+			w.rxBufs[j] = nil
+			w.rx[j].Buf = nil
+		default:
+			target.dropped.Add(1)
+			// Keep the buffer in the slot for the next read.
+		}
+	}
+	if k > 0 {
+		s.received.Add(uint64(k))
+		w.processItems(w.ptrs)
+	}
+	w.flushTx()
+}
+
+// drainQueue consumes the shard's cross-shard queue in batches. With
+// final unset it stops when the queue is momentarily empty (the caller
+// goes back to its socket); with final set it blocks until the queue is
+// closed and fully drained.
+func (w *batchState) drainQueue(final bool) {
+	for {
+		pkts, barrier, closed := w.collectQueued(final)
+		if len(pkts) > 0 {
+			w.processQueued(pkts)
+		}
+		w.flushTx()
+		if barrier != nil {
+			barrier <- struct{}{}
+			continue
+		}
+		if closed || len(pkts) == 0 && !final {
+			return
+		}
+	}
+}
+
+// collectQueued pulls up to RxBatch queued packets, blocking for the
+// first when final is set. It stops early at a Barrier sentinel so
+// packets queued ahead of the sentinel are handled before it is
+// signaled.
+func (w *batchState) collectQueued(final bool) (pkts []packet, barrier chan<- struct{}, closed bool) {
+	pkts = w.qpkts[:0]
+	for len(pkts) < w.e.cfg.RxBatch {
+		var pkt packet
+		var ok bool
+		if final && len(pkts) == 0 {
+			pkt, ok = <-w.s.ch
+		} else {
+			select {
+			case pkt, ok = <-w.s.ch:
+			default:
+				return pkts, nil, false
+			}
+		}
+		if !ok {
+			return pkts, nil, true
+		}
+		if pkt.barrier != nil {
+			return pkts, pkt.barrier, false
+		}
+		pkts = append(pkts, pkt)
+	}
+	return pkts, nil, false
+}
+
+func (w *batchState) processQueued(pkts []packet) {
+	w.ptrs = w.ptrs[:0]
+	for k := range pkts {
+		it := &w.items[k]
+		*it = BatchItem{In: (*pkts[k].buf)[:pkts[k].n], Src: pkts[k].src, Scratch: &w.replyBufs[k]}
+		w.ptrs = append(w.ptrs, it)
+	}
+	w.processItems(w.ptrs)
+	// Flush before releasing the receive buffers: a handler may legally
+	// return a reply aliasing its input, and a buffer back in the pool
+	// can be recvmmsg'd into by another shard before sendmmsg runs.
+	w.flushTx()
+	for k := range pkts {
+		w.e.putBuf(pkts[k].buf)
+	}
+}
+
+// processItems runs one batch through the offload tier (batch form when
+// the tier supports it) and the host handler (likewise), updating the
+// shard counters once per batch and staging replies on the TX queue.
+func (w *batchState) processItems(items []*BatchItem) {
+	e, s := w.e, w.s
+	if len(items) == 0 {
+		return
+	}
+	if e.fastPath.Load() != nil {
+		// Token first, then re-load — same fencing as the single-reader
+		// worker, one token per batch.
+		e.fpInflight.Add(1)
+		if ref := e.fastPath.Load(); ref != nil {
+			if bfp, ok := ref.fp.(BatchFastPath); ok {
+				bfp.TryHandleBatch(items)
+			} else {
+				for _, it := range items {
+					out, served, reply := ref.fp.TryHandleDatagram(it.In, it.Src, it.Scratch)
+					if served {
+						it.Served = true
+						if reply {
+							it.Out = out
+						}
+					}
+				}
+			}
+		}
+		e.fpInflight.Add(-1)
+	}
+	w.host = w.host[:0]
+	for _, it := range items {
+		if !it.Served {
+			w.host = append(w.host, it)
+		}
+	}
+	if served := len(items) - len(w.host); served > 0 {
+		s.offloaded.Add(uint64(served))
+	}
+	if len(w.host) > 0 {
+		switch {
+		case e.bh != nil:
+			e.bh.HandleBatch(w.host)
+		case e.sh != nil:
+			for _, it := range w.host {
+				if out, ok := e.sh.HandleDatagramFrom(it.In, it.Src, it.Scratch); ok {
+					it.Out = out
+				}
+			}
+		default:
+			for _, it := range w.host {
+				if out, ok := e.h.HandleDatagram(it.In, it.Scratch); ok {
+					it.Out = out
+				}
+			}
+		}
+	}
+	s.handled.Add(uint64(len(items)))
+	e.meter.Add(uint64(len(items)))
+	for _, it := range items {
+		if len(it.Out) > 0 {
+			w.tx = append(w.tx, netio.Message{Buf: it.Out, N: len(it.Out), Src: it.Src})
+		}
+	}
+}
+
+// flushTx sends the staged replies, at most TxBatch per sendmmsg. A
+// message the socket rejects is counted and skipped; the rest of the
+// batch still goes out.
+func (w *batchState) flushTx() {
+	s := w.s
+	for off := 0; off < len(w.tx); {
+		end := min(off+w.e.cfg.TxBatch, len(w.tx))
+		n, err := w.bc.WriteBatch(w.tx[off:end])
+		s.writeBatches.Add(1)
+		s.replies.Add(uint64(n))
+		if err != nil {
+			s.writeErrs.Add(1)
+			off += n + 1
+			continue
+		}
+		off = end
+	}
+	w.tx = w.tx[:0]
+}
+
+// release returns the worker's receive-slot buffers to the pool.
+func (w *batchState) release() {
+	for j, bufp := range w.rxBufs {
+		if bufp != nil {
+			w.e.putBuf(bufp)
+			w.rxBufs[j] = nil
+		}
+	}
+}

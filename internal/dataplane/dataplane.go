@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"incod/internal/netio"
 	"incod/internal/telemetry"
 )
 
@@ -86,6 +87,14 @@ type Config struct {
 	// Implementations must be pure: the same payload/source pair must
 	// always map to the same value, or per-flow ordering is lost.
 	ShardBy func(payload []byte, src netip.AddrPort) uint64
+	// RxBatch is the number of datagrams read per recvmmsg call in
+	// batched mode (default 32). Each in-flight receive slot pins one
+	// MaxDatagram-sized pooled buffer, so batched-mode overload memory is
+	// Sockets*RxBatch*MaxDatagram on top of the queue bound above.
+	RxBatch int
+	// TxBatch is the maximum replies flushed per sendmmsg call in
+	// batched mode (default 32).
+	TxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShardBy == nil {
 		c.ShardBy = SourceHash
+	}
+	if c.RxBatch <= 0 {
+		c.RxBatch = 32
+	}
+	if c.TxBatch <= 0 {
+		c.TxBatch = 32
 	}
 	return c
 }
@@ -130,11 +145,21 @@ type shard struct {
 	offloaded atomic.Uint64
 	replies   atomic.Uint64
 	dropped   atomic.Uint64
+	badSrc    atomic.Uint64
 	writeErrs atomic.Uint64
+	// Batched-mode syscall counters: one readBatches per recvmmsg, one
+	// writeBatches per sendmmsg, so received/readBatches is the measured
+	// RX syscall amortization.
+	readBatches  atomic.Uint64
+	writeBatches atomic.Uint64
 }
 
-// Engine is a sharded UDP serving runtime: one reader goroutine, N shard
-// workers, pooled buffers, graceful drain. See the package comment.
+// Engine is a sharded UDP serving runtime with two I/O modes: the
+// classic single-reader mode (one reader goroutine, N shard workers) and
+// the batched per-shard-socket mode (NewBatched: each shard reads its
+// own SO_REUSEPORT socket in recvmmsg batches and flushes replies with
+// sendmmsg). Both share pooled buffers, hashed dispatch, graceful drain
+// and the offload-tier hooks. See the package comment.
 type Engine struct {
 	conn net.PacketConn
 	udp  *net.UDPConn // non-nil enables the allocation-free address path
@@ -142,9 +167,23 @@ type Engine struct {
 	sh   SourceHandler // non-nil when h implements SourceHandler
 	cfg  Config
 
+	// Batched per-shard-socket mode: bconns[i] is shard i's socket and
+	// bh/bfp-capable handlers amortize work across a batch. Empty in
+	// single-reader mode. arrivalDispatch means the kernel's reuseport
+	// flow hash is the dispatch (no cfg.ShardBy given): every datagram
+	// is handled by the shard whose socket it arrived on.
+	batched         bool
+	arrivalDispatch bool
+	bconns          []netio.BatchConn
+	bh              BatchHandler // non-nil when h implements BatchHandler
+
 	shards []*shard
 	pool   sync.Pool
-	meter  *telemetry.AtomicRateMeter
+	// bufsOut tracks pooled receive buffers currently outside the pool
+	// (in readers, queues or handlers); it must return to zero after
+	// Close, which the overrun tests assert to catch buffer leaks.
+	bufsOut atomic.Int64
+	meter   *telemetry.AtomicRateMeter
 
 	// fastPath is the installed offload tier (nil = host-only dispatch);
 	// lastTier remembers the most recently installed one so Snapshot can
@@ -158,9 +197,13 @@ type Engine struct {
 	closing    atomic.Bool
 	started    atomic.Bool
 	readerDone chan struct{}
-	workersWG  sync.WaitGroup
-	closeOnce  sync.Once
-	done       chan struct{}
+	// readPhase counts batched workers still in their socket-read phase;
+	// Close waits for it before closing the cross-shard queues, so no
+	// reader can enqueue into a closed channel.
+	readPhase sync.WaitGroup
+	workersWG sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
 	// barrierMu serializes Barrier's sentinel sends with Close's channel
 	// close, so a placement shift racing a shutdown cannot panic on a
 	// closed shard queue.
@@ -192,8 +235,30 @@ func New(conn net.PacketConn, h Handler, cfg Config) *Engine {
 	return e
 }
 
-// LocalAddr returns the serving socket's address.
+// LocalAddr returns the serving socket's address (in batched mode, the
+// address shared by the whole reuseport group).
 func (e *Engine) LocalAddr() net.Addr { return e.conn.LocalAddr() }
+
+// WriteTo transmits an out-of-band datagram from the serving socket, so
+// daemon side channels (Paxos role-to-role messages) share the engine's
+// source address. In batched mode it sends from shard 0's socket — the
+// whole group is bound to one address, so peers cannot tell the
+// difference.
+func (e *Engine) WriteTo(b []byte, to net.Addr) (int, error) {
+	return e.conn.WriteTo(b, to)
+}
+
+// getBuf takes a MaxDatagram-sized buffer from the pool, tracking it as
+// in flight until putBuf returns it.
+func (e *Engine) getBuf() *[]byte {
+	e.bufsOut.Add(1)
+	return e.pool.Get().(*[]byte)
+}
+
+func (e *Engine) putBuf(bufp *[]byte) {
+	e.bufsOut.Add(-1)
+	e.pool.Put(bufp)
+}
 
 // Meter returns the shared request-rate meter the workers feed.
 func (e *Engine) Meter() *telemetry.AtomicRateMeter { return e.meter }
@@ -222,11 +287,20 @@ func (e *Engine) SetFastPath(fp FastPath) {
 // ClearFastPath uninstalls the offload tier and drains it: it blocks
 // until no worker is still inside the tier's TryHandleDatagram, so when
 // it returns the tier can be parked (state flushed) without dropping an
-// in-flight request. Subsequent datagrams go to the host handler.
+// in-flight request. Subsequent datagrams go to the host handler. The
+// wait escalates from Gosched through growing sleeps, so a tier call
+// stalled mid-shift-down cannot peg a core.
 func (e *Engine) ClearFastPath() {
 	e.fastPath.Store(nil)
-	for e.fpInflight.Load() != 0 {
-		time.Sleep(20 * time.Microsecond)
+	for spins := 0; e.fpInflight.Load() != 0; spins++ {
+		switch {
+		case spins < 64:
+			runtime.Gosched()
+		case spins < 256:
+			time.Sleep(20 * time.Microsecond)
+		default:
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 
@@ -262,10 +336,19 @@ func (e *Engine) Barrier() {
 	}
 }
 
-// Start launches the reader and the shard workers. It is not idempotent;
-// call it once.
+// Start launches the serving goroutines: the reader plus the shard
+// workers in single-reader mode, or one socket-reading worker per shard
+// in batched mode. It is not idempotent; call it once.
 func (e *Engine) Start() {
 	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	if e.batched {
+		for i := range e.shards {
+			e.workersWG.Add(1)
+			e.readPhase.Add(1)
+			go e.batchWorker(i)
+		}
 		return
 	}
 	for _, s := range e.shards {
@@ -281,17 +364,26 @@ func (e *Engine) Run() {
 	<-e.done
 }
 
-// Close gracefully drains the engine: the reader stops accepting new
+// Close gracefully drains the engine: the readers stop accepting new
 // datagrams, already-queued ones are handled and answered, then the
-// socket closes. It is idempotent and blocks until the drain completes.
+// socket(s) close. It is idempotent and blocks until the drain
+// completes.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		e.closing.Store(true)
 		if e.started.Load() {
-			// Unblock the reader without tearing the socket down, so
+			// Unblock the reader(s) without tearing the sockets down, so
 			// queued replies can still be written during the drain.
-			_ = e.conn.SetReadDeadline(time.Now())
-			<-e.readerDone
+			if e.batched {
+				now := time.Now()
+				for _, bc := range e.bconns {
+					_ = bc.SetReadDeadline(now)
+				}
+				e.readPhase.Wait()
+			} else {
+				_ = e.conn.SetReadDeadline(time.Now())
+				<-e.readerDone
+			}
 			// Hold barrierMu across the close: a Barrier that already
 			// passed its closing check finishes its sends first (the
 			// workers are still draining, so those sends progress).
@@ -302,7 +394,13 @@ func (e *Engine) Close() {
 			e.barrierMu.Unlock()
 			e.workersWG.Wait()
 		}
-		_ = e.conn.Close()
+		if e.batched {
+			for _, bc := range e.bconns {
+				_ = bc.Close()
+			}
+		} else {
+			_ = e.conn.Close()
+		}
 		close(e.done)
 	})
 }
@@ -310,7 +408,7 @@ func (e *Engine) Close() {
 func (e *Engine) readLoop() {
 	defer close(e.readerDone)
 	for {
-		bufp := e.pool.Get().(*[]byte)
+		bufp := e.getBuf()
 		var (
 			n   int
 			src netip.AddrPort
@@ -321,12 +419,18 @@ func (e *Engine) readLoop() {
 			n, src, err = e.udp.ReadFromUDPAddrPort(*bufp)
 		} else {
 			n, raw, err = e.conn.ReadFrom(*bufp)
-			if u, ok := raw.(*net.UDPAddr); ok {
-				src = u.AddrPort()
+			if err == nil {
+				// Non-*net.UDPAddr sources (test transports, in-memory
+				// conns) still get a real AddrPort when their String()
+				// is "ip:port"; otherwise the datagram is dropped below
+				// rather than dispatched with a zero source, which would
+				// hash to a bogus shard and hand Paxos SourceHandlers an
+				// invalid peer.
+				src, _ = netio.AddrPortOf(raw)
 			}
 		}
 		if err != nil {
-			e.pool.Put(bufp)
+			e.putBuf(bufp)
 			if e.closing.Load() {
 				return
 			}
@@ -343,13 +447,22 @@ func (e *Engine) readLoop() {
 			}
 			continue
 		}
+		if !src.IsValid() {
+			// Counted apart from queue-overrun drops: these datagrams
+			// were never dispatched at all.
+			if c := e.shards[0].badSrc.Add(1); c&(c-1) == 0 {
+				log.Printf("%s: dropped datagram with unusable source address %v (#%d)", e.cfg.Name, raw, c)
+			}
+			e.putBuf(bufp)
+			continue
+		}
 		s := e.shards[e.shardIndex((*bufp)[:n], src)]
 		s.received.Add(1)
 		select {
 		case s.ch <- packet{buf: bufp, n: n, src: src, raw: raw}:
 		default:
 			s.dropped.Add(1)
-			e.pool.Put(bufp)
+			e.putBuf(bufp)
 		}
 	}
 }
@@ -387,7 +500,7 @@ func (e *Engine) worker(s *shard) {
 						s.replies.Add(1)
 					}
 				}
-				e.pool.Put(pkt.buf)
+				e.putBuf(pkt.buf)
 				continue
 			}
 		}
@@ -407,7 +520,7 @@ func (e *Engine) worker(s *shard) {
 				s.replies.Add(1)
 			}
 		}
-		e.pool.Put(pkt.buf)
+		e.putBuf(pkt.buf)
 	}
 }
 

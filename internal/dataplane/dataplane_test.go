@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -192,6 +193,64 @@ func TestTransientReadErrorsDoNotKillTheEngine(t *testing.T) {
 	}
 }
 
+// stringOnlyAddr is a net.Addr that is not *net.UDPAddr: the engine must
+// derive the source from String() instead of dispatching a zero source.
+type stringOnlyAddr string
+
+func (a stringOnlyAddr) Network() string { return "udp" }
+func (a stringOnlyAddr) String() string  { return string(a) }
+
+func TestNonUDPAddrSourceIsDerivedOrDropped(t *testing.T) {
+	conn := newFakeConn(16)
+	type seen struct {
+		src netip.AddrPort
+		ok  bool
+	}
+	got := make(chan seen, 16)
+	e := New(conn, sourceHandlerFunc(func(in []byte, from netip.AddrPort, scratch *[]byte) ([]byte, bool) {
+		got <- seen{src: from, ok: from.IsValid()}
+		return nil, false
+	}), Config{Shards: 2})
+	e.Start()
+	defer e.Close()
+
+	// A parseable non-UDPAddr source reaches the handler with the real
+	// address, not the zero AddrPort.
+	conn.in <- fakePacket{data: []byte("hello"), from: stringOnlyAddr("10.9.8.7:6543")}
+	select {
+	case s := <-got:
+		if !s.ok || s.src != netip.MustParseAddrPort("10.9.8.7:6543") {
+			t.Fatalf("handler saw source %v (valid=%v), want 10.9.8.7:6543", s.src, s.ok)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("datagram with parseable string source never dispatched")
+	}
+
+	// An unusable source is counted and dropped, never dispatched.
+	conn.in <- fakePacket{data: []byte("bogus"), from: stringOnlyAddr("not-an-address")}
+	waitFor(t, "bad-source drop counted", func() bool { return e.Snapshot().BadSourceDrops == 1 })
+	select {
+	case s := <-got:
+		t.Fatalf("unusable source was dispatched anyway (src %v)", s.src)
+	default:
+	}
+	st := e.Snapshot()
+	if st.Dropped != 0 {
+		t.Fatalf("bad-source drop leaked into the overrun counter: %+v", st)
+	}
+}
+
+// sourceHandlerFunc adapts a function to SourceHandler (and Handler).
+type sourceHandlerFunc func(in []byte, from netip.AddrPort, scratch *[]byte) ([]byte, bool)
+
+func (f sourceHandlerFunc) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
+	return f(in, netip.AddrPort{}, scratch)
+}
+
+func (f sourceHandlerFunc) HandleDatagramFrom(in []byte, from netip.AddrPort, scratch *[]byte) ([]byte, bool) {
+	return f(in, from, scratch)
+}
+
 func TestQueueOverrunDropsAreCounted(t *testing.T) {
 	conn := newFakeConn(64)
 	gate := make(chan struct{})
@@ -214,6 +273,59 @@ func TestQueueOverrunDropsAreCounted(t *testing.T) {
 	}
 	if st.Handled+st.Dropped != st.Received {
 		t.Fatalf("handled %d + dropped %d != received %d", st.Handled, st.Dropped, st.Received)
+	}
+	if st.BuffersInFlight != 0 {
+		t.Fatalf("%d pooled buffers leaked after overrun + drain", st.BuffersInFlight)
+	}
+}
+
+// TestQueueOverrunAccountingUnderSustainedPressure drives an order of
+// magnitude more datagrams than one blocked shard can queue, then
+// asserts the drop accounting is exact: every received datagram is
+// either handled or dropped, every reply corresponds to a handled
+// datagram, and no pooled buffer leaks — the invariant that makes the
+// overload memory bound (QueueDepth * MaxDatagram per shard) real.
+func TestQueueOverrunAccountingUnderSustainedPressure(t *testing.T) {
+	conn := newFakeConn(256)
+	gate := make(chan struct{})
+	var handled atomic.Uint64
+	e := New(conn, HandlerFunc(func(in []byte, scratch *[]byte) ([]byte, bool) {
+		<-gate
+		handled.Add(1)
+		*scratch = append((*scratch)[:0], in...)
+		return *scratch, true
+	}), Config{Shards: 1, QueueDepth: 8, MaxDatagram: 512})
+	e.Start()
+
+	const offered = 100
+	for i := 0; i < offered; i++ {
+		conn.in <- fakePacket{data: fmt.Appendf(nil, "pkt-%d", i), from: testSrc}
+	}
+	waitFor(t, "all offered datagrams received", func() bool { return e.Snapshot().Received == offered })
+	st := e.Snapshot()
+	if st.Dropped < offered-8-1 {
+		// Queue depth 8 plus at most one datagram parked in the blocked
+		// handler: everything else must be a counted drop.
+		t.Fatalf("Dropped = %d, want >= %d", st.Dropped, offered-8-1)
+	}
+	close(gate)
+	e.Close()
+
+	st = e.Snapshot()
+	if st.Handled != handled.Load() {
+		t.Fatalf("Handled counter %d != handler invocations %d", st.Handled, handled.Load())
+	}
+	if st.Handled+st.Dropped != st.Received {
+		t.Fatalf("handled %d + dropped %d != received %d", st.Handled, st.Dropped, st.Received)
+	}
+	if st.Replies != st.Handled {
+		t.Fatalf("replies %d != handled %d for an always-replying handler", st.Replies, st.Handled)
+	}
+	if st.BuffersInFlight != 0 {
+		t.Fatalf("%d pooled buffers leaked after sustained overrun", st.BuffersInFlight)
+	}
+	if got := conn.writeCount(); uint64(got) != st.Replies {
+		t.Fatalf("%d datagrams written, stats say %d replies", got, st.Replies)
 	}
 }
 

@@ -2,8 +2,9 @@
 // daemons (inckvsd, incdnsd, incpaxosd). The paper's premise — services
 // shift between host software and network hardware on demand — only pays
 // off if the host path can absorb line-rate traffic, so this package
-// replaces the daemons' copy-pasted single-goroutine read loops with one
-// concurrent engine:
+// provides one concurrent engine with two I/O modes.
+//
+// # Single-reader mode (New)
 //
 //   - one reader goroutine pulls datagrams off the socket into pooled
 //     buffers (sync.Pool, zero steady-state allocation);
@@ -13,15 +14,64 @@
 //     per-source (and per-key) ordering while spreading load across cores;
 //   - handlers implement the small Handler interface and encode replies
 //     into a per-worker scratch buffer, so the memcached GET hot path runs
-//     with zero per-request heap allocations;
-//   - an offload tier (FastPath) can be interposed on dispatch before
-//     the host handler: the emulated NIC of internal/nictier. SetFastPath
-//     atomically flips dispatch to the tier, Barrier fences host work that
-//     predates the flip, and ClearFastPath drains the tier without
-//     dropping in-flight requests — the mechanics a live placement shift
-//     is built on;
-//   - Close drains gracefully: the reader stops, queued datagrams are
-//     still handled and answered, then the socket closes. Daemons wire
+//     with zero per-request heap allocations.
+//
+// This mode works over any net.PacketConn (tests, in-memory transports,
+// non-Linux platforms) but pays two syscalls per request — one read, one
+// write — through a single reader.
+//
+// # Batched per-shard-socket mode (NewBatched)
+//
+// The software answer to the NIC's per-packet amortization: cut the
+// syscalls-per-packet from 2 to 2/B. Each shard owns one socket of a
+// SO_REUSEPORT group (netio.ListenReusePortGroup) and is its own reader:
+// it recvmmsg's up to RxBatch datagrams per syscall straight into pooled
+// buffers, handles them, and flushes the replies with one sendmmsg per
+// TxBatch. At the default RxBatch/TxBatch of 32 a full batch costs
+// 2/32 = 0.0625 syscalls per packet, and GET /v1/dataplane reports the
+// achieved amortization (rx_per_read, tx_per_write).
+//
+// Dispatch in batched mode: with the default ShardBy, the arrival socket
+// is the shard — the kernel's reuseport 4-tuple hash pins each flow to
+// one socket, so per-flow ordering holds with no cross-shard hop at all
+// (one flow -> one socket -> one shard), preserving the fairness of
+// processor-sharing service across flows. An explicit ShardBy
+// (kvs.ShardByKey, whose per-key serialization the offload tier's
+// coherence depends on) re-enables the handoff: same-shard datagrams are
+// still handled inline, cross-shard ones move to the owning shard's
+// queue, which that shard's worker drains between its own socket batches
+// (bounded by a 1ms queue poll when its socket is idle).
+//
+// Handlers that implement BatchHandler (and offload tiers implementing
+// BatchFastPath) receive whole batches and amortize per-request work
+// further: kvs.Handler reads the virtual clock once and takes each store
+// shard's lock once per batch; nictier.KVSTier checks its epoch once per
+// batch.
+//
+// # Overload memory bound
+//
+// Every queued packet and every in-flight receive slot pins one
+// MaxDatagram-sized pooled buffer, so the engine's overload memory is
+// bounded by
+//
+//	Sockets*RxBatch*MaxDatagram + Shards*QueueDepth*MaxDatagram
+//
+// (the first term is zero in single-reader mode, where the lone reader
+// holds one buffer at a time). When a shard's queue is full the datagram
+// is dropped and counted, like a NIC ring overrun — backpressure never
+// blocks a reader. Protocols with small datagrams (DNS) should pass
+// their own MaxDatagram to shrink both terms.
+//
+// # Shared across both modes
+//
+//   - an offload tier (FastPath / BatchFastPath) can be interposed on
+//     dispatch before the host handler: the emulated NIC of
+//     internal/nictier. SetFastPath atomically flips dispatch to the
+//     tier, Barrier fences host work that predates the flip, and
+//     ClearFastPath drains the tier without dropping in-flight requests
+//     — the mechanics a live placement shift is built on;
+//   - Close drains gracefully: the reader(s) stop, queued datagrams are
+//     still handled and answered, then the socket(s) close. Daemons wire
 //     this into daemon.OnShutdown;
 //   - per-shard counters and a shared telemetry.AtomicRateMeter feed both
 //     the /v1 control API (GET /v1/dataplane) and the on-demand
@@ -31,5 +81,7 @@
 // Transient socket errors (e.g. Linux delivering an async ICMP
 // port-unreachable after a write to a vanished client) are counted and
 // served through; the engine exits its read loop only when shutdown
-// closed the socket.
+// closed the socket. Datagrams whose source address cannot be derived
+// (exotic transports) are counted (bad_source_drops) and dropped rather
+// than dispatched with a zero source.
 package dataplane

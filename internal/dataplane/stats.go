@@ -9,21 +9,52 @@ type ShardStats struct {
 	Replies     uint64 `json:"replies"`
 	Dropped     uint64 `json:"dropped"`
 	WriteErrors uint64 `json:"write_errors"`
+	// BadSourceDrops counts datagrams dropped before dispatch because no
+	// usable source address could be derived (distinct from queue
+	// overruns). Only shard 0 accumulates these in single-reader mode.
+	BadSourceDrops uint64 `json:"bad_source_drops,omitempty"`
+	// ReadBatches / WriteBatches count recvmmsg / sendmmsg syscalls in
+	// batched mode; received/read_batches is the measured RX syscall
+	// amortization for this shard.
+	ReadBatches  uint64 `json:"read_batches,omitempty"`
+	WriteBatches uint64 `json:"write_batches,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the engine, the payload of the
 // control API's GET /v1/dataplane.
 type Stats struct {
-	Shards      []ShardStats      `json:"shards"`
-	Received    uint64            `json:"received"`
-	Handled     uint64            `json:"handled"`
-	Offloaded   uint64            `json:"offloaded"`
-	Replies     uint64            `json:"replies"`
-	Dropped     uint64            `json:"dropped"`
-	WriteErrors uint64            `json:"write_errors"`
-	ReadErrors  uint64            `json:"read_errors"`
-	RateKpps    float64           `json:"rate_kpps"`
-	Handler     map[string]uint64 `json:"handler,omitempty"`
+	// Mode is "single-reader" or "batched"; Sockets, RxBatch and TxBatch
+	// describe the batched-mode I/O geometry (Sockets is 1 in
+	// single-reader mode).
+	Mode    string `json:"mode"`
+	Sockets int    `json:"sockets"`
+	RxBatch int    `json:"rx_batch,omitempty"`
+	TxBatch int    `json:"tx_batch,omitempty"`
+
+	Shards         []ShardStats      `json:"shards"`
+	Received       uint64            `json:"received"`
+	Handled        uint64            `json:"handled"`
+	Offloaded      uint64            `json:"offloaded"`
+	Replies        uint64            `json:"replies"`
+	Dropped        uint64            `json:"dropped"`
+	BadSourceDrops uint64            `json:"bad_source_drops"`
+	WriteErrors    uint64            `json:"write_errors"`
+	ReadErrors     uint64            `json:"read_errors"`
+	RateKpps       float64           `json:"rate_kpps"`
+	Handler        map[string]uint64 `json:"handler,omitempty"`
+
+	// Syscall amortization, batched mode only: datagrams moved per
+	// recvmmsg / sendmmsg syscall. 1.0 is the single-reader cost; higher
+	// is the batching win.
+	ReadBatches  uint64  `json:"read_batches,omitempty"`
+	WriteBatches uint64  `json:"write_batches,omitempty"`
+	RxPerRead    float64 `json:"rx_per_read,omitempty"`
+	TxPerWrite   float64 `json:"tx_per_write,omitempty"`
+
+	// BuffersInFlight is the number of pooled receive buffers currently
+	// outside the pool; it returns to zero on a drained engine, so a
+	// persistent residue indicates a buffer leak.
+	BuffersInFlight int64 `json:"buffers_in_flight"`
 
 	// Offload tier telemetry. TierActive reports whether a fast path is
 	// installed right now; the remaining fields describe the most
@@ -44,19 +75,31 @@ type Stats struct {
 // hit ratio and modeled power draw are folded in as well.
 func (e *Engine) Snapshot() Stats {
 	st := Stats{
-		Shards:     make([]ShardStats, len(e.shards)),
-		ReadErrors: e.readErrs.Load(),
-		RateKpps:   e.meter.Rate() / 1000,
+		Mode:            "single-reader",
+		Sockets:         1,
+		Shards:          make([]ShardStats, len(e.shards)),
+		ReadErrors:      e.readErrs.Load(),
+		RateKpps:        e.meter.Rate() / 1000,
+		BuffersInFlight: e.bufsOut.Load(),
+	}
+	if e.batched {
+		st.Mode = "batched"
+		st.Sockets = len(e.bconns)
+		st.RxBatch = e.cfg.RxBatch
+		st.TxBatch = e.cfg.TxBatch
 	}
 	for i, s := range e.shards {
 		ss := ShardStats{
-			Shard:       i,
-			Received:    s.received.Load(),
-			Handled:     s.handled.Load(),
-			Offloaded:   s.offloaded.Load(),
-			Replies:     s.replies.Load(),
-			Dropped:     s.dropped.Load(),
-			WriteErrors: s.writeErrs.Load(),
+			Shard:          i,
+			Received:       s.received.Load(),
+			Handled:        s.handled.Load(),
+			Offloaded:      s.offloaded.Load(),
+			Replies:        s.replies.Load(),
+			Dropped:        s.dropped.Load(),
+			BadSourceDrops: s.badSrc.Load(),
+			WriteErrors:    s.writeErrs.Load(),
+			ReadBatches:    s.readBatches.Load(),
+			WriteBatches:   s.writeBatches.Load(),
 		}
 		st.Shards[i] = ss
 		st.Received += ss.Received
@@ -64,7 +107,16 @@ func (e *Engine) Snapshot() Stats {
 		st.Offloaded += ss.Offloaded
 		st.Replies += ss.Replies
 		st.Dropped += ss.Dropped
+		st.BadSourceDrops += ss.BadSourceDrops
 		st.WriteErrors += ss.WriteErrors
+		st.ReadBatches += ss.ReadBatches
+		st.WriteBatches += ss.WriteBatches
+	}
+	if st.ReadBatches > 0 {
+		st.RxPerRead = float64(st.Received) / float64(st.ReadBatches)
+	}
+	if st.WriteBatches > 0 {
+		st.TxPerWrite = float64(st.Replies) / float64(st.WriteBatches)
 	}
 	if r, ok := e.h.(StatsReporter); ok {
 		st.Handler = r.StatsCounters().Snapshot()

@@ -34,6 +34,7 @@ type Handler struct {
 }
 
 var _ dataplane.Handler = (*Handler)(nil)
+var _ dataplane.BatchHandler = (*Handler)(nil)
 var _ dataplane.StatsReporter = (*Handler)(nil)
 
 // NewHandler returns a handler serving store.
@@ -62,16 +63,24 @@ func (h *Handler) Epoch() time.Time { return h.epoch }
 // StatsCounters exposes protocol counters on the /v1 control API.
 func (h *Handler) StatsCounters() *telemetry.AtomicCounters { return h.counters }
 
+// parseRequest undoes optional UDP framing and parses the request line
+// into v. ok=false means the datagram parses neither framed nor raw.
+func parseRequest(in []byte, v *memcache.RequestView) (body []byte, framed bool, reqID uint16, ok bool) {
+	if f, b, err := memcache.DecodeFrame(in); err == nil && memcache.ParseRequestView(b, v) == nil {
+		return b, true, f.RequestID, true
+	}
+	if memcache.ParseRequestView(in, v) == nil {
+		return in, false, 0, true
+	}
+	return nil, false, 0, false
+}
+
 // HandleDatagram implements dataplane.Handler.
 func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 	now := simnet.Time(time.Since(h.epoch))
 	var v memcache.RequestView
-	framed := false
-	var reqID uint16
-	body := in
-	if f, b, err := memcache.DecodeFrame(in); err == nil && memcache.ParseRequestView(b, &v) == nil {
-		framed, reqID, body = true, f.RequestID, b
-	} else if memcache.ParseRequestView(in, &v) != nil {
+	body, framed, reqID, ok := parseRequest(in, &v)
+	if !ok {
 		h.malformed.Add(1)
 		*scratch = memcache.AppendStatus((*scratch)[:0], memcache.StatusError)
 		return *scratch, true
@@ -80,8 +89,7 @@ func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 	if framed {
 		out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqID, Total: 1})
 	}
-	switch {
-	case v.Op == memcache.OpGet && !v.MultiKey:
+	if v.Op == memcache.OpGet && !v.MultiKey {
 		if e, ok := h.store.Get(v.Key, now); ok {
 			h.hits.Add(1)
 			out = memcache.AppendGetHit(out, v.Key, e.Flags, e.Value)
@@ -89,6 +97,17 @@ func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 			h.misses.Add(1)
 			out = memcache.AppendStatus(out, memcache.StatusEnd)
 		}
+	} else {
+		out = h.applyOther(&v, body, now, out)
+	}
+	*scratch = out
+	return out, true
+}
+
+// applyOther serves everything but the single-key GET fast path,
+// appending the reply to out.
+func (h *Handler) applyOther(v *memcache.RequestView, body []byte, now simnet.Time, out []byte) []byte {
+	switch {
 	case v.Op == memcache.OpSet:
 		h.sets.Add(1)
 		var exp int64
@@ -119,8 +138,84 @@ func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 		h.misses.Add(uint64(len(req.AllKeys()) - len(resp.Items)))
 		out = memcache.AppendResponse(out, resp)
 	}
-	*scratch = out
-	return out, true
+	return out
+}
+
+// HandleBatch implements dataplane.BatchHandler: the virtual clock is
+// read once per chunk and every single-key GET in the chunk resolves
+// through ShardedStore.GetBatch, so each store shard's lock is taken
+// once per chunk instead of once per request; hit/miss counters are
+// bumped once per chunk too. Mutations apply in batch order during the
+// classification pass, so a GET may observe a later mutation from the
+// same batch early — indistinguishable from UDP reordering, which the
+// protocol already tolerates. The GET hit path allocates nothing.
+func (h *Handler) HandleBatch(items []*dataplane.BatchItem) {
+	for off := 0; off < len(items); off += getBatchChunk {
+		h.handleChunk(items[off:min(off+getBatchChunk, len(items))])
+	}
+}
+
+func (h *Handler) handleChunk(items []*dataplane.BatchItem) {
+	now := simnet.Time(time.Since(h.epoch))
+	var (
+		views   [getBatchChunk]memcache.RequestView
+		framed  [getBatchChunk]bool
+		reqIDs  [getBatchChunk]uint16
+		getIdx  [getBatchChunk]int
+		keys    [getBatchChunk][]byte
+		entries [getBatchChunk]Entry
+		found   [getBatchChunk]bool
+	)
+	nGets := 0
+	for i, it := range items {
+		v := &views[i]
+		body, fr, id, ok := parseRequest(it.In, v)
+		framed[i], reqIDs[i] = fr, id
+		if !ok {
+			h.malformed.Add(1)
+			*it.Scratch = memcache.AppendStatus((*it.Scratch)[:0], memcache.StatusError)
+			it.Out = *it.Scratch
+			continue
+		}
+		if v.Op == memcache.OpGet && !v.MultiKey {
+			getIdx[nGets] = i
+			keys[nGets] = v.Key
+			nGets++
+			continue
+		}
+		out := (*it.Scratch)[:0]
+		if fr {
+			out = memcache.AppendFrame(out, memcache.Frame{RequestID: id, Total: 1})
+		}
+		out = h.applyOther(v, body, now, out)
+		*it.Scratch = out
+		it.Out = out
+	}
+	if nGets == 0 {
+		return
+	}
+	h.store.GetBatch(keys[:nGets], now, entries[:nGets], found[:nGets])
+	hits := 0
+	for g := 0; g < nGets; g++ {
+		i := getIdx[g]
+		it := items[i]
+		out := (*it.Scratch)[:0]
+		if framed[i] {
+			out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqIDs[i], Total: 1})
+		}
+		if found[g] {
+			hits++
+			out = memcache.AppendGetHit(out, views[i].Key, entries[g].Flags, entries[g].Value)
+		} else {
+			out = memcache.AppendStatus(out, memcache.StatusEnd)
+		}
+		*it.Scratch = out
+		it.Out = out
+	}
+	h.hits.Add(uint64(hits))
+	if misses := nGets - hits; misses > 0 {
+		h.misses.Add(uint64(misses))
+	}
 }
 
 // ShardByKey is the dataplane dispatch for memcached traffic: requests

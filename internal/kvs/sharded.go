@@ -72,6 +72,44 @@ func (st *ShardedStore) Get(key []byte, now simnet.Time) (Entry, bool) {
 	return e, ok
 }
 
+// getBatchChunk is GetBatch's unit of work: its done-set is a uint64
+// bitmask, so a chunk is at most 64 keys.
+const getBatchChunk = 64
+
+// GetBatch resolves keys[i] into entries[i]/found[i] at now, acquiring
+// each touched shard's lock once per chunk of 64 keys even when many
+// keys hash to the same shard — the batched dataplane's lock
+// amortization hook. All three slices must have equal length. It
+// allocates nothing, so the batched GET hot path stays allocation-free.
+func (st *ShardedStore) GetBatch(keys [][]byte, now simnet.Time, entries []Entry, found []bool) {
+	for off := 0; off < len(keys); off += getBatchChunk {
+		end := min(off+getBatchChunk, len(keys))
+		st.getChunk(keys[off:end], now, entries[off:end], found[off:end])
+	}
+}
+
+func (st *ShardedStore) getChunk(keys [][]byte, now simnet.Time, entries []Entry, found []bool) {
+	var shardOf [getBatchChunk]uint64
+	for i, k := range keys {
+		shardOf[i] = dataplane.HashBytes(k) & st.mask
+	}
+	var done uint64
+	for i := range keys {
+		if done&(1<<i) != 0 {
+			continue
+		}
+		sh := st.shards[shardOf[i]]
+		sh.mu.Lock()
+		for j := i; j < len(keys); j++ {
+			if done&(1<<j) == 0 && shardOf[j] == shardOf[i] {
+				entries[j], found[j] = sh.s.GetBytes(keys[j], now)
+				done |= 1 << j
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // GetString is Get for a string key.
 func (st *ShardedStore) GetString(key string, now simnet.Time) (Entry, bool) {
 	sh := st.shardOfString(key)

@@ -1,0 +1,21 @@
+// Package netio is the batched socket layer under the dataplane: many
+// datagrams per syscall instead of one.
+//
+// The paper's offload argument is that the NIC amortizes per-packet cost
+// the host cannot; the standard software answer is to amortize the
+// per-packet *syscall* cost, which is what this package does. A
+// BatchConn reads and writes slices of Messages — on Linux through
+// recvmmsg(2)/sendmmsg(2) reached via syscall.RawConn (so the runtime
+// netpoller still parks the goroutine between batches and read deadlines
+// keep working), everywhere else through a one-datagram-per-call
+// fallback with identical semantics. No dependency beyond the standard
+// library's syscall package is used.
+//
+// ListenReusePortGroup opens N UDP sockets bound to the same address
+// with SO_REUSEPORT, so the kernel spreads inbound flows across them by
+// 4-tuple hash. That is the substrate of the dataplane's per-shard-
+// socket mode: one socket per shard worker, each reading its own
+// batches, with no shared reader to serialize behind. Off Linux a group
+// of one socket still works; asking for more reports an error, which the
+// daemons surface at startup.
+package netio

@@ -1,0 +1,220 @@
+//go:build linux && (amd64 || arm64)
+
+package netio
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr. The compiler inserts the
+// same trailing padding C does (msg_len rounds the struct up to msghdr's
+// alignment), so a []mmsghdr is laid out exactly like the kernel vector.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// mmsgScratch is the reusable header/iovec/sockaddr vector behind one
+// direction of an mmsgConn. Each shard owns its conn so the mutex is
+// uncontended; it only guards against misuse from multiple goroutines.
+type mmsgScratch struct {
+	mu    sync.Mutex
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrAny
+}
+
+func (s *mmsgScratch) ensure(n int) {
+	if cap(s.hdrs) < n {
+		s.hdrs = make([]mmsghdr, n)
+		s.iovs = make([]syscall.Iovec, n)
+		s.names = make([]syscall.RawSockaddrAny, n)
+	}
+	s.hdrs = s.hdrs[:n]
+	s.iovs = s.iovs[:n]
+	s.names = s.names[:n]
+}
+
+// mmsgConn is the Linux BatchConn: recvmmsg/sendmmsg with MSG_DONTWAIT
+// inside syscall.RawConn callbacks, so the runtime netpoller still parks
+// the goroutine on EAGAIN and read deadlines behave exactly like
+// net.UDPConn's.
+type mmsgConn struct {
+	udp *net.UDPConn
+	rc  syscall.RawConn
+	ip4 bool // socket family: true when bound to an IPv4 address
+	rx  mmsgScratch
+	tx  mmsgScratch
+}
+
+// newMmsgConn returns the recvmmsg/sendmmsg implementation when pc is a
+// real UDP socket, nil otherwise (the caller falls back).
+func newMmsgConn(pc net.PacketConn) BatchConn {
+	udp, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := udp.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	la, _ := udp.LocalAddr().(*net.UDPAddr)
+	return &mmsgConn{udp: udp, rc: rc, ip4: la != nil && la.IP.To4() != nil}
+}
+
+func (c *mmsgConn) LocalAddr() net.Addr               { return c.udp.LocalAddr() }
+func (c *mmsgConn) Close() error                      { return c.udp.Close() }
+func (c *mmsgConn) SetReadDeadline(t time.Time) error { return c.udp.SetReadDeadline(t) }
+
+func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.rx.mu.Lock()
+	defer c.rx.mu.Unlock()
+	c.rx.ensure(len(ms))
+	for i := range ms {
+		iov := &c.rx.iovs[i]
+		iov.Base = &ms[i].Buf[0]
+		iov.SetLen(len(ms[i].Buf))
+		h := &c.rx.hdrs[i]
+		h.hdr = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&c.rx.names[i])),
+			Namelen: uint32(unsafe.Sizeof(c.rx.names[i])),
+			Iov:     iov,
+		}
+		h.hdr.Iovlen = 1
+		h.n = 0
+	}
+	var n int
+	var operr syscall.Errno
+	err := c.rc.Read(func(fd uintptr) bool {
+		for {
+			r, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&c.rx.hdrs[0])), uintptr(len(ms)),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch errno {
+			case 0:
+				n = int(r)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park in the netpoller until readable
+			default:
+				operr = errno
+				return true
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if operr != 0 {
+		return 0, operr
+	}
+	for i := 0; i < n; i++ {
+		ms[i].N = int(c.rx.hdrs[i].n)
+		ms[i].Src = sockaddrToAddrPort(&c.rx.names[i])
+	}
+	return n, nil
+}
+
+func (c *mmsgConn) WriteBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.tx.mu.Lock()
+	defer c.tx.mu.Unlock()
+	c.tx.ensure(len(ms))
+	for i := range ms {
+		m := &ms[i]
+		iov := &c.tx.iovs[i]
+		iov.Base = nil
+		if m.N > 0 {
+			iov.Base = &m.Buf[0]
+		}
+		iov.SetLen(m.N)
+		h := &c.tx.hdrs[i]
+		h.hdr = syscall.Msghdr{Iov: iov}
+		h.hdr.Iovlen = 1
+		h.n = 0
+		if m.Src.IsValid() {
+			h.hdr.Name = (*byte)(unsafe.Pointer(&c.tx.names[i]))
+			h.hdr.Namelen = putSockaddr(&c.tx.names[i], m.Src, c.ip4)
+		}
+	}
+	sent := 0
+	for sent < len(ms) {
+		var n int
+		var operr syscall.Errno
+		err := c.rc.Write(func(fd uintptr) bool {
+			for {
+				r, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+					uintptr(unsafe.Pointer(&c.tx.hdrs[sent])), uintptr(len(ms)-sent),
+					uintptr(syscall.MSG_DONTWAIT), 0, 0)
+				switch errno {
+				case 0:
+					n = int(r)
+					return true
+				case syscall.EINTR:
+					continue
+				case syscall.EAGAIN:
+					return false
+				default:
+					operr = errno
+					return true
+				}
+			}
+		})
+		if err != nil {
+			return sent, err
+		}
+		if operr != 0 {
+			return sent, operr
+		}
+		if n == 0 {
+			break // defensive: the kernel reported progress of zero
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// putSockaddr encodes ap into sa with the socket's family, returning the
+// sockaddr length. The port bytes are written explicitly (network byte
+// order) so the encoding is endianness-independent.
+func putSockaddr(sa *syscall.RawSockaddrAny, ap netip.AddrPort, ip4 bool) uint32 {
+	port := ap.Port()
+	if ip4 {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		*sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: ap.Addr().Unmap().As4()}
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		return syscall.SizeofSockaddrInet4
+	}
+	sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+	*sa6 = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Addr: ap.Addr().As16()}
+	p := (*[2]byte)(unsafe.Pointer(&sa6.Port))
+	p[0], p[1] = byte(port>>8), byte(port)
+	return syscall.SizeofSockaddrInet6
+}
+
+func sockaddrToAddrPort(sa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa6.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa6.Addr).Unmap(), uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}

@@ -1,0 +1,10 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netio
+
+import "net"
+
+// newMmsgConn has no implementation here (non-Linux, or a Linux arch we
+// did not enumerate syscall numbers for): every conn takes the portable
+// single-datagram fallback.
+func newMmsgConn(net.PacketConn) BatchConn { return nil }

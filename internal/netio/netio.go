@@ -1,0 +1,161 @@
+package netio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+)
+
+// Message is one datagram in a batch. On read, Buf is filled in place, N
+// is set to the datagram length and Src to the peer address. On write,
+// Buf[:N] is sent to Src; a zero Src sends to the connected peer (the
+// net.Dial case), which is how the load generator drives a connected
+// socket through the same interface.
+type Message struct {
+	Buf []byte
+	N   int
+	Src netip.AddrPort
+}
+
+// BatchConn is a datagram socket with batched I/O. ReadBatch blocks for
+// the first datagram (honoring the read deadline) and returns as many as
+// are immediately available, up to len(ms); WriteBatch transmits every
+// message or returns how many were sent before the error. One ReadBatch
+// or WriteBatch call is one syscall on Linux, so a batch of 32 amortizes
+// the per-packet syscall cost 32x.
+type BatchConn interface {
+	ReadBatch(ms []Message) (int, error)
+	WriteBatch(ms []Message) (int, error)
+	SetReadDeadline(t time.Time) error
+	LocalAddr() net.Addr
+	Close() error
+}
+
+// NewBatchConn wraps pc in batch I/O: on Linux a *net.UDPConn gets true
+// recvmmsg/sendmmsg batching; anything else (in-memory transports,
+// other platforms) gets a portable one-datagram-per-ReadBatch fallback
+// with identical semantics.
+func NewBatchConn(pc net.PacketConn) BatchConn {
+	if bc := newMmsgConn(pc); bc != nil {
+		return bc
+	}
+	return &singleConn{pc: pc}
+}
+
+// errNoDest reports a WriteBatch message with a zero Src on a socket
+// that is not connected.
+var errNoDest = errors.New("netio: message has no destination and the socket is not connected")
+
+// singleConn is the portable fallback: one datagram per call, same
+// contract as the mmsg path.
+type singleConn struct{ pc net.PacketConn }
+
+func (c *singleConn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	m := &ms[0]
+	if u, ok := c.pc.(*net.UDPConn); ok {
+		n, src, err := u.ReadFromUDPAddrPort(m.Buf)
+		if err != nil {
+			return 0, err
+		}
+		m.N, m.Src = n, src
+		return 1, nil
+	}
+	n, raw, err := c.pc.ReadFrom(m.Buf)
+	if err != nil {
+		return 0, err
+	}
+	m.N = n
+	m.Src, _ = AddrPortOf(raw)
+	return 1, nil
+}
+
+func (c *singleConn) WriteBatch(ms []Message) (int, error) {
+	u, _ := c.pc.(*net.UDPConn)
+	for i := range ms {
+		m := &ms[i]
+		var err error
+		switch {
+		case !m.Src.IsValid():
+			if w, ok := c.pc.(net.Conn); ok {
+				_, err = w.Write(m.Buf[:m.N])
+			} else {
+				err = errNoDest
+			}
+		case u != nil:
+			_, err = u.WriteToUDPAddrPort(m.Buf[:m.N], m.Src)
+		default:
+			_, err = c.pc.WriteTo(m.Buf[:m.N], net.UDPAddrFromAddrPort(m.Src))
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(ms), nil
+}
+
+func (c *singleConn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
+func (c *singleConn) LocalAddr() net.Addr               { return c.pc.LocalAddr() }
+func (c *singleConn) Close() error                      { return c.pc.Close() }
+
+// AddrPortOf extracts a netip.AddrPort from a net.Addr: the fast path
+// for *net.UDPAddr, otherwise by parsing a.String() — which covers
+// custom net.Addr implementations (test transports) whose String is the
+// conventional "ip:port". ok is false when no address can be derived.
+func AddrPortOf(a net.Addr) (ap netip.AddrPort, ok bool) {
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		return v.AddrPort(), true
+	case nil:
+		return netip.AddrPort{}, false
+	}
+	ap, err := netip.ParseAddrPort(a.String())
+	if err != nil {
+		return netip.AddrPort{}, false
+	}
+	return ap, true
+}
+
+// ListenReusePortGroup opens n UDP sockets bound to the same address via
+// SO_REUSEPORT, so the kernel spreads inbound flows across them by
+// 4-tuple hash — the per-shard-socket substrate of the batched
+// dataplane. An ephemeral port (":0") resolved by the first socket is
+// pinned for the rest of the group. n < 1 is treated as 1; n > 1
+// requires SO_REUSEPORT and fails with a descriptive error on platforms
+// without it.
+func ListenReusePortGroup(network, addr string, n int) ([]net.PacketConn, error) {
+	if n < 1 {
+		n = 1
+	}
+	if !reusePortAvailable {
+		if n > 1 {
+			return nil, fmt.Errorf("netio: %d-socket reuseport group unsupported on this platform (SO_REUSEPORT required)", n)
+		}
+		pc, err := net.ListenPacket(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.PacketConn{pc}, nil
+	}
+	lc := reusePortListenConfig()
+	conns := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), network, addr)
+		if err != nil {
+			for _, c := range conns {
+				_ = c.Close()
+			}
+			return nil, fmt.Errorf("netio: reuseport socket %d/%d on %s: %w", i+1, n, addr, err)
+		}
+		if i == 0 {
+			addr = pc.LocalAddr().String()
+		}
+		conns = append(conns, pc)
+	}
+	return conns, nil
+}

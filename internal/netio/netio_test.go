@@ -1,0 +1,187 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+)
+
+func mkMsgs(n, size int) []Message {
+	ms := make([]Message, n)
+	for i := range ms {
+		ms[i].Buf = make([]byte, size)
+	}
+	return ms
+}
+
+// readAll collects want datagrams from bc, tolerating partial batches.
+func readAll(t *testing.T, bc BatchConn, want int) []Message {
+	t.Helper()
+	var got []Message
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < want {
+		if err := bc.SetReadDeadline(deadline); err != nil {
+			t.Fatal(err)
+		}
+		ms := mkMsgs(want, 2048)
+		n, err := bc.ReadBatch(ms)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d/%d: %v", len(got), want, err)
+		}
+		got = append(got, ms[:n]...)
+	}
+	return got
+}
+
+func TestBatchConnRoundTrip(t *testing.T) {
+	spc, err := net.ListenPacket("udp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewBatchConn(spc)
+	defer server.Close()
+
+	cconn, err := net.Dial("udp4", spc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewBatchConn(cconn.(*net.UDPConn))
+	defer client.Close()
+
+	// Client sends a batch through its connected socket (zero Src).
+	const k = 8
+	out := make([]Message, k)
+	for i := range out {
+		out[i].Buf = []byte(fmt.Sprintf("msg-%02d", i))
+		out[i].N = len(out[i].Buf)
+	}
+	if n, err := client.WriteBatch(out); err != nil || n != k {
+		t.Fatalf("client WriteBatch = %d, %v; want %d", n, err, k)
+	}
+
+	// Server reads them, sees the client's source, echoes back.
+	in := readAll(t, server, k)
+	clientAP := cconn.LocalAddr().(*net.UDPAddr).AddrPort()
+	seen := map[string]bool{}
+	for i := range in {
+		m := &in[i]
+		if m.Src.Port() != clientAP.Port() {
+			t.Fatalf("message %d: src %v, want port %d", i, m.Src, clientAP.Port())
+		}
+		seen[string(m.Buf[:m.N])] = true
+		m.Buf = append(m.Buf[:0], m.Buf[:m.N]...)
+	}
+	if len(seen) != k {
+		t.Fatalf("server saw %d distinct payloads, want %d", len(seen), k)
+	}
+	if n, err := server.WriteBatch(in); err != nil || n != k {
+		t.Fatalf("server WriteBatch = %d, %v; want %d", n, err, k)
+	}
+	back := readAll(t, client, k)
+	for i := range back {
+		if payload := string(back[i].Buf[:back[i].N]); !seen[payload] {
+			t.Fatalf("echo %d: unexpected payload %q", i, payload)
+		}
+	}
+}
+
+func TestReadBatchHonorsDeadline(t *testing.T) {
+	spc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := NewBatchConn(spc)
+	defer bc.Close()
+	if err := bc.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = bc.ReadBatch(mkMsgs(4, 512))
+	if err == nil {
+		t.Fatal("ReadBatch on an idle socket returned without error")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v (os.ErrDeadlineExceeded match: %v)",
+			err, os.IsTimeout(err))
+	}
+	if since := time.Since(start); since > 3*time.Second {
+		t.Fatalf("deadline took %v to fire", since)
+	}
+}
+
+func TestReusePortGroupSpreadsFlows(t *testing.T) {
+	conns, err := ListenReusePortGroup("udp4", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Skipf("reuseport group unavailable: %v", err)
+	}
+	for _, c := range conns {
+		defer c.Close()
+	}
+	addr := conns[0].LocalAddr().String()
+	for i := 1; i < len(conns); i++ {
+		if got := conns[i].LocalAddr().String(); got != addr {
+			t.Fatalf("socket %d bound to %s, want %s", i, got, addr)
+		}
+	}
+
+	// Many distinct client flows: the kernel's 4-tuple hash should land
+	// traffic on more than one group socket.
+	const flows = 32
+	for i := 0; i < flows; i++ {
+		c, err := net.Dial("udp4", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write([]byte(fmt.Sprintf("flow-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	total, busy := 0, 0
+	buf := make([]byte, 256)
+	for _, c := range conns {
+		got := 0
+		for {
+			c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			if _, _, err := c.ReadFrom(buf); err != nil {
+				break
+			}
+			got++
+		}
+		if got > 0 {
+			busy++
+		}
+		total += got
+	}
+	if total != flows {
+		t.Fatalf("group received %d of %d datagrams", total, flows)
+	}
+	if busy < 2 {
+		t.Fatalf("all %d flows landed on one socket; want the kernel to spread them", flows)
+	}
+}
+
+type stringAddr string
+
+func (a stringAddr) Network() string { return "udp" }
+func (a stringAddr) String() string  { return string(a) }
+
+func TestAddrPortOf(t *testing.T) {
+	ua := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 7), Port: 4242}
+	if ap, ok := AddrPortOf(ua); !ok || ap.Port() != 4242 {
+		t.Fatalf("UDPAddr: got %v, %v", ap, ok)
+	}
+	if ap, ok := AddrPortOf(stringAddr("192.168.1.9:5353")); !ok || ap != netip.MustParseAddrPort("192.168.1.9:5353") {
+		t.Fatalf("string addr: got %v, %v", ap, ok)
+	}
+	if _, ok := AddrPortOf(stringAddr("not-an-address")); ok {
+		t.Fatal("unparseable addr should not yield an AddrPort")
+	}
+	if _, ok := AddrPortOf(nil); ok {
+		t.Fatal("nil addr should not yield an AddrPort")
+	}
+}

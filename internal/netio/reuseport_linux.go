@@ -1,0 +1,27 @@
+//go:build linux
+
+package netio
+
+import (
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, which package syscall does not export.
+const soReusePort = 0xf
+
+const reusePortAvailable = true
+
+func reusePortListenConfig() *net.ListenConfig {
+	return &net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package netio
+
+import "net"
+
+const reusePortAvailable = false
+
+// reusePortListenConfig is unreachable off Linux (ListenReusePortGroup
+// gates on reusePortAvailable first) but keeps the portable build whole.
+func reusePortListenConfig() *net.ListenConfig { return &net.ListenConfig{} }

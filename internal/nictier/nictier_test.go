@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"incod/internal/dataplane"
 	"incod/internal/dns"
 	"incod/internal/fpga"
 	"incod/internal/kvs"
@@ -425,5 +426,73 @@ func BenchmarkNICTierKVSGetHit(b *testing.B) {
 		if _, served, _ := tier.TryHandleDatagram(req, netip.AddrPort{}, &scratch); !served {
 			b.Fatal("miss on the hit path")
 		}
+	}
+}
+
+// TestKVSTierBatchMatchesPerDatagram drives the same traffic through
+// TryHandleDatagram and TryHandleBatch on identically warmed tiers: the
+// batch form (one epoch read per batch) must classify and answer
+// identically — hits served, misses and mutations falling through.
+func TestKVSTierBatchMatchesPerDatagram(t *testing.T) {
+	mkWarm := func() (*kvs.Handler, *nictier.KVSTier) {
+		h := kvs.NewHandler(kvs.NewShardedStore(2, 0))
+		scratch := make([]byte, 0, 4096)
+		for i := 0; i < 8; i++ {
+			h.HandleDatagram(framedSet(1, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)), &scratch)
+		}
+		tier := nictier.NewKVS(h)
+		if err := tier.Stage(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tier.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		return h, tier
+	}
+
+	datagrams := [][]byte{
+		framedGet(2, "k3"),           // hit
+		framedGet(3, "missing"),      // miss -> host
+		[]byte("get k4\r\n"),         // raw hit
+		framedSet(4, "k1", "new"),    // write-through, falls through
+		framedDelete(5, "k2"),        // invalidate, falls through
+		[]byte("gets k0 k1\r\n"),     // multiget passthrough
+		[]byte("\x00\x02\x03broken"), // malformed passthrough
+	}
+
+	_, single := mkWarm()
+	type result struct {
+		out           []byte
+		served, reply bool
+	}
+	var want []result
+	scratch := make([]byte, 0, 4096)
+	for _, dg := range datagrams {
+		out, served, reply := single.TryHandleDatagram(dg, netip.AddrPort{}, &scratch)
+		want = append(want, result{out: append([]byte(nil), out...), served: served, reply: reply})
+	}
+
+	_, batched := mkWarm()
+	items := make([]*dataplane.BatchItem, len(datagrams))
+	for i, dg := range datagrams {
+		s := make([]byte, 0, 4096)
+		items[i] = &dataplane.BatchItem{In: dg, Scratch: &s}
+	}
+	batched.TryHandleBatch(items)
+	for i, it := range items {
+		if it.Served != want[i].served {
+			t.Fatalf("datagram %d (%q): batch served=%v, single served=%v", i, datagrams[i], it.Served, want[i].served)
+		}
+		wantOut := ""
+		if want[i].served && want[i].reply {
+			wantOut = string(want[i].out)
+		}
+		if string(it.Out) != wantOut {
+			t.Fatalf("datagram %d (%q): batch reply %q, single reply %q", i, datagrams[i], it.Out, wantOut)
+		}
+	}
+	if got, wantHits := batched.Counters().Get("l1_hit")+batched.Counters().Get("l2_hit"),
+		single.Counters().Get("l1_hit")+single.Counters().Get("l2_hit"); got != wantHits {
+		t.Fatalf("batch tier hits %d != single tier hits %d", got, wantHits)
 	}
 }

@@ -3,6 +3,9 @@
 # the daemon with the NIC offload tier and a low crossover, drive a
 # phased ramp across the threshold, and assert on the /v1 control API
 # that a real placement shift happened and the tier served traffic.
+#
+# INCKVSD_EXTRA_FLAGS / INCLOADGEN_EXTRA_FLAGS let CI run the same
+# assertions in batched per-shard-socket mode (e.g. "-sockets 2").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,13 +17,17 @@ go build -o "$BIN/incloadgen" ./cmd/incloadgen
 
 ADDR=127.0.0.1:11311
 CTRL=127.0.0.1:18080
-"$BIN/inckvsd" -addr "$ADDR" -ctrl "$CTRL" -nictier -crossover 2 -shards 2 &
+# shellcheck disable=SC2086  # extra flags are intentionally word-split
+"$BIN/inckvsd" -addr "$ADDR" -ctrl "$CTRL" -nictier -crossover 2 -shards 2 \
+  ${INCKVSD_EXTRA_FLAGS:-} &
 KVSD_PID=$!
 sleep 0.5
 
 # Ramp over the 2.2 kpps to-network threshold, hold, ramp back under the
 # 1.4 kpps to-host threshold.
+# shellcheck disable=SC2086
 "$BIN/incloadgen" -proto kvs -target "$ADDR" -keys 200 \
+  ${INCLOADGEN_EXTRA_FLAGS:-} \
   -profile 'ramp:0-8000:2s,hold:8000:3s,ramp:8000-0:2s'
 
 # Let the orchestrator observe the quiet tail (to-host window is 2s).
