@@ -137,6 +137,9 @@ func BenchmarkDataplaneKVSSet(b *testing.B) {
 	}
 }
 
+// BenchmarkDataplaneDNS is the DNS answer-hit hot path: QuestionView
+// parse, fold-hash wire-cache lookup, one image copy plus an ID/flags
+// patch. It must report 0 B/op.
 func BenchmarkDataplaneDNS(b *testing.B) {
 	zone := dns.NewZone()
 	zone.PopulateSequential(64)
@@ -150,6 +153,111 @@ func BenchmarkDataplaneDNS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if out, ok := h.HandleDatagram(q, &scratch); !ok || len(out) == 0 {
 			b.Fatal("no answer")
+		}
+	}
+}
+
+// BenchmarkDataplaneDNSMixedCase is the same hit with a mixed-case name
+// — the query shape that used to pay a strings.ToLower allocation per
+// packet. It must also report 0 B/op.
+func BenchmarkDataplaneDNSMixedCase(b *testing.B) {
+	zone := dns.NewZone()
+	zone.PopulateSequential(64)
+	h := dns.NewHandler(zone)
+	scratch := make([]byte, 0, 4096)
+	q, err := dns.Encode(dns.NewQuery(9, "HOST42.Example.COM"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out, ok := h.HandleDatagram(q, &scratch); !ok || len(out) == 0 {
+			b.Fatal("no answer")
+		}
+	}
+}
+
+// BenchmarkDataplaneBatchedDNS is the batch form of the DNS hit path: 32
+// queries per HandleBatch call, counters flushed once per batch. 0 B/op.
+func BenchmarkDataplaneBatchedDNS(b *testing.B) {
+	zone := dns.NewZone()
+	zone.PopulateSequential(64)
+	h := dns.NewHandler(zone)
+	const batch = 32
+	items := make([]*dataplane.BatchItem, batch)
+	queries := make([][]byte, batch)
+	for i := range items {
+		q, err := dns.Encode(dns.NewQuery(uint16(i), dns.SequentialName(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[i] = q
+		scratch := make([]byte, 0, 4096)
+		items[i] = &dataplane.BatchItem{Scratch: &scratch}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for k := range items {
+			items[k].In = queries[k]
+			items[k].Out = nil
+			items[k].Served = false
+		}
+		h.HandleBatch(items)
+		if len(items[0].Out) == 0 {
+			b.Fatal("batched query failed")
+		}
+	}
+}
+
+// BenchmarkDataplanePaxosAcceptor2A is the acceptor's steady-state hot
+// path: MsgView decode, one re-vote under the role mutex, AppendMsg of
+// the 2B into the scratch buffer. It must report 0 B/op.
+func BenchmarkDataplanePaxosAcceptor2A(b *testing.B) {
+	a := paxos.NewLiveAcceptor(1, nil, func(string, paxos.Msg) {})
+	scratch := make([]byte, 0, 4096)
+	p2a := paxos.Encode(paxos.Msg{Type: paxos.MsgPhase2A, Instance: 7, Ballot: 3,
+		ClientID: 1, Seq: 9, ClientAddr: "client-1:2345", Value: []byte("value-of-modest-size")})
+	if _, ok := a.HandleDatagram(p2a, &scratch); !ok {
+		b.Fatal("seed 2A failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, ok := a.HandleDatagram(p2a, &scratch); !ok || len(out) == 0 {
+			b.Fatal("2A failed")
+		}
+	}
+}
+
+// BenchmarkDataplaneBatchedPaxosAcceptor is the batch form: 32 2As per
+// HandleBatch call under one acquisition of the role mutex. 0 B/op.
+func BenchmarkDataplaneBatchedPaxosAcceptor(b *testing.B) {
+	a := paxos.NewLiveAcceptor(1, nil, func(string, paxos.Msg) {})
+	scratch := make([]byte, 0, 4096)
+	const batch = 32
+	msgs := make([][]byte, batch)
+	items := make([]*dataplane.BatchItem, batch)
+	for i := range items {
+		msgs[i] = paxos.Encode(paxos.Msg{Type: paxos.MsgPhase2A, Instance: uint64(i + 1),
+			Ballot: 3, Seq: uint64(i), ClientAddr: "client-1:2345", Value: []byte("value-of-modest-size")})
+		if _, ok := a.HandleDatagram(msgs[i], &scratch); !ok {
+			b.Fatal("seed failed")
+		}
+		s := make([]byte, 0, 1024)
+		items[i] = &dataplane.BatchItem{Scratch: &s}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for k := range items {
+			items[k].In = msgs[k]
+			items[k].Out = nil
+			items[k].Served = false
+		}
+		a.HandleBatch(items)
+		if len(items[0].Out) == 0 {
+			b.Fatal("batched 2A failed")
 		}
 	}
 }
@@ -212,6 +320,22 @@ func BenchmarkPaxosCodec(b *testing.B) {
 	}
 }
 
+// BenchmarkPaxosCodecView is the serving path's codec round trip:
+// AppendMsg into a reused buffer, DecodeView aliasing it. 0 B/op.
+func BenchmarkPaxosCodecView(b *testing.B) {
+	m := paxos.Msg{Type: paxos.MsgPhase2A, Instance: 1 << 30, Ballot: 7,
+		ClientAddr: "client-0", Value: make([]byte, 64)}
+	buf := make([]byte, 0, 256)
+	var v paxos.MsgView
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = paxos.AppendMsg(buf[:0], m)
+		if err := paxos.DecodeView(buf, &v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDNSCodec(b *testing.B) {
 	q, err := dns.Encode(dns.NewQuery(9, "host42.example.com"))
 	if err != nil {
@@ -220,6 +344,22 @@ func BenchmarkDNSCodec(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := dns.Decode(q, dns.MaxLabels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDNSQuestionView is the serving path's query parse: the
+// zero-copy QuestionView over the datagram. 0 B/op.
+func BenchmarkDNSQuestionView(b *testing.B) {
+	q, err := dns.Encode(dns.NewQuery(9, "host42.example.com"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v dns.QuestionView
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := dns.ParseQuestion(q, dns.MaxLabels, &v); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,10 @@
 // Command incdnsd is a runnable authoritative DNS UDP server (A records
 // only, like Emu DNS) built from the repository's wire codec and zone,
 // served by the shared sharded dataplane with the on-demand orchestrator
-// attached.
+// attached. Serving is allocation-free per query: answers come from the
+// zone's precompiled wire-answer cache (one copy plus an ID/flags patch),
+// lookups are case-insensitive without per-query lowering, and batched
+// mode resolves whole recvmmsg batches per handler call.
 //
 // Zone files are simple "name ipv4 [ttl]" lines:
 //

@@ -302,9 +302,30 @@ func request(proto string, id uint16, sampler *trafficgen.KeySampler) ([]byte, e
 		return memcache.EncodeFrame(memcache.Frame{RequestID: id, Total: 1},
 			memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: sampler.Next()})), nil
 	case "dns":
-		return dns.Encode(dns.NewQuery(id, dns.SequentialName(int(sampler.NextIndex()))))
+		// Mixed-case names exercise the server's case-insensitive fold
+		// path; an all-lowercase generator would never hit it and the
+		// fold cost would be invisible under load.
+		name := mixCase(dns.SequentialName(int(sampler.NextIndex())), uint64(id))
+		return dns.Encode(dns.NewQuery(id, name))
 	}
 	return nil, fmt.Errorf("unknown protocol %q", proto)
+}
+
+// mixCase upper-cases a deterministic, id-dependent subset of s's
+// letters (an xorshift over the id), so repeated queries for one name
+// arrive with varying case like real resolver traffic does.
+func mixCase(s string, seed uint64) string {
+	x := seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	b := []byte(s)
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if b[i] >= 'a' && b[i] <= 'z' && x&1 != 0 {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 func responseID(proto string, payload []byte) (uint16, bool) {

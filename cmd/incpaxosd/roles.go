@@ -36,12 +36,20 @@ type datagramWriter interface {
 }
 
 // sender returns a paxos.Sender transmitting through w, caching address
-// resolution per destination. w is read through the pointer on every
-// send, so a role can hand out its sender before the serving engine
-// exists (the engine needs the handler, the handler needs the sender).
+// resolution per destination and encoding into pooled buffers (UDP
+// writes copy into the kernel synchronously, so a buffer is free again
+// when WriteTo returns — fan-out stops allocating per message without
+// serializing concurrent shard workers' sends). w is read through the
+// pointer on every send, so a role can hand out its sender before the
+// serving engine exists (the engine needs the handler, the handler
+// needs the sender).
 func sender(w *datagramWriter) paxos.Sender {
 	var mu sync.Mutex
 	cache := map[string]*net.UDPAddr{}
+	bufs := sync.Pool{New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	}}
 	return func(to string, m paxos.Msg) {
 		mu.Lock()
 		dst := cache[to]
@@ -60,7 +68,11 @@ func sender(w *datagramWriter) paxos.Sender {
 			log.Printf("incpaxosd: send to %s before the engine is up; dropped", to)
 			return
 		}
-		if _, err := (*w).WriteTo(paxos.Encode(m), dst); err != nil {
+		bp := bufs.Get().(*[]byte)
+		*bp = paxos.AppendMsg((*bp)[:0], m)
+		_, err := (*w).WriteTo(*bp, dst)
+		bufs.Put(bp)
+		if err != nil {
 			log.Printf("incpaxosd: send to %s: %v", to, err)
 		}
 	}

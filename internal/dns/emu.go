@@ -67,12 +67,12 @@ func (e *EmuDNS) Zone() *Zone { return e.zone }
 // SyncZone refreshes the on-chip table from the backend's zone (the
 // application-specific transition task when shifting DNS to hardware).
 func (e *EmuDNS) SyncZone() {
-	e.zone = NewZone()
-	for _, name := range e.backend.Zone().Names() {
-		if rec, ok := e.backend.Zone().Lookup(name); ok {
-			e.zone.Add(name, rec.Addr, rec.TTL)
-		}
-	}
+	zone := NewZone()
+	e.backend.Zone().Range(func(name string, rec ARecord) bool {
+		zone.Add(name, rec.Addr, rec.TTL)
+		return true
+	})
+	e.zone = zone
 }
 
 // RateKpps is the DNS query rate seen by the classifier.

@@ -1,8 +1,3 @@
-// Package dns implements the DNS case study (§3.3): a real DNS wire codec
-// (header, question, A answers with name compression), an NSD-style
-// authoritative software server, and Emu DNS — the FPGA implementation
-// supporting non-recursive name -> IPv4 resolution, amended with the
-// packet classifier so the card also serves as a NIC.
 package dns
 
 import (
@@ -237,4 +232,102 @@ func Decode(msg []byte, depthLimit int) (Message, error) {
 // NewQuery builds a standard A/IN query for name.
 func NewQuery(id uint16, name string) Message {
 	return Message{ID: id, Name: name, QType: TypeA, QClass: ClassIN}
+}
+
+// --- zero-copy question parsing (the serving hot path) ---------------------
+
+// Codec errors specific to the view parser. A compressed question name is
+// not malformed — callers fall back to the allocating Decode path (the
+// host handler) or punt to the host (the NIC tier), matching the fixed
+// hardware pipeline that only parses inline labels.
+var (
+	ErrCompressedName = errors.New("dns: compressed question name")
+	errBadQDCount     = errors.New("dns: unsupported question count")
+)
+
+// QuestionView is a query parsed without copying: QName is the raw
+// wire-form question name (length-prefixed labels, including the root
+// terminator) aliasing the inbound datagram, valid only until the buffer
+// is reused. It carries exactly what the answer path needs — the ID and
+// flags to patch, the name to look up and echo, and the question-section
+// end offset for negative responses.
+type QuestionView struct {
+	ID     uint16
+	Flags  uint16
+	QName  []byte
+	QType  uint16
+	QClass uint16
+	// End is the offset just past the question section.
+	End int
+}
+
+// Response reports the QR bit — set on answers, which servers ignore.
+func (v *QuestionView) Response() bool { return v.Flags&flagQR != 0 }
+
+// RecDes reports the RD bit, echoed into responses.
+func (v *QuestionView) RecDes() bool { return v.Flags&flagRD != 0 }
+
+// ParseQuestion parses the header and question section of msg into v
+// without allocating. depthLimit bounds the label depth (0 = unlimited);
+// hardware callers pass MaxLabels and treat ErrNameTooDeep as a punt to
+// software. Compression pointers in the question name return
+// ErrCompressedName so callers can fall back to Decode. The answer
+// section, if any, is not parsed.
+func ParseQuestion(msg []byte, depthLimit int, v *QuestionView) error {
+	if len(msg) < 12 {
+		return ErrTruncatedMessage
+	}
+	if binary.BigEndian.Uint16(msg[4:]) != 1 {
+		return errBadQDCount
+	}
+	v.ID = binary.BigEndian.Uint16(msg[0:])
+	v.Flags = binary.BigEndian.Uint16(msg[2:])
+	off := 12
+	labels := 0
+	for {
+		if off >= len(msg) {
+			return ErrTruncatedMessage
+		}
+		l := int(msg[off])
+		if l == 0 {
+			off++
+			break
+		}
+		switch {
+		case l&0xC0 == 0xC0:
+			return ErrCompressedName
+		case l&0xC0 != 0:
+			return ErrBadName
+		}
+		if off+1+l > len(msg) {
+			return ErrTruncatedMessage
+		}
+		labels++
+		off += 1 + l
+	}
+	if depthLimit > 0 && labels > depthLimit {
+		return ErrNameTooDeep
+	}
+	if off+4 > len(msg) {
+		return ErrTruncatedMessage
+	}
+	v.QName = msg[12:off]
+	v.QType = binary.BigEndian.Uint16(msg[off:])
+	v.QClass = binary.BigEndian.Uint16(msg[off+2:])
+	v.End = off + 4
+	return nil
+}
+
+// AppendNoAnswer appends a no-answer response (NXDOMAIN, NOTIMPL) for the
+// query msg parsed into v: the response header followed by the question
+// section echoed verbatim from the inbound datagram. It allocates nothing
+// beyond dst's growth.
+func AppendNoAnswer(dst, msg []byte, v *QuestionView, rcode int) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, v.ID)
+	dst = binary.BigEndian.AppendUint16(dst, flagQR|flagAA|v.Flags&flagRD|uint16(rcode&0xF))
+	dst = binary.BigEndian.AppendUint16(dst, 1) // QDCOUNT
+	dst = binary.BigEndian.AppendUint16(dst, 0) // ANCOUNT
+	dst = binary.BigEndian.AppendUint16(dst, 0) // NSCOUNT
+	dst = binary.BigEndian.AppendUint16(dst, 0) // ARCOUNT
+	return append(dst, msg[12:v.End]...)
 }

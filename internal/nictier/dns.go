@@ -2,10 +2,9 @@ package nictier
 
 import (
 	"net/netip"
-	"strings"
-	"sync"
 	"sync/atomic"
 
+	"incod/internal/dataplane"
 	"incod/internal/dns"
 	"incod/internal/fpga"
 	"incod/internal/telemetry"
@@ -17,11 +16,17 @@ import (
 // the client that it cannot resolve the name"). Non-A/IN questions and
 // stray responses fall through to the host handler, like the hardware
 // classifier punting what the pipeline does not support.
+//
+// The tier syncs precompiled wire images, not ARecords: Warm snapshots
+// the zone's wire-answer cache (sharing the immutable per-record
+// response datagrams), so a tier answer is the same one-copy-and-patch
+// as the host's and byte-identical to it. The installed table is an
+// atomic pointer — the tier's epoch — which the batch path loads once
+// per batch instead of once per datagram.
 type DNSTier struct {
 	zone *dns.Zone
 
-	mu     sync.RWMutex
-	table  map[string]dns.ARecord
+	table  atomic.Pointer[dns.AnswerTable] // nil while parked or unwarmed
 	active atomic.Bool
 	meter  *telemetry.AtomicRateMeter
 
@@ -31,6 +36,9 @@ type DNSTier struct {
 	passthrough *atomic.Uint64
 	synced      *atomic.Uint64
 }
+
+var _ dataplane.FastPath = (*DNSTier)(nil)
+var _ dataplane.BatchFastPath = (*DNSTier)(nil)
 
 // NewDNS returns an Emu-DNS-style tier synced from zone.
 func NewDNS(zone *dns.Zone) *DNSTier {
@@ -82,80 +90,103 @@ func (t *DNSTier) Stage() error {
 	return nil
 }
 
-// Warm implements Tier: the zone sync — snapshot every record into the
-// tier's own answer table while the host keeps serving.
+// Warm implements Tier: the zone sync — snapshot the zone's wire-answer
+// cache into the tier's own table while the host keeps serving. One map
+// copy; the precompiled images are shared, immutable.
 func (t *DNSTier) Warm() error {
-	table := make(map[string]dns.ARecord, t.zone.Len())
-	t.zone.Range(func(name string, r dns.ARecord) bool {
-		table[name] = r
-		return true
-	})
-	t.mu.Lock()
-	t.table = table
-	t.mu.Unlock()
-	t.synced.Store(uint64(len(table)))
+	table := t.zone.WireAnswers()
+	t.table.Store(table)
+	t.synced.Store(uint64(table.Len()))
 	return nil
 }
 
 // Park implements Tier: drop the table (park-reset; state lost).
 func (t *DNSTier) Park() error {
 	t.active.Store(false)
-	t.mu.Lock()
-	t.table = nil
-	t.mu.Unlock()
+	t.table.Store(nil)
 	return nil
 }
 
-// TryHandleDatagram implements dataplane.FastPath.
-func (t *DNSTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scratch *[]byte) ([]byte, bool, bool) {
-	q, err := dns.Decode(in, dns.MaxLabels)
-	if err != nil || q.Response {
-		// Malformed or stray response: host path semantics apply.
-		t.passthrough.Add(1)
-		return nil, false, false
+// serve verdicts. Classified queries (those the pipeline parsed and
+// metered) are below tierUnparsed; only answered and nxdomain are served
+// by the tier, the rest fall through to the host.
+const (
+	tierAnswered = iota
+	tierNXDomain
+	tierPunted   // parsed A/IN-incapable or pre-warm: metered, host serves
+	tierUnparsed // malformed, compressed, too deep, or a stray response
+	tierVerdicts
+)
+
+// serve answers one query from table (already loaded for the batch).
+// served=false falls through to the host.
+func (t *DNSTier) serve(table *dns.AnswerTable, in []byte, scratch *[]byte) (out []byte, served bool, verdict int) {
+	var v dns.QuestionView
+	if err := dns.ParseQuestion(in, dns.MaxLabels, &v); err != nil || v.Response() {
+		// Malformed, compressed or too deep for the fixed pipeline, or a
+		// stray response: host path semantics apply.
+		return nil, false, tierUnparsed
 	}
-	t.meter.Add(1)
-	if q.QType != dns.TypeA || q.QClass != dns.ClassIN {
+	if v.QType != dns.TypeA || v.QClass != dns.ClassIN {
 		// Beyond the pipeline: punt to the host software.
-		t.passthrough.Add(1)
-		return nil, false, false
+		return nil, false, tierPunted
 	}
-	t.mu.RLock()
-	table := t.table
-	t.mu.RUnlock()
 	if table == nil {
 		// Not yet warmed: the host zone answers.
-		t.passthrough.Add(1)
-		return nil, false, false
+		return nil, false, tierPunted
 	}
-	resp := dns.Message{
-		ID:        q.ID,
-		Response:  true,
-		Authority: true,
-		RecDes:    q.RecDes,
-		Name:      q.Name,
-		QType:     q.QType,
-		QClass:    q.QClass,
+	if a, ok := table.Lookup(v.QName); ok {
+		*scratch = a.AppendReply((*scratch)[:0], &v)
+		return *scratch, true, tierAnswered
 	}
-	rec, ok := table[q.Name]
-	if !ok {
-		// Zone names are stored lowercased; retry case-folded.
-		rec, ok = table[strings.ToLower(q.Name)]
+	*scratch = dns.AppendNoAnswer((*scratch)[:0], in, &v, dns.RCodeNXDomain)
+	return *scratch, true, tierNXDomain
+}
+
+func (t *DNSTier) count(verdict int, n uint64) {
+	if n == 0 {
+		return
 	}
-	if ok {
-		t.answered.Add(1)
-		resp.HasAnswer = true
-		resp.Addr = rec.Addr
-		resp.TTL = rec.TTL
-	} else {
-		t.nxdomain.Add(1)
-		resp.RCode = dns.RCodeNXDomain
+	switch verdict {
+	case tierAnswered:
+		t.answered.Add(n)
+	case tierNXDomain:
+		t.nxdomain.Add(n)
+	default:
+		t.passthrough.Add(n)
 	}
-	out, err := dns.AppendMessage((*scratch)[:0], resp)
-	if err != nil {
-		t.passthrough.Add(1)
-		return nil, false, false
+}
+
+// TryHandleDatagram implements dataplane.FastPath. The answer and
+// NXDOMAIN paths do no heap allocation.
+func (t *DNSTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scratch *[]byte) ([]byte, bool, bool) {
+	out, served, verdict := t.serve(t.table.Load(), in, scratch)
+	if verdict < tierUnparsed {
+		t.meter.Add(1)
 	}
-	*scratch = out
-	return out, true, true
+	t.count(verdict, 1)
+	return out, served, served
+}
+
+// TryHandleBatch implements dataplane.BatchFastPath: the installed table
+// — the tier's epoch — is loaded once for the whole batch, and the meter
+// and counters are bumped once per batch; each item then takes the same
+// classification as TryHandleDatagram.
+func (t *DNSTier) TryHandleBatch(items []*dataplane.BatchItem) {
+	table := t.table.Load()
+	var counts [tierVerdicts]uint64
+	for _, it := range items {
+		out, served, verdict := t.serve(table, it.In, it.Scratch)
+		counts[verdict]++
+		if served {
+			it.Served = true
+			it.Out = out
+		}
+	}
+	if classified := counts[tierAnswered] + counts[tierNXDomain] + counts[tierPunted]; classified > 0 {
+		t.meter.Add(classified)
+	}
+	for verdict, n := range counts {
+		t.count(verdict, n)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"incod/internal/dataplane"
 	"incod/internal/fpga"
 	"incod/internal/paxos"
 	"incod/internal/telemetry"
@@ -34,6 +35,8 @@ type PaxosAcceptorTier struct {
 }
 
 var _ paxos.AcceptorDelegate = (*PaxosAcceptorTier)(nil)
+var _ dataplane.FastPath = (*PaxosAcceptorTier)(nil)
+var _ dataplane.BatchFastPath = (*PaxosAcceptorTier)(nil)
 
 // NewPaxosAcceptor returns a tier that can take over host's acceptor
 // state. Vote fan-out reuses the host role's learner list and sender.
@@ -121,12 +124,6 @@ func (t *PaxosAcceptorTier) Park() error {
 // the state. Called with the host role's mutex held (lock order: role,
 // then tier).
 func (t *PaxosAcceptorTier) ProcessDelegated(m paxos.Msg) (paxos.Msg, bool) {
-	return t.process(m)
-}
-
-// process applies the acceptor rules on the tier's table and fans votes
-// out to the learners.
-func (t *PaxosAcceptorTier) process(m paxos.Msg) (paxos.Msg, bool) {
 	t.mu.Lock()
 	if t.table == nil {
 		t.mu.Unlock()
@@ -134,10 +131,15 @@ func (t *PaxosAcceptorTier) process(m paxos.Msg) (paxos.Msg, bool) {
 	}
 	resp, vote, ok := t.table.Process(m, t.host.ID())
 	t.mu.Unlock()
+	return t.finish(m.Type, resp, vote, ok)
+}
+
+// finish counts a processed message and fans a vote out to the learners.
+func (t *PaxosAcceptorTier) finish(typ paxos.MsgType, resp paxos.Msg, vote, ok bool) (paxos.Msg, bool) {
 	if !ok {
 		return paxos.Msg{}, false
 	}
-	switch m.Type {
+	switch typ {
 	case paxos.MsgPhase1A:
 		t.phase1.Add(1)
 	case paxos.MsgPhase2A:
@@ -152,23 +154,110 @@ func (t *PaxosAcceptorTier) process(m paxos.Msg) (paxos.Msg, bool) {
 	return resp, true
 }
 
-// TryHandleDatagram implements dataplane.FastPath.
+// TryHandleDatagram implements dataplane.FastPath. Like the host role,
+// the steady-state promise and re-vote paths decode a view over the
+// datagram, touch only retained table state and encode into the scratch
+// buffer — no heap allocation.
 func (t *PaxosAcceptorTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scratch *[]byte) ([]byte, bool, bool) {
-	m, err := paxos.Decode(in)
-	if err != nil {
+	var v paxos.MsgView
+	if paxos.DecodeView(in, &v) != nil {
 		t.passthrough.Add(1)
 		return nil, false, false
 	}
-	if m.Type != paxos.MsgPhase1A && m.Type != paxos.MsgPhase2A {
+	if v.Type != paxos.MsgPhase1A && v.Type != paxos.MsgPhase2A {
 		t.passthrough.Add(1)
 		return nil, false, false
 	}
 	t.meter.Add(1)
-	resp, ok := t.process(m)
-	if !ok {
+	t.mu.Lock()
+	if t.table == nil {
+		t.mu.Unlock()
 		// Not yet warmed: the host role still owns the state.
+		return nil, false, false
+	}
+	resp, vote, ok := t.table.ProcessView(&v, t.host.ID())
+	t.mu.Unlock()
+	if resp, ok = t.finish(v.Type, resp, vote, ok); !ok {
 		return nil, false, false
 	}
 	*scratch = paxos.AppendMsg((*scratch)[:0], resp)
 	return *scratch, true, true
+}
+
+// TryHandleBatch implements dataplane.BatchFastPath: the whole chunk of
+// consensus messages is processed under one acquisition of the tier's
+// lock — the per-batch epoch check is the same table-nil test the single
+// path does per datagram — with fan-out and reply encoding after the
+// lock is released, exactly like the batch form of the host role.
+func (t *PaxosAcceptorTier) TryHandleBatch(items []*dataplane.BatchItem) {
+	const chunk = 64
+	for off := 0; off < len(items); off += chunk {
+		t.handleChunk(items[off:min(off+chunk, len(items))])
+	}
+}
+
+func (t *PaxosAcceptorTier) handleChunk(items []*dataplane.BatchItem) {
+	var (
+		views [64]paxos.MsgView
+		resps [64]paxos.Msg
+		votes [64]bool
+		oks   [64]bool
+	)
+	classified := uint64(0)
+	passed := uint64(0)
+	for i, it := range items {
+		if paxos.DecodeView(it.In, &views[i]) != nil ||
+			(views[i].Type != paxos.MsgPhase1A && views[i].Type != paxos.MsgPhase2A) {
+			passed++
+			continue
+		}
+		classified++
+		oks[i] = true
+	}
+	if passed > 0 {
+		t.passthrough.Add(passed)
+	}
+	if classified == 0 {
+		return
+	}
+	t.meter.Add(classified)
+	t.mu.Lock()
+	if t.table == nil {
+		t.mu.Unlock()
+		// Not yet warmed: everything falls through to the host role.
+		return
+	}
+	for i := range items {
+		if oks[i] {
+			resps[i], votes[i], oks[i] = t.table.ProcessView(&views[i], t.host.ID())
+		}
+	}
+	t.mu.Unlock()
+	var p1, p2 uint64
+	send := t.host.Sender()
+	for i, it := range items {
+		if !oks[i] {
+			continue
+		}
+		if views[i].Type == paxos.MsgPhase1A {
+			p1++
+		} else {
+			p2++
+		}
+		if votes[i] {
+			for _, l := range t.host.Learners() {
+				send(l, resps[i])
+			}
+		}
+		out := paxos.AppendMsg((*it.Scratch)[:0], resps[i])
+		*it.Scratch = out
+		it.Served = true
+		it.Out = out
+	}
+	if p1 > 0 {
+		t.phase1.Add(p1)
+	}
+	if p2 > 0 {
+		t.phase2.Add(p2)
+	}
 }

@@ -1,0 +1,62 @@
+package paxos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode guards the codec pair behind the serving path: the
+// zero-copy DecodeView and the allocating Decode must accept exactly the
+// same inputs — short headers, truncated bodies and oversized declared
+// lengths included — agree on every field, and re-encode to the same
+// canonical bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(Msg{Type: MsgPhase2A, Instance: 9, Ballot: 3, ClientAddr: "client-1:9", Value: []byte("cmd")}))
+	f.Add(Encode(Msg{Type: MsgPhase2B, Instance: 1 << 40, Ballot: 7, VBallot: 6, NodeID: 2,
+		LastVoted: 99, ClientID: 5, Seq: 12345, ClientAddr: "pxclient-5", Value: []byte("hello")}))
+	short := Encode(Msg{Type: MsgPhase2B, Value: []byte("abcdef")})
+	f.Add(short[:len(short)-3]) // truncated value
+	overVal := Encode(Msg{Type: MsgPhase1A})
+	binary.BigEndian.PutUint16(overVal[39:], 60000) // valLen far past the buffer
+	f.Add(overVal)
+	overAddr := Encode(Msg{Type: MsgPhase1A})
+	binary.BigEndian.PutUint16(overAddr[37:], 0xFFFF) // addrLen far past the buffer
+	f.Add(overAddr)
+	f.Add([]byte{1, 2})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v MsgView
+		verr := DecodeView(data, &v)
+		m, merr := Decode(data)
+		if (verr == nil) != (merr == nil) {
+			t.Fatalf("DecodeView err=%v, Decode err=%v", verr, merr)
+		}
+		if merr != nil {
+			return
+		}
+		if m.Type != v.Type || m.Instance != v.Instance || m.Ballot != v.Ballot ||
+			m.VBallot != v.VBallot || m.NodeID != v.NodeID || m.LastVoted != v.LastVoted ||
+			m.ClientID != v.ClientID || m.Seq != v.Seq {
+			t.Fatalf("view %+v != msg %+v", v, m)
+		}
+		if string(v.ClientAddr) != string(m.ClientAddr) || !bytes.Equal(v.Value, m.Value) {
+			t.Fatalf("aliased fields diverged: view (%q, %q) msg (%q, %q)",
+				v.ClientAddr, v.Value, m.ClientAddr, m.Value)
+		}
+		// Both encoders produce the same canonical bytes, which round-trip.
+		enc := AppendMsgView(nil, &v)
+		if !bytes.Equal(enc, AppendMsg(nil, m)) {
+			t.Fatalf("AppendMsgView != AppendMsg")
+		}
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverged: %+v -> %+v", m, m2)
+		}
+	})
+}

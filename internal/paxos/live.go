@@ -65,22 +65,31 @@ func (t *AcceptorTable) Clone() *AcceptorTable {
 	return out
 }
 
-// Process applies the acceptor rules to m for the acceptor identity id.
-// ok=false means the message type is not for an acceptor. vote=true means
-// resp is a Phase2B that must also fan out to the learners (the caller
-// returns resp to the proposer either way).
-func (t *AcceptorTable) Process(m Msg, id uint16) (resp Msg, vote, ok bool) {
-	st := t.states[m.Instance]
+func (t *AcceptorTable) state(inst uint64) *liveVoteState {
+	st := t.states[inst]
 	if st == nil {
 		st = &liveVoteState{}
-		t.states[m.Instance] = st
+		t.states[inst] = st
 	}
-	switch m.Type {
+	return st
+}
+
+// ProcessView applies the acceptor rules to the decoded view v for the
+// acceptor identity id — the zero-copy form of Process. ok=false means
+// the message type is not for an acceptor. vote=true means resp is a
+// Phase2B that must also fan out to the learners (the caller returns
+// resp to the proposer either way). The one copy the rules require —
+// retaining a fresh 2A's value and client address past the datagram —
+// happens here; promises and re-votes allocate nothing, and resp's Value
+// aliases the retained state, which is written once and never mutated.
+func (t *AcceptorTable) ProcessView(v *MsgView, id uint16) (resp Msg, vote, ok bool) {
+	switch v.Type {
 	case MsgPhase1A:
-		if m.Ballot >= st.promised {
-			st.promised = m.Ballot
+		st := t.state(v.Instance)
+		if v.Ballot >= st.promised {
+			st.promised = v.Ballot
 		}
-		resp = Msg{Type: MsgPhase1B, Instance: m.Instance,
+		resp = Msg{Type: MsgPhase1B, Instance: v.Instance,
 			Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted}
 		if st.accepted {
 			resp.VBallot = st.vballot
@@ -88,23 +97,37 @@ func (t *AcceptorTable) Process(m Msg, id uint16) (resp Msg, vote, ok bool) {
 		}
 		return resp, false, true
 	case MsgPhase2A:
+		st := t.state(v.Instance)
 		if st.accepted {
-			return t.vote(m.Instance, st, id), true, true
+			return t.vote(v.Instance, st, id), true, true
 		}
-		if m.Ballot < st.promised {
-			return Msg{Type: MsgPhase1B, Instance: m.Instance,
+		if v.Ballot < st.promised {
+			return Msg{Type: MsgPhase1B, Instance: v.Instance,
 				Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted}, false, true
 		}
-		st.promised = m.Ballot
+		st.promised = v.Ballot
 		st.accepted = true
-		st.vballot = m.Ballot
-		st.m = m
-		if m.Instance > t.lastVoted {
-			t.lastVoted = m.Instance
+		st.vballot = v.Ballot
+		st.m = v.Msg() // the retention copy: state outlives the datagram
+		if v.Instance > t.lastVoted {
+			t.lastVoted = v.Instance
 		}
-		return t.vote(m.Instance, st, id), true, true
+		return t.vote(v.Instance, st, id), true, true
 	}
 	return Msg{}, false, false
+}
+
+// Process applies the acceptor rules to an already-materialized m — the
+// delegation and test-facing form of ProcessView.
+func (t *AcceptorTable) Process(m Msg, id uint16) (resp Msg, vote, ok bool) {
+	v := MsgView{
+		Type: m.Type, Instance: m.Instance,
+		Ballot: m.Ballot, VBallot: m.VBallot,
+		NodeID: m.NodeID, LastVoted: m.LastVoted,
+		ClientID: m.ClientID, Seq: m.Seq,
+		ClientAddr: []byte(m.ClientAddr), Value: m.Value,
+	}
+	return t.ProcessView(&v, id)
 }
 
 // vote builds the Phase2B for st.
@@ -145,6 +168,7 @@ type LiveAcceptor struct {
 }
 
 var _ dataplane.Handler = (*LiveAcceptor)(nil)
+var _ dataplane.BatchHandler = (*LiveAcceptor)(nil)
 
 // NewLiveAcceptor returns an acceptor with identity id voting to learners.
 func NewLiveAcceptor(id uint16, learners []string, send Sender) *LiveAcceptor {
@@ -189,10 +213,14 @@ func (a *LiveAcceptor) EndHandoff(t *AcceptorTable) {
 	a.delegate = nil
 }
 
-// HandleDatagram implements dataplane.Handler.
+// HandleDatagram implements dataplane.Handler. The steady-state paths —
+// a promise on a known instance, a re-vote on an accepted one — run
+// without heap allocation: DecodeView aliases the datagram, the reply
+// encodes into the scratch buffer, and only a fresh 2A pays the
+// retention copy.
 func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
-	m, err := Decode(in)
-	if err != nil {
+	var v MsgView
+	if DecodeView(in, &v) != nil {
 		return nil, false
 	}
 	a.mu.Lock()
@@ -200,14 +228,14 @@ func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool)
 		// The NIC tier owns the state; route this straggler there. The
 		// role's mutex is held across the call (lock order: role, then
 		// tier), keeping it ordered with BeginHandoff/EndHandoff.
-		resp, ok := d.ProcessDelegated(m)
+		resp, ok := d.ProcessDelegated(v.Msg())
 		a.mu.Unlock()
 		if !ok {
 			return nil, false
 		}
 		return a.reply(resp, scratch)
 	}
-	resp, vote, ok := a.table.Process(m, a.id)
+	resp, vote, ok := a.table.ProcessView(&v, a.id)
 	a.mu.Unlock()
 	if !ok {
 		return nil, false
@@ -223,6 +251,72 @@ func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool)
 func (a *LiveAcceptor) reply(m Msg, scratch *[]byte) ([]byte, bool) {
 	*scratch = AppendMsg((*scratch)[:0], m)
 	return *scratch, true
+}
+
+// liveBatchChunk is the unit of batch work for the live roles: per-chunk
+// scratch state lives in fixed stack arrays, like the KVS handler's.
+const liveBatchChunk = 64
+
+// HandleBatch implements dataplane.BatchHandler: the whole chunk is
+// processed under one acquisition of the role's mutex instead of one per
+// datagram, with decodes done before the lock and reply encoding plus
+// learner fan-out after it — the same pre/post ordering as the single
+// path. Replies built after unlock reference retained table state, which
+// is written once under the lock and never mutated.
+func (a *LiveAcceptor) HandleBatch(items []*dataplane.BatchItem) {
+	for off := 0; off < len(items); off += liveBatchChunk {
+		a.handleChunk(items[off:min(off+liveBatchChunk, len(items))])
+	}
+}
+
+func (a *LiveAcceptor) handleChunk(items []*dataplane.BatchItem) {
+	var (
+		views [liveBatchChunk]MsgView
+		resps [liveBatchChunk]Msg
+		votes [liveBatchChunk]bool
+		oks   [liveBatchChunk]bool
+	)
+	for i, it := range items {
+		oks[i] = DecodeView(it.In, &views[i]) == nil
+	}
+	a.mu.Lock()
+	if d := a.delegate; d != nil {
+		// Handoff in effect: stragglers route to the tier's copy, with
+		// the role mutex held across the chunk (lock order: role, tier).
+		for i := range items {
+			if oks[i] {
+				resps[i], oks[i] = d.ProcessDelegated(views[i].Msg())
+			}
+		}
+		a.mu.Unlock()
+		for i, it := range items {
+			if oks[i] {
+				out := AppendMsg((*it.Scratch)[:0], resps[i])
+				*it.Scratch = out
+				it.Out = out
+			}
+		}
+		return
+	}
+	for i := range items {
+		if oks[i] {
+			resps[i], votes[i], oks[i] = a.table.ProcessView(&views[i], a.id)
+		}
+	}
+	a.mu.Unlock()
+	for i, it := range items {
+		if !oks[i] {
+			continue
+		}
+		if votes[i] {
+			for _, l := range a.learners {
+				a.send(l, resps[i])
+			}
+		}
+		out := AppendMsg((*it.Scratch)[:0], resps[i])
+		*it.Scratch = out
+		it.Out = out
+	}
 }
 
 // --- leader ---------------------------------------------------------------
@@ -243,6 +337,7 @@ type LiveLeader struct {
 
 var _ dataplane.Handler = (*LiveLeader)(nil)
 var _ dataplane.SourceHandler = (*LiveLeader)(nil)
+var _ dataplane.BatchHandler = (*LiveLeader)(nil)
 
 // NewLiveLeader returns a leader proposing with ballot to acceptors.
 func NewLiveLeader(ballot uint32, acceptors []string, send Sender) *LiveLeader {
@@ -262,32 +357,56 @@ func (l *LiveLeader) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 }
 
 // HandleDatagramFrom implements dataplane.SourceHandler; the source backs
-// the client address when a request does not carry one.
+// the client address when a request does not carry one. The dominant
+// inbound stream — 1B/2B fast-forward feedback from the acceptors — is
+// handled entirely on the view, copying nothing.
 func (l *LiveLeader) HandleDatagramFrom(in []byte, from netip.AddrPort, _ *[]byte) ([]byte, bool) {
-	m, err := Decode(in)
-	if err != nil {
+	var v MsgView
+	if DecodeView(in, &v) != nil {
 		return nil, false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	switch m.Type {
+	l.applyView(&v, from)
+	return nil, false
+}
+
+// HandleBatch implements dataplane.BatchHandler: the batch's requests
+// are sequenced and proposed under a single acquisition of the leader's
+// mutex instead of one per datagram.
+func (l *LiveLeader) HandleBatch(items []*dataplane.BatchItem) {
+	var v MsgView
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, it := range items {
+		if DecodeView(it.In, &v) == nil {
+			l.applyView(&v, it.Src)
+		}
+	}
+}
+
+// applyView runs the leader rules for one decoded message. l.mu is held.
+// Proposals materialize the request's value and client address — the
+// Sender contract allows retention, so they must not alias the datagram.
+func (l *LiveLeader) applyView(v *MsgView, from netip.AddrPort) {
+	switch v.Type {
 	case MsgClientRequest:
 		inst := l.next
 		l.next++
-		clientAddr := m.ClientAddr
+		clientAddr := simnet.Addr(v.ClientAddr)
 		if clientAddr == "" && from.IsValid() {
 			clientAddr = simnet.Addr(from.String())
 		}
 		l.propose(Msg{Type: MsgPhase2A, Instance: inst, Ballot: l.ballot,
-			ClientID: m.ClientID, Seq: m.Seq, ClientAddr: clientAddr, Value: m.Value})
+			ClientID: v.ClientID, Seq: v.Seq, ClientAddr: clientAddr,
+			Value: append([]byte(nil), v.Value...)})
 	case MsgPhase2B, MsgPhase1B:
-		if m.LastVoted+1 > l.next {
-			l.next = m.LastVoted + 1
+		if v.LastVoted+1 > l.next {
+			l.next = v.LastVoted + 1
 		}
 	case MsgGapRequest:
-		l.propose(Msg{Type: MsgPhase2A, Instance: m.Instance, Ballot: l.ballot, Value: NoOp})
+		l.propose(Msg{Type: MsgPhase2A, Instance: v.Instance, Ballot: l.ballot, Value: NoOp})
 	}
-	return nil, false
 }
 
 func (l *LiveLeader) propose(m Msg) {
@@ -374,50 +493,100 @@ func (l *LiveLearner) requestGaps() {
 	}
 }
 
-// HandleDatagram implements dataplane.Handler.
-func (l *LiveLearner) HandleDatagram(in []byte, _ *[]byte) ([]byte, bool) {
-	m, err := Decode(in)
-	if err != nil || m.Type != MsgPhase2B {
-		return nil, false
+var _ dataplane.BatchHandler = (*LiveLearner)(nil)
+
+// fold applies one Phase2B vote to the quorum state, returning the
+// decision to emit when the vote completes a quorum. l.mu is held. Votes
+// for already-decided instances return before the retention copy, so the
+// duplicate-vote steady state allocates nothing.
+func (l *LiveLearner) fold(v *MsgView) (decision Msg, decided bool) {
+	if l.decided[v.Instance] {
+		return Msg{}, false
 	}
-	l.mu.Lock()
-	if l.decided[m.Instance] {
-		l.mu.Unlock()
-		return nil, false
-	}
-	byNode := l.votes[m.Instance]
+	byNode := l.votes[v.Instance]
 	if byNode == nil {
 		byNode = make(map[uint16]Msg)
-		l.votes[m.Instance] = byNode
+		l.votes[v.Instance] = byNode
 	}
-	byNode[m.NodeID] = m
+	byNode[v.NodeID] = v.Msg() // retention copy: the vote outlives the datagram
 	var best uint32
-	for _, v := range byNode {
-		if v.VBallot > best {
-			best = v.VBallot
+	for _, m := range byNode {
+		if m.VBallot > best {
+			best = m.VBallot
 		}
 	}
 	agree := 0
 	var chosen Msg
-	for _, v := range byNode {
-		if v.VBallot == best {
+	for _, m := range byNode {
+		if m.VBallot == best {
 			agree++
-			chosen = v
+			chosen = m
 		}
 	}
 	if agree < l.quorum {
-		l.mu.Unlock()
+		return Msg{}, false
+	}
+	l.decided[v.Instance] = true
+	delete(l.votes, v.Instance)
+	if v.Instance > l.highest {
+		l.highest = v.Instance
+	}
+	return Msg{Type: MsgDecision, Instance: v.Instance,
+		ClientID: chosen.ClientID, Seq: chosen.Seq,
+		ClientAddr: chosen.ClientAddr, Value: chosen.Value}, true
+}
+
+// emit routes a decision back to the client carried in the winning vote.
+func (l *LiveLearner) emit(decision Msg) {
+	if decision.ClientAddr != "" {
+		to := string(decision.ClientAddr)
+		decision.ClientAddr = ""
+		l.send(to, decision)
+	}
+}
+
+// HandleDatagram implements dataplane.Handler.
+func (l *LiveLearner) HandleDatagram(in []byte, _ *[]byte) ([]byte, bool) {
+	var v MsgView
+	if DecodeView(in, &v) != nil || v.Type != MsgPhase2B {
 		return nil, false
 	}
-	l.decided[m.Instance] = true
-	delete(l.votes, m.Instance)
-	if m.Instance > l.highest {
-		l.highest = m.Instance
-	}
+	l.mu.Lock()
+	decision, decided := l.fold(&v)
 	l.mu.Unlock()
-	if chosen.ClientAddr != "" {
-		l.send(string(chosen.ClientAddr), Msg{Type: MsgDecision,
-			Instance: m.Instance, ClientID: chosen.ClientID, Seq: chosen.Seq, Value: chosen.Value})
+	if decided {
+		l.emit(decision)
 	}
 	return nil, false
+}
+
+// HandleBatch implements dataplane.BatchHandler: a whole chunk of 2B
+// votes folds into the quorum map under one acquisition of the learner's
+// mutex, with the resulting decisions emitted after it is released —
+// through the same Sender (and so the engine's batched WriteTo path) as
+// the single form.
+func (l *LiveLearner) HandleBatch(items []*dataplane.BatchItem) {
+	for off := 0; off < len(items); off += liveBatchChunk {
+		l.foldChunk(items[off:min(off+liveBatchChunk, len(items))])
+	}
+}
+
+func (l *LiveLearner) foldChunk(items []*dataplane.BatchItem) {
+	var decisions [liveBatchChunk]Msg
+	var v MsgView
+	n := 0
+	l.mu.Lock()
+	for _, it := range items {
+		if DecodeView(it.In, &v) != nil || v.Type != MsgPhase2B {
+			continue
+		}
+		if decision, decided := l.fold(&v); decided {
+			decisions[n] = decision
+			n++
+		}
+	}
+	l.mu.Unlock()
+	for i := 0; i < n; i++ {
+		l.emit(decisions[i])
+	}
 }

@@ -111,26 +111,86 @@ func AppendMsg(dst []byte, m Msg) []byte {
 	return b
 }
 
-// Decode parses a Paxos datagram.
-func Decode(b []byte) (Msg, error) {
+// MsgView is Msg decoded without copying: ClientAddr and Value alias the
+// inbound datagram and are valid only until the buffer is reused — the
+// serving hot path's decode. State that must outlive the datagram (an
+// acceptor's retained vote, a learner's quorum entry) is materialized
+// with Msg(), which performs the copies the plain Decode would have done
+// up front for every message.
+type MsgView struct {
+	Type       MsgType
+	Instance   uint64
+	Ballot     uint32
+	VBallot    uint32
+	NodeID     uint16
+	LastVoted  uint64
+	ClientID   uint16
+	Seq        uint64
+	ClientAddr []byte
+	Value      []byte
+}
+
+// DecodeView parses a Paxos datagram into v without allocating.
+func DecodeView(b []byte, v *MsgView) error {
 	if len(b) < headerSize {
-		return Msg{}, ErrShortMessage
+		return ErrShortMessage
 	}
-	var m Msg
-	m.Type = MsgType(b[0])
-	m.Instance = binary.BigEndian.Uint64(b[1:])
-	m.Ballot = binary.BigEndian.Uint32(b[9:])
-	m.VBallot = binary.BigEndian.Uint32(b[13:])
-	m.NodeID = binary.BigEndian.Uint16(b[17:])
-	m.LastVoted = binary.BigEndian.Uint64(b[19:])
-	m.ClientID = binary.BigEndian.Uint16(b[27:])
-	m.Seq = binary.BigEndian.Uint64(b[29:])
+	v.Type = MsgType(b[0])
+	v.Instance = binary.BigEndian.Uint64(b[1:])
+	v.Ballot = binary.BigEndian.Uint32(b[9:])
+	v.VBallot = binary.BigEndian.Uint32(b[13:])
+	v.NodeID = binary.BigEndian.Uint16(b[17:])
+	v.LastVoted = binary.BigEndian.Uint64(b[19:])
+	v.ClientID = binary.BigEndian.Uint16(b[27:])
+	v.Seq = binary.BigEndian.Uint64(b[29:])
 	addrLen := int(binary.BigEndian.Uint16(b[37:]))
 	valLen := int(binary.BigEndian.Uint16(b[39:]))
 	if len(b) < headerSize+addrLen+valLen {
-		return Msg{}, ErrShortMessage
+		return ErrShortMessage
 	}
-	m.ClientAddr = simnet.Addr(b[headerSize : headerSize+addrLen])
-	m.Value = append([]byte(nil), b[headerSize+addrLen:headerSize+addrLen+valLen]...)
-	return m, nil
+	v.ClientAddr = b[headerSize : headerSize+addrLen]
+	v.Value = b[headerSize+addrLen : headerSize+addrLen+valLen]
+	return nil
+}
+
+// Msg materializes the view into a standalone Msg, copying the aliased
+// ClientAddr and Value out of the datagram buffer.
+func (v *MsgView) Msg() Msg {
+	return Msg{
+		Type: v.Type, Instance: v.Instance,
+		Ballot: v.Ballot, VBallot: v.VBallot,
+		NodeID: v.NodeID, LastVoted: v.LastVoted,
+		ClientID: v.ClientID, Seq: v.Seq,
+		ClientAddr: simnet.Addr(v.ClientAddr),
+		Value:      append([]byte(nil), v.Value...),
+	}
+}
+
+// AppendMsgView is AppendMsg for a view, without materializing it.
+func AppendMsgView(dst []byte, v *MsgView) []byte {
+	b := dst
+	b = append(b, byte(v.Type))
+	b = binary.BigEndian.AppendUint64(b, v.Instance)
+	b = binary.BigEndian.AppendUint32(b, v.Ballot)
+	b = binary.BigEndian.AppendUint32(b, v.VBallot)
+	b = binary.BigEndian.AppendUint16(b, v.NodeID)
+	b = binary.BigEndian.AppendUint64(b, v.LastVoted)
+	b = binary.BigEndian.AppendUint16(b, v.ClientID)
+	b = binary.BigEndian.AppendUint64(b, v.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v.ClientAddr)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v.Value)))
+	b = append(b, v.ClientAddr...)
+	b = append(b, v.Value...)
+	return b
+}
+
+// Decode parses a Paxos datagram into a standalone Msg (DecodeView plus
+// the retention copies). The serving paths use DecodeView and copy only
+// what they keep.
+func Decode(b []byte) (Msg, error) {
+	var v MsgView
+	if err := DecodeView(b, &v); err != nil {
+		return Msg{}, err
+	}
+	return v.Msg(), nil
 }

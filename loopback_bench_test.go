@@ -1,0 +1,159 @@
+package incod
+
+// Per-protocol loopback throughput benches: each serves its real daemon
+// handler through the batched per-shard-socket engine (reuseport +
+// recvmmsg/sendmmsg, the incdnsd/inckvsd/incpaxosd -sockets mode) on
+// 127.0.0.1 and reports achieved reply kpps from windowed batched
+// clients — the numbers scripts/bench.sh commits to the BENCH_*.json
+// trajectory. The client I/O cost is identical across protocols, so the
+// spread between them is the handlers'.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"incod/internal/dataplane"
+	"incod/internal/dns"
+	"incod/internal/kvs"
+	"incod/internal/memcache"
+	"incod/internal/netio"
+	"incod/internal/paxos"
+)
+
+const (
+	loopbackShards  = 4
+	loopbackClients = 4 * loopbackShards
+)
+
+// benchProtoLoopback blasts reqs (cycled per client) at a batched engine
+// serving h and reports achieved reply throughput. Each client keeps one
+// 32-message window in flight so server-side loss costs a bounded
+// timeout instead of skewing the numbers.
+func benchProtoLoopback(b *testing.B, h dataplane.Handler, cfg dataplane.Config, reqs [][]byte) {
+	conns, err := netio.ListenReusePortGroup("udp4", "127.0.0.1:0", loopbackShards)
+	if err != nil {
+		b.Skipf("reuseport group unavailable: %v", err)
+	}
+	e := dataplane.NewBatched(conns, h, cfg)
+	e.Start()
+	defer e.Close()
+	addr := e.LocalAddr().String()
+	per := b.N/loopbackClients + 1
+	var replies atomic.Uint64
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < loopbackClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("udp", addr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer conn.Close()
+			bc := netio.NewBatchConn(conn.(*net.UDPConn))
+			const window = 32
+			tx := make([]netio.Message, 0, window)
+			rx := make([]netio.Message, window)
+			for i := range rx {
+				rx[i].Buf = make([]byte, 2048)
+			}
+			next := 0
+			for sent := 0; sent < per; {
+				n := min(window, per-sent)
+				tx = tx[:0]
+				for k := 0; k < n; k++ {
+					r := reqs[next%len(reqs)]
+					next++
+					tx = append(tx, netio.Message{Buf: r, N: len(r)})
+				}
+				if _, err := bc.WriteBatch(tx); err != nil {
+					b.Error(err)
+					return
+				}
+				sent += n
+				got := 0
+				deadline := time.Now().Add(200 * time.Millisecond)
+				for got < n {
+					_ = bc.SetReadDeadline(deadline)
+					m, err := bc.ReadBatch(rx)
+					if err != nil {
+						break // timeout: count the loss and move on
+					}
+					got += m
+				}
+				replies.Add(uint64(got))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(replies.Load())/elapsed.Seconds()/1000, "achieved-kpps")
+	}
+	b.ReportMetric(float64(replies.Load())/float64(loopbackClients*per)*100, "answered-%")
+}
+
+// BenchmarkLoopbackBatchedKVS: framed memcached GET hits through the
+// batched engine, kvs.Handler.HandleBatch and ShardedStore.GetBatch.
+func BenchmarkLoopbackBatchedKVS(b *testing.B) {
+	h := kvs.NewHandler(kvs.NewShardedStore(loopbackShards, 0))
+	scratch := make([]byte, 0, 4096)
+	reqs := make([][]byte, 64)
+	for i := range reqs {
+		key := fmt.Sprintf("key-%d", i)
+		set := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+			memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: key, Value: []byte("value-abcdef")}))
+		if _, ok := h.HandleDatagram(set, &scratch); !ok {
+			b.Fatal("preload failed")
+		}
+		reqs[i] = memcache.EncodeFrame(memcache.Frame{RequestID: uint16(i), Total: 1},
+			memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: key}))
+	}
+	benchProtoLoopback(b, h, dataplane.Config{Name: "bench-kvs"}, reqs)
+}
+
+// BenchmarkLoopbackBatchedDNS: mixed-case A queries answered from the
+// precompiled wire cache through dns.Handler.HandleBatch.
+func BenchmarkLoopbackBatchedDNS(b *testing.B) {
+	zone := dns.NewZone()
+	zone.PopulateSequential(64)
+	h := dns.NewHandler(zone)
+	reqs := make([][]byte, 64)
+	for i := range reqs {
+		name := dns.SequentialName(i)
+		if i%2 == 1 {
+			name = "HOST" + name[4:] // exercise the fold path under load
+		}
+		q, err := dns.Encode(dns.NewQuery(uint16(i), name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = q
+	}
+	benchProtoLoopback(b, h, dataplane.Config{Name: "bench-dns", MaxDatagram: 4096}, reqs)
+}
+
+// BenchmarkLoopbackBatchedPaxos: steady-state Phase2A re-votes answered
+// with 2Bs through paxos.LiveAcceptor.HandleBatch (no learner fan-out,
+// so the measured path is decode -> table -> encode).
+func BenchmarkLoopbackBatchedPaxos(b *testing.B) {
+	a := paxos.NewLiveAcceptor(1, nil, func(string, paxos.Msg) {})
+	scratch := make([]byte, 0, 4096)
+	reqs := make([][]byte, 64)
+	for i := range reqs {
+		reqs[i] = paxos.Encode(paxos.Msg{Type: paxos.MsgPhase2A, Instance: uint64(i + 1),
+			Ballot: 3, Seq: uint64(i), ClientAddr: "client-1:2345", Value: []byte("value-of-modest-size")})
+		if _, ok := a.HandleDatagram(reqs[i], &scratch); !ok {
+			b.Fatal("seed vote failed")
+		}
+	}
+	benchProtoLoopback(b, a, dataplane.Config{Name: "bench-paxos", MaxDatagram: 4096}, reqs)
+}
