@@ -88,6 +88,7 @@ func main() {
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "dns", Policy: *policy, CrossKpps: *crossKpps,
 		Curve: power.NSDServer, CtrlAddr: *ctrl, Service: tierSvc,
+		Ready: eng.Running,
 	})
 	if err != nil {
 		log.Fatalf("incdnsd: %v", err)

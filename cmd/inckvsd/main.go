@@ -70,6 +70,7 @@ func main() {
 	orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 		Name: "kvs", Policy: *policy, CrossKpps: *crossKpps,
 		Curve: power.MemcachedMellanox, CtrlAddr: *ctrl, Service: tierSvc,
+		Ready: eng.Running,
 	})
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)

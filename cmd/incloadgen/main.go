@@ -1,11 +1,12 @@
-// Command incloadgen drives real-UDP load against inckvsd or incdnsd — a
-// software stand-in for the paper's OSNT traffic generator: open-loop
-// paced load, Zipf key popularity, and client-side achieved-rate and
-// latency reporting, so the 1-shard vs N-shard dataplane speedup is
-// measurable from the CLI.
+// Command incloadgen drives real-UDP load against inckvsd, incdnsd or an
+// incpaxosd acceptor — a software stand-in for the paper's OSNT traffic
+// generator: open-loop paced load, Zipf key popularity, and client-side
+// achieved-rate and latency reporting, so the 1-shard vs N-shard
+// dataplane speedup is measurable from the CLI.
 //
 //	incloadgen -proto kvs -target localhost:11211 -rate 50000 -keys 1000 -duration 5s
 //	incloadgen -proto dns -target localhost:5353  -rate 20000 -keys 16   -duration 5s
+//	incloadgen -proto paxos -target localhost:7000 -rate 20000 -duration 5s
 //
 // A phased profile exercises shift-up and shift-down in one run — ramp
 // across the placement threshold, hold above it, drop back under it —
@@ -21,14 +22,23 @@
 //	incloadgen: offered 50000 req/s for 5s
 //	incloadgen: sent 250000 (50.0 kpps), answered 249875 (50.0 kpps, 99.9%), bad 0
 //	incloadgen: latency p50=212µs p99=1.1ms max=3.2ms
+//
+// Worker mode for fleet controllers: -report <path> writes the final
+// achieved/answered/latency/error numbers as JSON on exit (even when the
+// run aborts — the error is recorded in the report), -quiet suppresses
+// the per-phase chatter, and the exit code is nonzero whenever socket
+// setup or a mid-run send fails, so an orchestrating process never
+// mistakes a dead generator for an idle one.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,12 +47,39 @@ import (
 	"incod/internal/dns"
 	"incod/internal/memcache"
 	"incod/internal/netio"
+	"incod/internal/paxos"
 	"incod/internal/telemetry"
 	"incod/internal/trafficgen"
 )
 
+// RunReport is the machine-readable end-of-run summary behind -report.
+// Fleet controllers parse it to verify the offered load arrived and to
+// count wrong answers (Bad: replies that failed to decode).
+type RunReport struct {
+	Proto  string `json:"proto"`
+	Target string `json:"target"`
+	Phases int    `json:"phases"`
+
+	Sent        uint64 `json:"sent"`
+	Answered    uint64 `json:"answered"`
+	Bad         uint64 `json:"bad"`
+	Outstanding int    `json:"outstanding"`
+
+	SendSeconds  float64 `json:"send_seconds"`
+	AchievedKpps float64 `json:"achieved_kpps"`
+	AnsweredKpps float64 `json:"answered_kpps"`
+
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	MaxMicros float64 `json:"max_us"`
+
+	// Error is non-empty when the run aborted (socket setup or a mid-run
+	// send failure); the process also exits nonzero.
+	Error string `json:"error,omitempty"`
+}
+
 func main() {
-	proto := flag.String("proto", "kvs", "protocol: kvs | dns")
+	proto := flag.String("proto", "kvs", "protocol: kvs | dns | paxos (Phase2A votes against an acceptor)")
 	target := flag.String("target", "localhost:11211", "server address")
 	rate := flag.Float64("rate", 1000, "offered requests per second")
 	duration := flag.Duration("duration", 5*time.Second, "run duration")
@@ -54,32 +91,67 @@ func main() {
 	txBatch := flag.Int("txbatch", 32, "requests sent per sendmmsg batch")
 	profile := flag.String("profile", "",
 		"phased load, comma-separated: ramp:<from>-<to>:<dur> | hold:<rate>:<dur> | spike:<rate>:<dur>; overrides -rate/-duration")
+	reportPath := flag.String("report", "", "write the final run report as JSON to this path on exit")
+	quiet := flag.Bool("quiet", false, "suppress per-phase progress logs (final summary still printed)")
 	flag.Parse()
 
-	phases, err := parseProfile(*profile, *rate, *duration)
+	rep, err := run(*proto, *target, *rate, *duration, *keys, *preload,
+		*sockets, *rxBatch, *txBatch, *profile, *quiet)
 	if err != nil {
-		log.Fatalf("incloadgen: %v", err)
+		rep.Error = err.Error()
+		log.Printf("incloadgen: %v", err)
 	}
-	if *sockets < 1 {
-		*sockets = 1
+	if *reportPath != "" {
+		if werr := writeReport(*reportPath, rep); werr != nil {
+			log.Printf("incloadgen: write report: %v", werr)
+			os.Exit(1)
+		}
 	}
-	if *rxBatch < 1 {
-		*rxBatch = 1
+	if err != nil {
+		os.Exit(1)
 	}
-	if *txBatch < 1 {
-		*txBatch = 1
+}
+
+func writeReport(path string, rep *RunReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// run drives the whole load session and always returns a report with
+// whatever was achieved — on error the caller records it and exits
+// nonzero instead of silently reporting 0 kpps.
+func run(proto, target string, rate float64, duration time.Duration, keys uint64,
+	preload bool, sockets, rxBatch, txBatch int, profile string, quiet bool) (*RunReport, error) {
+	rep := &RunReport{Proto: proto, Target: target}
+
+	phases, err := parseProfile(profile, rate, duration)
+	if err != nil {
+		return rep, err
+	}
+	rep.Phases = len(phases)
+	if sockets < 1 {
+		sockets = 1
+	}
+	if rxBatch < 1 {
+		rxBatch = 1
+	}
+	if txBatch < 1 {
+		txBatch = 1
 	}
 
 	// One connected socket per flow: distinct source ports make a
 	// reuseport server spread the load across its shard sockets, and
 	// every socket gets batched send/recv so the generator can offer
 	// more than the server's single-reader mode can absorb.
-	conns := make([]net.Conn, *sockets)
-	bconns := make([]netio.BatchConn, *sockets)
+	conns := make([]net.Conn, sockets)
+	bconns := make([]netio.BatchConn, sockets)
 	for i := range conns {
-		c, err := net.Dial("udp", *target)
+		c, err := net.Dial("udp", target)
 		if err != nil {
-			log.Fatalf("incloadgen: %v", err)
+			return rep, fmt.Errorf("dial %s: %w", target, err)
 		}
 		defer c.Close()
 		conns[i] = c
@@ -87,11 +159,12 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	sampler := trafficgen.NewZipfKeys(rng, *keys, 1.06)
+	sampler := trafficgen.NewZipfKeys(rng, keys, 1.06)
 
-	// In-flight requests by wire id. Both protocols carry a uint16 id, so
-	// the id space wraps at high rates: an overwritten slot counts the
-	// older request as lost, which slightly overstates loss rather than
+	// In-flight requests by wire id. All protocols carry a 16-bit
+	// correlation id (paxos: the low bits of the instance), so the id
+	// space wraps at high rates: an overwritten slot counts the older
+	// request as lost, which slightly overstates loss rather than
 	// understating latency.
 	var mu sync.Mutex
 	sent := make(map[uint16]time.Time)
@@ -101,7 +174,7 @@ func main() {
 	// One batched receiver per socket.
 	for _, bc := range bconns {
 		go func(bc netio.BatchConn) {
-			ms := make([]netio.Message, *rxBatch)
+			ms := make([]netio.Message, rxBatch)
 			for i := range ms {
 				ms[i].Buf = make([]byte, 64*1024)
 			}
@@ -113,7 +186,7 @@ func main() {
 				now := time.Now()
 				mu.Lock()
 				for i := 0; i < n; i++ {
-					id, ok := responseID(*proto, ms[i].Buf[:ms[i].N])
+					id, ok := responseID(proto, ms[i].Buf[:ms[i].N])
 					if !ok {
 						errs++
 						continue
@@ -129,28 +202,32 @@ func main() {
 		}(bc)
 	}
 
-	if *proto == "kvs" && *preload {
-		for i := uint64(0); i < *keys; i++ {
+	if proto == "kvs" && preload {
+		for i := uint64(0); i < keys; i++ {
 			payload := memcache.EncodeFrame(memcache.Frame{RequestID: 0, Total: 1},
 				memcache.EncodeRequest(memcache.Request{
 					Op: memcache.OpSet, Key: fmt.Sprintf("key-%d", i), Value: []byte("value")}))
 			if _, err := conns[i%uint64(len(conns))].Write(payload); err != nil {
-				log.Fatalf("incloadgen: preload: %v", err)
+				return rep, fmt.Errorf("preload: %w", err)
 			}
 			if i%256 == 255 {
 				time.Sleep(time.Millisecond) // don't outrun the socket buffer
 			}
 		}
 		time.Sleep(200 * time.Millisecond)
-		log.Printf("incloadgen: preloaded %d keys", *keys)
+		if !quiet {
+			log.Printf("incloadgen: preloaded %d keys", keys)
+		}
 	}
 
 	var totalDur time.Duration
 	for _, ph := range phases {
 		totalDur += ph.dur
 	}
-	log.Printf("incloadgen: %s load on %s, %d phase(s) over %v (%d sockets, tx batch %d)",
-		*proto, *target, len(phases), totalDur, *sockets, *txBatch)
+	if !quiet {
+		log.Printf("incloadgen: %s load on %s, %d phase(s) over %v (%d sockets, tx batch %d)",
+			proto, target, len(phases), totalDur, sockets, txBatch)
+	}
 
 	// Open-loop pacer: every tick, send however many requests are due by
 	// now per the current phase's rate curve, in sendmmsg batches rotated
@@ -160,16 +237,33 @@ func main() {
 	var id uint16
 	var total uint64
 	nextConn := 0
-	txq := make([]netio.Message, 0, *txBatch)
-	flush := func() {
+	txq := make([]netio.Message, 0, txBatch)
+	flush := func() error {
 		if len(txq) == 0 {
-			return
+			return nil
 		}
 		if _, err := bconns[nextConn].WriteBatch(txq); err != nil {
-			log.Fatalf("incloadgen: %v", err)
+			return fmt.Errorf("send on socket %d: %w", nextConn, err)
 		}
 		nextConn = (nextConn + 1) % len(bconns)
 		txq = txq[:0]
+		return nil
+	}
+	finish := func(sendSpan time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Sent = total
+		rep.Answered = recv
+		rep.Bad = errs
+		rep.Outstanding = len(sent)
+		rep.SendSeconds = sendSpan.Seconds()
+		if sendSpan > 0 {
+			rep.AchievedKpps = float64(total) / sendSpan.Seconds() / 1000
+			rep.AnsweredKpps = float64(recv) / sendSpan.Seconds() / 1000
+		}
+		rep.P50Micros = float64(hist.Median()) / float64(time.Microsecond)
+		rep.P99Micros = float64(hist.P99()) / float64(time.Microsecond)
+		rep.MaxMicros = float64(hist.Max()) / float64(time.Microsecond)
 	}
 	const tickEvery = time.Millisecond
 	const maxBatch = 4096 // bound catch-up bursts after a stall
@@ -192,38 +286,49 @@ func main() {
 				total++
 				phaseSent++
 				batch++
-				payload, err := request(*proto, id, sampler)
+				payload, err := request(proto, id, sampler)
 				if err != nil {
-					log.Fatalf("incloadgen: %v", err)
+					finish(time.Since(start))
+					return rep, err
 				}
 				mu.Lock()
 				sent[id] = time.Now()
 				mu.Unlock()
 				txq = append(txq, netio.Message{Buf: payload, N: len(payload)})
-				if len(txq) == *txBatch {
-					flush()
+				if len(txq) == txBatch {
+					if err := flush(); err != nil {
+						finish(time.Since(start))
+						return rep, err
+					}
 				}
 			}
-			flush()
+			if err := flush(); err != nil {
+				finish(time.Since(start))
+				return rep, err
+			}
 			time.Sleep(tickEvery)
 		}
 		span := time.Since(phaseStart)
 		mu.Lock()
 		answered := recv - recvAtStart
 		mu.Unlock()
-		log.Printf("incloadgen: phase %d/%d %s: sent %d (achieved %.1f kpps), answered %d in-phase",
-			i+1, len(phases), ph, phaseSent, float64(phaseSent)/span.Seconds()/1000, answered)
+		if !quiet {
+			log.Printf("incloadgen: phase %d/%d %s: sent %d (achieved %.1f kpps), answered %d in-phase",
+				i+1, len(phases), ph, phaseSent, float64(phaseSent)/span.Seconds()/1000, answered)
+		}
 	}
 	sendSpan := time.Since(start)
 	time.Sleep(300 * time.Millisecond) // collect stragglers
 
-	mu.Lock()
-	defer mu.Unlock()
-	sentKpps := float64(total) / sendSpan.Seconds() / 1000
-	ansKpps := float64(recv) / sendSpan.Seconds() / 1000
+	finish(sendSpan)
+	frac := 0.0
+	if rep.Sent > 0 {
+		frac = float64(rep.Answered) / float64(rep.Sent) * 100
+	}
 	log.Printf("incloadgen: sent %d (%.1f kpps), answered %d (%.1f kpps, %.1f%%), outstanding %d, bad %d",
-		total, sentKpps, recv, ansKpps, float64(recv)/float64(total)*100, len(sent), errs)
+		rep.Sent, rep.AchievedKpps, rep.Answered, rep.AnsweredKpps, frac, rep.Outstanding, rep.Bad)
 	log.Printf("incloadgen: latency p50=%v p99=%v max=%v", hist.Median(), hist.P99(), hist.Max())
+	return rep, nil
 }
 
 // phase is one segment of the offered-load profile.
@@ -296,6 +401,9 @@ func parseProfile(spec string, rate float64, dur time.Duration) ([]phase, error)
 	return out, nil
 }
 
+// paxosValue is the fixed command body every generated 2A carries.
+var paxosValue = []byte("incloadgen-cmd")
+
 func request(proto string, id uint16, sampler *trafficgen.KeySampler) ([]byte, error) {
 	switch proto {
 	case "kvs":
@@ -307,6 +415,16 @@ func request(proto string, id uint16, sampler *trafficgen.KeySampler) ([]byte, e
 		// fold cost would be invisible under load.
 		name := mixCase(dns.SequentialName(int(sampler.NextIndex())), uint64(id))
 		return dns.Encode(dns.NewQuery(id, name))
+	case "paxos":
+		// A Phase2A vote request per id: the acceptor replies the 2B to
+		// the sender (learner fan-out is separate), and the instance
+		// echoes back as the correlation id. Wrapped ids re-vote an
+		// accepted instance, which still answers — by the §9.2 rules a
+		// re-vote returns the original value, so correlation holds.
+		return paxos.Encode(paxos.Msg{
+			Type: paxos.MsgPhase2A, Instance: uint64(id), Ballot: 1,
+			Value: paxosValue,
+		}), nil
 	}
 	return nil, fmt.Errorf("unknown protocol %q", proto)
 }
@@ -342,6 +460,14 @@ func responseID(proto string, payload []byte) (uint16, bool) {
 			return 0, false
 		}
 		return m.ID, true
+	case "paxos":
+		var v paxos.MsgView
+		if paxos.DecodeView(payload, &v) != nil {
+			return 0, false
+		}
+		// 2B is the vote, 1B a ballot refusal — both answer the request
+		// for latency purposes and both echo the instance back.
+		return uint16(v.Instance), true
 	}
 	return 0, false
 }

@@ -60,10 +60,11 @@ func main() {
 		"acceptor role: attach the emulated P4xos acceptor fast path; policy shifts hand the acceptor state between host and NIC")
 	flag.Parse()
 
-	startCtrl := func(tierSvc core.Service) (*daemon.Orchestrator, *daemon.ManagedService, *daemon.CtrlServer) {
+	startCtrl := func(tierSvc core.Service, ready func() bool) (*daemon.Orchestrator, *daemon.ManagedService, *daemon.CtrlServer) {
 		orch, svc, ctrlSrv, err := daemon.StartControlPlane(daemon.StartOptions{
 			Name: "paxos", Policy: *policy, CrossKpps: *crossKpps,
 			Curve: power.LibpaxosLeader, CtrlAddr: *ctrl, Service: tierSvc,
+			Ready: ready,
 		})
 		if err != nil {
 			log.Fatalf("incpaxosd: %v", err)
@@ -75,7 +76,7 @@ func main() {
 	}
 
 	if *role == "client" {
-		orch, svc, ctrlSrv := startCtrl(nil)
+		orch, svc, ctrlSrv := startCtrl(nil, nil)
 		defer orch.Close()
 		// The client has no engine to drain; a signal mid-run still
 		// stops the control plane and exits cleanly.
@@ -103,7 +104,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	orch, svc, ctrlSrv := startCtrl(r.svc)
+	orch, svc, ctrlSrv := startCtrl(r.svc, r.eng.Running)
 	defer orch.Close()
 
 	svc.UseCounter(r.eng.Handled)

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"incod/internal/simnet"
@@ -96,24 +97,38 @@ func (t Transition) String() string {
 }
 
 // FuncService adapts closures to Service, for tests, advisory daemons and
-// simple bindings.
+// simple bindings. Like every Service driven by the live orchestrator, it
+// keeps Placement readable while a Shift is blocked inside its transition
+// task — the orchestrator releases its own mutex for the duration, so
+// status reads race the transition by design.
 type FuncService struct {
 	ServiceName string
-	Where       Placement
+	// Where seeds the placement; after construction read it through
+	// Placement (it is guarded by an internal mutex).
+	Where Placement
 	// OnShift, if set, runs the transition task; returning an error
 	// aborts the shift.
 	OnShift func(to Placement) error
+
+	mu sync.Mutex
 }
 
 // Name implements Service.
 func (f *FuncService) Name() string { return f.ServiceName }
 
-// Placement implements Service.
-func (f *FuncService) Placement() Placement { return f.Where }
+// Placement implements Service. It never blocks behind an in-flight
+// OnShift.
+func (f *FuncService) Placement() Placement {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.Where
+}
 
-// Shift implements Service.
+// Shift implements Service. The mutex is released while OnShift runs,
+// mirroring the real tiers: a slow transition task must not block
+// concurrent Placement reads.
 func (f *FuncService) Shift(to Placement) error {
-	if to == f.Where {
+	if to == f.Placement() {
 		return nil
 	}
 	if f.OnShift != nil {
@@ -121,6 +136,8 @@ func (f *FuncService) Shift(to Placement) error {
 			return err
 		}
 	}
+	f.mu.Lock()
 	f.Where = to
+	f.mu.Unlock()
 	return nil
 }

@@ -39,6 +39,19 @@ import (
 // unsupported methods.
 func (o *Orchestrator) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness, not liveness: 200 only once the installed probe
+		// (the serving engine's Running) says the dataplane serves.
+		// Fleet controllers gate trace replay on this instead of
+		// sleeping an arbitrary spawn delay.
+		if !o.Ready() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]bool{"ready": false})
+			return
+		}
+		writeJSON(w, map[string]bool{"ready": true})
+	})
 	mux.HandleFunc("GET /v1/services", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.Statuses())
 	})

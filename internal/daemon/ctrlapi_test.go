@@ -358,3 +358,46 @@ func TestUseCounterFeedsOrchestrator(t *testing.T) {
 		t.Fatalf("raw Requests = %d, want 5", st.Requests)
 	}
 }
+
+func TestV1HealthzFollowsReadiness(t *testing.T) {
+	o, srv := newAPI(t)
+
+	// No probe installed: always ready.
+	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatalf("default healthz = %d, want 200", code)
+	}
+
+	// With a probe (the daemons wire the engine's Running), the endpoint
+	// tracks it: 503 before the dataplane serves, 200 while it does, and
+	// 503 again once shutdown begins.
+	serving := false
+	o.SetReady(func() bool { return serving })
+	var body map[string]bool
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body["ready"] {
+		t.Fatalf("pre-serve healthz = %d %v, want 503 ready=false", resp.StatusCode, body)
+	}
+
+	serving = true
+	if code := getJSON(t, srv.URL+"/v1/healthz", &body); code != http.StatusOK || !body["ready"] {
+		t.Fatalf("serving healthz = %d %v, want 200 ready=true", code, body)
+	}
+
+	serving = false // engine closing
+	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("closing healthz = %d, want 503", code)
+	}
+
+	// Clearing the probe restores the always-ready default.
+	o.SetReady(nil)
+	if code := getJSON(t, srv.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatalf("cleared-probe healthz = %d, want 200", code)
+	}
+}

@@ -140,6 +140,10 @@ type Orchestrator struct {
 	stop       chan struct{}
 	stopOnce   sync.Once
 	started    bool
+	// ready, when set, gates GET /v1/healthz: the endpoint answers 200
+	// only while ready() is true (the daemons wire the serving engine's
+	// Running). Unset means always ready.
+	ready atomic.Pointer[func() bool]
 }
 
 // NewOrchestrator returns an orchestrator sampling every period
@@ -154,6 +158,27 @@ func NewOrchestrator(period time.Duration) *Orchestrator {
 		period:   period,
 		stop:     make(chan struct{}),
 	}
+}
+
+// SetReady installs the readiness probe behind GET /v1/healthz. Pass the
+// serving engine's Running so the endpoint reports 200 only once the
+// dataplane actually serves (and flips back to 503 during shutdown);
+// a nil fn restores the always-ready default.
+func (o *Orchestrator) SetReady(fn func() bool) {
+	if fn == nil {
+		o.ready.Store(nil)
+		return
+	}
+	o.ready.Store(&fn)
+}
+
+// Ready reports the installed readiness probe's verdict (true when none
+// is installed).
+func (o *Orchestrator) Ready() bool {
+	if p := o.ready.Load(); p != nil {
+		return (*p)()
+	}
+	return true
 }
 
 // Register adds a service under name. It returns the datapath handle the
@@ -361,6 +386,10 @@ type ServiceStatus struct {
 	Shifts     int     `json:"shifts"`
 	Requests   uint64  `json:"requests"`
 	WindowKpps float64 `json:"window_kpps"`
+	// ModeledWatts is the service's power model evaluated at the window
+	// rate — the host-software draw a fleet controller ranks placement
+	// candidates by. Absent when the service has no power model.
+	ModeledWatts float64 `json:"modeled_watts,omitempty"`
 
 	// Shifting reports a transition task in flight right now.
 	Shifting bool `json:"shifting,omitempty"`
@@ -406,6 +435,11 @@ func statusLocked(m *ManagedService) ServiceStatus {
 			sum += k
 		}
 		s.WindowKpps = sum / float64(n)
+	}
+	if m.model != nil {
+		if w, _ := m.model(s.WindowKpps); !math.IsNaN(w) {
+			s.ModeledWatts = w
+		}
 	}
 	if tun, ok := m.pol.(core.Tunable); ok {
 		toNet, toHost := tun.RateThresholds()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"incod/internal/core"
+	"incod/internal/dataplane"
 	"incod/internal/power"
 )
 
@@ -323,6 +324,134 @@ func TestShiftRetryCountAndDurationInStatus(t *testing.T) {
 		t.Fatalf("retry count is lifetime (%d), got %+v", retriesSoFar, s)
 	}
 }
+
+// A fleet controller polls /v1 aggressively — many concurrent Status /
+// Statuses / Dataplanes readers — while shifts are in flight and while
+// the daemon shuts down. None of that may wedge: reads stay responsive
+// mid-shift (the orchestrator's mutex is released for the transition),
+// and Close completes while readers keep hammering.
+func TestConcurrentReadersDuringShiftAndShutdown(t *testing.T) {
+	o := NewOrchestrator(time.Millisecond)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc := &core.FuncService{ServiceName: "slow", Where: core.Host,
+		OnShift: func(to core.Placement) error {
+			once.Do(func() {
+				close(entered)
+				<-release
+			})
+			return nil
+		}}
+	m, err := o.Register("slow", ServiceConfig{
+		Service: svc,
+		Policy:  core.NewThresholdPolicy(core.DefaultNetworkConfig(10)),
+		Model:   CurveModel(power.MemcachedMellanox),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AttachDataplane("slow", snapshotFunc(func() dataplane.Stats {
+		return dataplane.Stats{Mode: "single-reader", Sockets: 1}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+
+	// Feed traffic so the background loop decides to shift; the shift
+	// then blocks inside OnShift with the orchestrator mutex released.
+	feedStop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-feedStop:
+				return
+			default:
+				m.ObserveN(5000)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shift never started")
+	}
+
+	// Hammer every read path from many goroutines, through the shift and
+	// through shutdown.
+	readersDone := make(chan struct{})
+	stopReaders := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				if _, err := o.Status("slow"); err != nil {
+					t.Errorf("Status: %v", err)
+					return
+				}
+				_ = o.Statuses()
+				_ = o.Dataplanes()
+				if _, err := o.Dataplane("slow"); err != nil {
+					t.Errorf("Dataplane: %v", err)
+					return
+				}
+				_ = o.Ready()
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(readersDone) }()
+
+	// Mid-shift reads must observe the in-flight transition.
+	deadline := time.After(5 * time.Second)
+	for {
+		s, err := o.Status("slow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Shifting {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("status never reported the in-flight shift")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Shut down while the shift is still blocked and readers are live;
+	// Close must not wedge behind either.
+	closed := make(chan struct{})
+	go func() { o.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged behind an in-flight shift and concurrent readers")
+	}
+	close(release) // let the transition land after shutdown
+	close(feedStop)
+
+	// Readers must still drain cleanly post-Close.
+	time.Sleep(10 * time.Millisecond)
+	close(stopReaders)
+	select {
+	case <-readersDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("readers wedged after shutdown")
+	}
+}
+
+// snapshotFunc adapts a function to DataplaneSource.
+type snapshotFunc func() dataplane.Stats
+
+func (f snapshotFunc) Snapshot() dataplane.Stats { return f() }
 
 var errTest = &testErr{}
 

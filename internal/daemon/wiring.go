@@ -24,6 +24,9 @@ type StartOptions struct {
 	// nictier.Service whose Shift flips the live dataplane). Nil
 	// registers the advisory stand-in.
 	Service core.Service
+	// Ready, when non-nil, gates GET /v1/healthz (the daemons pass the
+	// serving engine's Running). Nil leaves the endpoint always ready.
+	Ready func() bool
 }
 
 // StartControlPlane builds the common daemon control plane: a started
@@ -43,6 +46,7 @@ func StartControlPlane(o StartOptions) (*Orchestrator, *ManagedService, *CtrlSer
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	orch.SetReady(o.Ready)
 	orch.Start()
 	var ctrl *CtrlServer
 	if o.CtrlAddr != "" {

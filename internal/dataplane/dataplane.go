@@ -364,6 +364,14 @@ func (e *Engine) Run() {
 	<-e.done
 }
 
+// Running reports whether the engine is serving right now: started and
+// not yet closing. It is the daemons' readiness signal — the /v1/healthz
+// endpoint answers 200 only while this is true, so a fleet controller
+// can gate traffic replay on actual serving instead of sleeping.
+func (e *Engine) Running() bool {
+	return e.started.Load() && !e.closing.Load()
+}
+
 // Close gracefully drains the engine: the readers stop accepting new
 // datagrams, already-queued ones are handled and answered, then the
 // socket(s) close. It is idempotent and blocks until the drain

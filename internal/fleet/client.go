@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"incod/internal/daemon"
+	"incod/internal/dataplane"
+)
+
+// Client speaks one daemon's /v1 control API — the fleet-side counterpart
+// of daemon.Orchestrator's Handler. All methods take a context so an
+// aggressive polling loop can bound a slow member instead of wedging the
+// fleet tick.
+type Client struct {
+	base string // "http://host:port"
+	http *http.Client
+}
+
+// NewClient returns a client for the control API at hostport (no scheme).
+func NewClient(hostport string) *Client {
+	return &Client{
+		base: "http://" + hostport,
+		http: &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Base returns the client's base URL.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(path, resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(path, resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError surfaces the server's JSON {"error": ...} payload when present.
+func apiError(path string, resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+}
+
+// Healthy reports whether GET /v1/healthz answers 200 — i.e. the daemon's
+// dataplane is serving. Transport errors and 503 both read as not ready.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// Services lists every managed service on the daemon.
+func (c *Client) Services(ctx context.Context) ([]daemon.ServiceStatus, error) {
+	var out []daemon.ServiceStatus
+	err := c.get(ctx, "/v1/services", &out)
+	return out, err
+}
+
+// Service snapshots one service's status.
+func (c *Client) Service(ctx context.Context, name string) (daemon.ServiceStatus, error) {
+	var out daemon.ServiceStatus
+	err := c.get(ctx, "/v1/services/"+name, &out)
+	return out, err
+}
+
+// Dataplane snapshots the serving engine attached to name.
+func (c *Client) Dataplane(ctx context.Context, name string) (dataplane.Stats, error) {
+	var out dataplane.Stats
+	err := c.get(ctx, "/v1/services/"+name+"/dataplane", &out)
+	return out, err
+}
+
+// Pin pins name's placement ("host" | "network" | "auto") and returns the
+// resulting status. This is how the fleet budget overrides each daemon's
+// local policy.
+func (c *Client) Pin(ctx context.Context, name, placement string) (daemon.ServiceStatus, error) {
+	var out daemon.ServiceStatus
+	err := c.post(ctx, "/v1/services/"+name+"/placement",
+		map[string]string{"placement": placement}, &out)
+	return out, err
+}
+
+// SetThresholds updates name's mirrored rate pair.
+func (c *Client) SetThresholds(ctx context.Context, name string, t daemon.Thresholds) (daemon.Thresholds, error) {
+	var out daemon.Thresholds
+	err := c.post(ctx, "/v1/services/"+name+"/thresholds", t, &out)
+	return out, err
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"incod/internal/core"
+	"incod/internal/daemon"
+)
+
+// newDaemon stands up a real orchestrator with one threshold-policy
+// service behind its real /v1 handler, returning the fleet-side client.
+func newDaemon(t *testing.T, service string) (*daemon.Orchestrator, *Client) {
+	t.Helper()
+	o := daemon.NewOrchestrator(0)
+	if _, err := o.Register(service, daemon.ServiceConfig{
+		Policy: core.NewThresholdPolicy(core.DefaultNetworkConfig(100)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(o.Handler())
+	t.Cleanup(srv.Close)
+	return o, NewClient(strings.TrimPrefix(srv.URL, "http://"))
+}
+
+func TestClientHealthzTracksReadiness(t *testing.T) {
+	o, c := newDaemon(t, "kvs")
+	ctx := context.Background()
+
+	if !c.Healthy(ctx) {
+		t.Fatal("no probe installed: want healthy")
+	}
+	serving := false
+	o.SetReady(func() bool { return serving })
+	if c.Healthy(ctx) {
+		t.Fatal("engine not serving: want unhealthy")
+	}
+	serving = true
+	if !c.Healthy(ctx) {
+		t.Fatal("engine serving: want healthy")
+	}
+}
+
+func TestClientHealthyFalseOnDeadServer(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens there
+	if c.Healthy(context.Background()) {
+		t.Fatal("dead server reported healthy")
+	}
+}
+
+func TestClientServicesAndPin(t *testing.T) {
+	_, c := newDaemon(t, "kvs")
+	ctx := context.Background()
+
+	all, err := c.Services(ctx)
+	if err != nil || len(all) != 1 || all[0].Name != "kvs" {
+		t.Fatalf("Services = %+v, %v", all, err)
+	}
+	st, err := c.Service(ctx, "kvs")
+	if err != nil || st.Placement != "host" {
+		t.Fatalf("Service = %+v, %v", st, err)
+	}
+
+	st, err = c.Pin(ctx, "kvs", "network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placement != "network" || st.Pinned != "network" {
+		t.Fatalf("after pin: %+v", st)
+	}
+	st, err = c.Pin(ctx, "kvs", "host")
+	if err != nil || st.Placement != "host" {
+		t.Fatalf("after unpin-to-host: %+v, %v", st, err)
+	}
+}
+
+func TestClientErrorsSurfaceServerMessage(t *testing.T) {
+	_, c := newDaemon(t, "kvs")
+	ctx := context.Background()
+
+	if _, err := c.Service(ctx, "nope"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown service error = %v, want HTTP 404 surfaced", err)
+	}
+	if _, err := c.Dataplane(ctx, "kvs"); err == nil {
+		t.Fatal("no dataplane attached: want error")
+	}
+}

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"incod/internal/core"
+	"incod/internal/daemon"
+)
+
+// testMember is one in-process daemon: a real orchestrator with a real
+// /v1 handler, so the controller's HTTP path is exercised end to end.
+type testMember struct {
+	orch *daemon.Orchestrator
+	ms   *daemon.ManagedService
+	svc  *core.FuncService
+	now  time.Time
+}
+
+func newTestMember(t *testing.T, name string) (Member, *testMember) {
+	t.Helper()
+	o := daemon.NewOrchestrator(0)
+	svc := &core.FuncService{ServiceName: "kvs"}
+	ms, err := o.Register("kvs", daemon.ServiceConfig{
+		Service: svc,
+		// The fleet owns placement, like the spawner's -policy
+		// static-host daemons; pins override it.
+		Policy: &core.StaticPolicy{Target: core.Host},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(o.Handler())
+	t.Cleanup(srv.Close)
+	m := Member{
+		Name: name,
+		Kind: "kvs",
+		Ctrl: strings.TrimPrefix(srv.URL, "http://"),
+		Data: "127.0.0.1:0",
+	}
+	return m, &testMember{orch: o, ms: ms, svc: svc, now: time.Unix(1000, 0)}
+}
+
+// serve advances the member's measured load: ticks seconds of synthetic
+// time at kpps, enough of them to flush the status window.
+func (tm *testMember) serve(kpps float64, seconds int) {
+	for i := 0; i < seconds; i++ {
+		tm.now = tm.now.Add(time.Second)
+		tm.ms.ObserveN(uint64(kpps * 1000))
+		tm.orch.Tick(tm.now)
+	}
+}
+
+func (tm *testMember) placement() core.Placement { return tm.svc.Placement() }
+
+func litCount(tms []*testMember) int {
+	n := 0
+	for _, tm := range tms {
+		if tm.placement() == core.Network {
+			n++
+		}
+	}
+	return n
+}
+
+func TestControllerEnforcesBudgetOverLiveAPI(t *testing.T) {
+	names := []string{"kvs-0", "kvs-1", "kvs-2"}
+	members := make([]Member, len(names))
+	backends := make([]*testMember, len(names))
+	for i, n := range names {
+		members[i], backends[i] = newTestMember(t, n)
+	}
+
+	ctrl, err := NewController(Config{
+		Members: members,
+		Sched: SchedulerConfig{
+			K: 1, Hold: 1, LightMarginW: 1, DouseMarginW: 0.25, SwapMarginW: 2,
+		},
+		RateScale: 30,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ctrl.AdoptAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct measured loads: 10 kpps * scale 30 = 300 modeled kpps is
+	// deep in offload-pays territory; the others are marginal.
+	backends[0].serve(0.5, 35)
+	backends[1].serve(2, 35)
+	backends[2].serve(10, 35)
+
+	ctrl.Tick(ctx)
+	if got := litCount(backends); got != 1 {
+		t.Fatalf("after first tick: %d lit, want 1", got)
+	}
+	if backends[2].placement() != core.Network {
+		t.Fatal("the highest-load member should have been lit first")
+	}
+
+	// Steady state: re-ticking the same load changes nothing.
+	for i := 0; i < 5; i++ {
+		ctrl.Tick(ctx)
+	}
+	snap := ctrl.Snapshot()
+	if snap.Lit != 1 || snap.MaxLit != 1 || snap.BudgetViolations != 0 {
+		t.Fatalf("steady snapshot: %+v", snap)
+	}
+	if snap.Shifts != 1 {
+		t.Fatalf("steady fleet kept shifting: %d shifts", snap.Shifts)
+	}
+	if snap.Healthy != 3 {
+		t.Fatalf("healthy = %d, want 3", snap.Healthy)
+	}
+
+	// Demand moves: member 0 surges past the incumbent, member 2 goes
+	// quiet. The scheduler swaps — douse first, light later, never two
+	// lit at once.
+	backends[0].serve(15, 40)
+	backends[2].serve(0.2, 40)
+	sawDark := false
+	for i := 0; i < 6 && backends[0].placement() != core.Network; i++ {
+		ctrl.Tick(ctx)
+		if n := litCount(backends); n > 1 {
+			t.Fatalf("swap overlit the fleet: %d lit", n)
+		} else if n == 0 {
+			sawDark = true
+		}
+	}
+	if backends[0].placement() != core.Network || backends[2].placement() != core.Host {
+		t.Fatalf("swap did not converge: m0=%v m2=%v",
+			backends[0].placement(), backends[2].placement())
+	}
+	if !sawDark {
+		t.Fatal("swap never passed through the all-dark step (douse must precede light)")
+	}
+
+	snap = ctrl.Snapshot()
+	if snap.BudgetViolations != 0 || snap.MaxLit != 1 {
+		t.Fatalf("final snapshot: %+v", snap)
+	}
+	if snap.Energy.ModeledSeconds <= 0 || snap.Energy.SoftwareOnlyKWh <= 0 {
+		t.Fatalf("energy account empty: %+v", snap.Energy)
+	}
+	if len(ctrl.Curve()) != snap.Ticks {
+		t.Fatalf("curve has %d points over %d ticks", len(ctrl.Curve()), snap.Ticks)
+	}
+}
+
+func TestControllerSurvivesDeadMember(t *testing.T) {
+	members := make([]Member, 2)
+	backends := make([]*testMember, 1)
+	members[0], backends[0] = newTestMember(t, "kvs-0")
+	members[1] = Member{Name: "kvs-1", Kind: "kvs", Ctrl: "127.0.0.1:1", Data: "127.0.0.1:0"}
+
+	ctrl, err := NewController(Config{
+		Members:   members,
+		Sched:     SchedulerConfig{K: 1, Hold: 1, LightMarginW: 1},
+		RateScale: 30,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	backends[0].serve(10, 35)
+	ctrl.Tick(ctx)
+
+	snap := ctrl.Snapshot()
+	if snap.Healthy != 1 || snap.Members != 2 {
+		t.Fatalf("snapshot = %+v, want 1 healthy of 2", snap)
+	}
+	var deadRow *MemberStatus
+	for i := range snap.Roster {
+		if snap.Roster[i].Name == "kvs-1" {
+			deadRow = &snap.Roster[i]
+		}
+	}
+	if deadRow == nil || deadRow.Healthy || deadRow.Error == "" {
+		t.Fatalf("dead member row = %+v", deadRow)
+	}
+	// The live member still gets scheduled.
+	if backends[0].placement() != core.Network {
+		t.Fatal("live member should have been lit despite a dead peer")
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(Config{}); err == nil {
+		t.Fatal("empty roster accepted")
+	}
+	if _, err := NewController(Config{Members: []Member{
+		{Name: "a", Kind: "kvs"}, {Name: "a", Kind: "dns"},
+	}}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := NewController(Config{Members: []Member{
+		{Name: "a", Kind: "mystery"},
+	}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
