@@ -43,6 +43,10 @@ func main() {
 		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
 	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
 	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
+	engineMode := flag.String("engine", "batched",
+		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
+	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
+	pin := flag.Bool("pin", false, "pin each batched shard worker to a CPU via sched_setaffinity")
 	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
 	crossKpps := flag.Float64("crossover", 150, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -63,7 +67,8 @@ func main() {
 	}
 
 	eng, err := daemon.ListenEngine(
-		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch},
+		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
+			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin},
 		dns.NewHandler(zone), dataplane.Config{
 			Name: "incdnsd", Shards: *shards,
 			// DNS datagrams are small; a tight bound also caps the
@@ -81,7 +86,7 @@ func main() {
 	}
 	io := "single-reader"
 	if eng.Batched() {
-		io = fmt.Sprintf("batched over %d sockets", *sockets)
+		io = fmt.Sprintf("batched/%s over %d sockets", eng.Backend(), *sockets)
 	}
 	log.Printf("incdnsd: serving %d records on %s (%s, policy %s, %s)", zone.Len(), *addr, io, *policy, mode)
 

@@ -60,11 +60,13 @@ func main() {
 	reportPath := flag.String("report", "FLEET_6.json", "write the run report here")
 	doAssert := flag.Bool("assert", false, "exit nonzero unless the run reproduces the fleet claims")
 	seed := flag.Int64("seed", 6, "trace RNG seed")
+	daemonFlags := flag.String("daemon-flags", "",
+		"extra whitespace-separated flags appended to every spawned daemon (e.g. \"-engine uring -sockets 4 -pin\")")
 	flag.Parse()
 
 	if err := run(*n, *k, *spawn, *membersSpec, *bin, *mix, *traceKind, *night, *peak,
 		*wall, *segments, *scale, *period, *hold, *listen, *dir, *reportPath,
-		*doAssert, *seed); err != nil {
+		*doAssert, *seed, strings.Fields(*daemonFlags)); err != nil {
 		log.Fatalf("incfleetd: %v", err)
 	}
 }
@@ -72,7 +74,7 @@ func main() {
 func run(n, k int, spawn bool, membersSpec, bin, mix, traceKind string,
 	night, peak float64, wall time.Duration, segments int, scale float64,
 	period time.Duration, hold int, listen, dir, reportPath string,
-	doAssert bool, seed int64) error {
+	doAssert bool, seed int64, daemonFlags []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
@@ -106,7 +108,7 @@ func run(n, k int, spawn bool, membersSpec, bin, mix, traceKind string,
 			return err
 		}
 	} else if spawn {
-		sp := &fleet.Spawner{BinDir: bin, Dir: dir, Logf: log.Printf}
+		sp := &fleet.Spawner{BinDir: bin, Dir: dir, Logf: log.Printf, ExtraArgs: daemonFlags}
 		defer sp.Stop(5 * time.Second)
 		if members, err = sp.SpawnMix(rotation(mix, n)); err != nil {
 			return err

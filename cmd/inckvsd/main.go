@@ -37,6 +37,10 @@ func main() {
 		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
 	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
 	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
+	engineMode := flag.String("engine", "batched",
+		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
+	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
+	pin := flag.Bool("pin", false, "pin each batched shard worker to a CPU via sched_setaffinity")
 	maxEntries := flag.Int("max-entries", 0, "LRU-bound the store to this many entries (0 = unbounded)")
 	crossKpps := flag.Float64("crossover", 80, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -49,7 +53,8 @@ func main() {
 	store := kvs.NewShardedStore(*shards, *maxEntries)
 	handler := kvs.NewHandler(store)
 	eng, err := daemon.ListenEngine(
-		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch},
+		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
+			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin},
 		handler, dataplane.Config{Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey})
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)
@@ -62,7 +67,7 @@ func main() {
 	}
 	io := "single-reader"
 	if eng.Batched() {
-		io = fmt.Sprintf("batched over %d sockets", *sockets)
+		io = fmt.Sprintf("batched/%s over %d sockets", eng.Backend(), *sockets)
 	}
 	log.Printf("inckvsd: serving memcached UDP on %s (%d store shards, %s, policy %s, %s, crossover %.0f kpps)",
 		*addr, store.Shards(), io, *policy, mode, *crossKpps)

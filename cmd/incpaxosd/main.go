@@ -43,6 +43,10 @@ func main() {
 		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
 	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
 	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
+	engineMode := flag.String("engine", "batched",
+		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
+	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
+	pin := flag.Bool("pin", false, "pin each batched shard worker to a CPU via sched_setaffinity")
 	id := flag.Int("id", 0, "acceptor id")
 	ballot := flag.Int("ballot", 1, "leader ballot (epoch); a replacement leader must use a higher one")
 	acceptors := flag.String("acceptors", "", "comma-separated acceptor addresses (leader)")
@@ -89,7 +93,8 @@ func main() {
 	if *useTier && *role != "acceptor" {
 		log.Printf("incpaxosd: -nictier only offloads the acceptor role (P4xos, §3.2); ignoring for %q", *role)
 	}
-	io := daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch}
+	io := daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
+		Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin}
 	var r serverRole
 	switch *role {
 	case "acceptor":

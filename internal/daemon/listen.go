@@ -1,6 +1,8 @@
 package daemon
 
 import (
+	"fmt"
+	"log"
 	"net"
 
 	"incod/internal/dataplane"
@@ -19,13 +21,29 @@ type EngineOptions struct {
 	// RxBatch and TxBatch override the batched-mode batch sizes
 	// (0 = engine defaults).
 	RxBatch, TxBatch int
+	// Engine picks the batched-mode transport: "" or "batched" uses
+	// recvmmsg/sendmmsg (NewBatchConn's choice), "uring" asks for the
+	// io_uring backend and degrades to mmsg — with a logged warning —
+	// when netio.ProbeUring fails. "single" forces the portable
+	// fallback. Ignored when Sockets is 0.
+	Engine string
+	// BusyPollUs enables SO_BUSY_POLL on every serving socket for that
+	// many microseconds (0 = off). Failure to set it is logged, not
+	// fatal (needs CAP_NET_ADMIN on older kernels).
+	BusyPollUs int
+	// Pin locks each shard worker to a CPU (dataplane.Config.PinShards).
+	Pin bool
 }
 
 // ListenEngine opens o.Addr and builds the serving engine in the mode
 // o.Sockets selects. In batched mode cfg.Shards is superseded by the
-// socket count (one shard owns one socket).
+// socket count (one shard owns one socket), and o.Engine picks the
+// transport rung; a requested uring backend that the kernel cannot
+// provide degrades to mmsg so the daemon always comes up — the chosen
+// backend is reported truthfully in the /v1/dataplane stats.
 func ListenEngine(o EngineOptions, h dataplane.Handler, cfg dataplane.Config) (*dataplane.Engine, error) {
 	cfg.RxBatch, cfg.TxBatch = o.RxBatch, o.TxBatch
+	cfg.PinShards = o.Pin
 	if o.Sockets <= 0 {
 		conn, err := net.ListenPacket("udp", o.Addr)
 		if err != nil {
@@ -37,5 +55,79 @@ func ListenEngine(o EngineOptions, h dataplane.Handler, cfg dataplane.Config) (*
 	if err != nil {
 		return nil, err
 	}
-	return dataplane.NewBatched(conns, h, cfg), nil
+	if o.BusyPollUs > 0 {
+		for i, c := range conns {
+			if err := netio.SetBusyPoll(c, o.BusyPollUs); err != nil {
+				log.Printf("%s: SO_BUSY_POLL unavailable (socket %d, continuing without): %v", cfg.Name, i, err)
+				break
+			}
+		}
+	}
+	bcs, err := buildBatchConns(conns, o, cfg)
+	if err != nil {
+		// A mid-group uring failure closed some sockets (the ring owns
+		// its socket); rebuild the whole group on the mmsg rung so the
+		// daemon still comes up, uniformly.
+		addr := conns[0].LocalAddr().String()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		log.Printf("%s: rebuilding socket group on the mmsg backend: %v", cfg.Name, err)
+		if conns, err = netio.ListenReusePortGroup("udp", addr, o.Sockets); err != nil {
+			return nil, err
+		}
+		o.Engine = "batched"
+		if bcs, err = buildBatchConns(conns, o, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return dataplane.NewBatchedConns(conns, bcs, h, cfg), nil
+}
+
+// buildBatchConns wraps each serving socket in the transport o.Engine
+// selects.
+func buildBatchConns(conns []net.PacketConn, o EngineOptions, cfg dataplane.Config) ([]netio.BatchConn, error) {
+	engine := o.Engine
+	if engine == "uring" {
+		if err := netio.ProbeUring(); err != nil {
+			log.Printf("%s: io_uring backend unavailable, falling back to mmsg: %v", cfg.Name, err)
+			engine = "batched"
+		}
+	}
+	bcs := make([]netio.BatchConn, len(conns))
+	for i, c := range conns {
+		switch engine {
+		case "uring":
+			// Size the provided-buffer ring to absorb a few full receive
+			// batches per shard before the multishot starves.
+			bc, err := netio.NewUringConn(c, netio.UringConfig{
+				Entries: maxInt(2*cfg.TxBatch, 64),
+				Buffers: maxInt(8*cfg.RxBatch, 256),
+				BufSize: cfg.MaxDatagram,
+			})
+			if err != nil {
+				// The probe passed but this ring failed (fd limits, memlock):
+				// degrade the whole group, releasing rings already built so
+				// the group serves uniformly.
+				log.Printf("%s: uring ring %d failed, falling back to mmsg: %v", cfg.Name, i, err)
+				for j := 0; j < i; j++ {
+					_ = bcs[j].Close()
+				}
+				return nil, fmt.Errorf("daemon: uring backend failed after probe: %w", err)
+			}
+			bcs[i] = bc
+		case "single":
+			bcs[i] = netio.NewSingleConn(c)
+		default:
+			bcs[i] = netio.NewBatchConn(c)
+		}
+	}
+	return bcs, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"runtime"
 	"time"
 
 	"incod/internal/netio"
@@ -63,18 +64,32 @@ type BatchFastPath interface {
 // depends on) re-enables the queue handoff for datagrams the kernel
 // landed on the wrong shard's socket.
 func NewBatched(conns []net.PacketConn, h Handler, cfg Config) *Engine {
+	bcs := make([]netio.BatchConn, len(conns))
+	for i, c := range conns {
+		bcs[i] = netio.NewBatchConn(c)
+	}
+	return NewBatchedConns(conns, bcs, h, cfg)
+}
+
+// NewBatchedConns is NewBatched with the BatchConns already built:
+// bcs[i] wraps conns[i] and becomes shard i's transport. This is how a
+// daemon selects the io_uring backend — it builds netio.NewUringConn
+// over each reuseport socket (falling back per ProbeUring) and hands
+// the result here; the engine itself stays transport-agnostic behind
+// the BatchConn seam.
+func NewBatchedConns(conns []net.PacketConn, bcs []netio.BatchConn, h Handler, cfg Config) *Engine {
 	if len(conns) == 0 {
 		panic("dataplane: NewBatched needs at least one socket")
+	}
+	if len(bcs) != len(conns) {
+		panic("dataplane: NewBatchedConns needs one BatchConn per socket")
 	}
 	arrival := cfg.ShardBy == nil
 	cfg.Shards = len(conns)
 	e := New(conns[0], h, cfg)
 	e.batched = true
 	e.arrivalDispatch = arrival
-	e.bconns = make([]netio.BatchConn, len(conns))
-	for i, c := range conns {
-		e.bconns[i] = netio.NewBatchConn(c)
-	}
+	e.bconns = bcs
 	e.bh, _ = h.(BatchHandler)
 	return e
 }
@@ -82,6 +97,16 @@ func NewBatched(conns []net.PacketConn, h Handler, cfg Config) *Engine {
 // Batched reports whether the engine runs in per-shard-socket batched
 // mode.
 func (e *Engine) Batched() bool { return e.batched }
+
+// Backend names the transport rung serving the engine: "uring", "mmsg"
+// or "single" in batched mode, "" in single-reader mode (which reads
+// the net.PacketConn directly).
+func (e *Engine) Backend() string {
+	if !e.batched || len(e.bconns) == 0 {
+		return ""
+	}
+	return netio.BackendOf(e.bconns[0])
+}
 
 // queuePollInterval bounds how long a batched shard blocks in recvmmsg
 // before checking its cross-shard queue: the worst-case added latency
@@ -136,6 +161,22 @@ func (e *Engine) newBatchState(i int) *batchState {
 // goroutine, preserving the per-flow (and per-key) ordering contract.
 func (e *Engine) batchWorker(i int) {
 	defer e.workersWG.Done()
+	if e.cfg.PinShards {
+		// The thread must be locked before the affinity call or the Go
+		// scheduler migrates the goroutine off the pinned thread. With
+		// fewer cores than shards, shards share cores modulo NumCPU —
+		// still a win for cache locality, though pinning buys the most
+		// when every shard owns a whole core.
+		runtime.LockOSThread()
+		cpu := i % runtime.NumCPU()
+		if err := netio.PinThread(cpu); err != nil {
+			if i == 0 {
+				log.Printf("%s: shard pinning unavailable, continuing unpinned: %v", e.cfg.Name, err)
+			}
+		} else {
+			e.pinned.Store(true)
+		}
+	}
 	w := e.newBatchState(i)
 	for !e.closing.Load() {
 		_ = w.bc.SetReadDeadline(time.Now().Add(queuePollInterval))

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,12 @@ func benchServeLoopback(b *testing.B, e *Engine, clients int) {
 		b.ReportMetric(float64(replies.Load())/elapsed.Seconds()/1000, "achieved-kpps")
 	}
 	b.ReportMetric(float64(replies.Load())/float64(clients*per)*100, "answered-%")
+	if st := e.Snapshot(); st.RxPerRead > 0 {
+		// Amortization diagnostic: how many datagrams each ReadBatch
+		// delivered on average — the number the transport rung exists
+		// to raise.
+		b.ReportMetric(st.RxPerRead, "rx-per-read")
+	}
 }
 
 // benchShards is the server worker count for both modes; benchClients
@@ -105,4 +112,50 @@ func BenchmarkDataplaneBatchedLoopback(b *testing.B) {
 		b.Skipf("reuseport group unavailable: %v", err)
 	}
 	benchServeLoopback(b, NewBatched(conns, echoHandler, Config{Name: "bench-batched"}), benchClients)
+}
+
+// BenchmarkDataplaneEngineLoopback sweeps the three transport rungs
+// (single-reader, recvmmsg/sendmmsg, io_uring) across shard counts, so
+// BENCH_*.json carries the full engine comparison the README quotes.
+func BenchmarkDataplaneEngineLoopback(b *testing.B) {
+	for _, backend := range []string{"single", "mmsg", "uring"} {
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s-%dshard", backend, shards), func(b *testing.B) {
+				var e *Engine
+				switch backend {
+				case "single":
+					conn, err := net.ListenPacket("udp4", "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					e = New(conn, echoHandler, Config{Name: "bench-eng-single", Shards: shards})
+				default:
+					conns, err := netio.ListenReusePortGroup("udp4", "127.0.0.1:0", shards)
+					if err != nil {
+						b.Skipf("reuseport group unavailable: %v", err)
+					}
+					if backend == "uring" {
+						if err := netio.ProbeUring(); err != nil {
+							for _, c := range conns {
+								c.Close()
+							}
+							b.Skipf("io_uring unavailable: %v", err)
+						}
+						bcs := make([]netio.BatchConn, len(conns))
+						for i, c := range conns {
+							bc, err := netio.NewUringConn(c, netio.UringConfig{BufSize: 2048})
+							if err != nil {
+								b.Fatal(err)
+							}
+							bcs[i] = bc
+						}
+						e = NewBatchedConns(conns, bcs, echoHandler, Config{Name: "bench-eng-uring"})
+					} else {
+						e = NewBatched(conns, echoHandler, Config{Name: "bench-eng-mmsg"})
+					}
+				}
+				benchServeLoopback(b, e, 4*shards)
+			})
+		}
+	}
 }

@@ -95,6 +95,13 @@ type Config struct {
 	// TxBatch is the maximum replies flushed per sendmmsg call in
 	// batched mode (default 32).
 	TxBatch int
+	// PinShards locks each batched shard worker to an OS thread and
+	// binds that thread to CPU shard%NumCPU. Helps when shards ≤ cores
+	// (cache locality, no migration); with more shards than cores it
+	// only forces sharing patterns the scheduler would pick anyway, and
+	// on platforms without sched_setaffinity it degrades to a logged
+	// no-op. Ignored in single-reader mode.
+	PinShards bool
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +183,9 @@ type Engine struct {
 	arrivalDispatch bool
 	bconns          []netio.BatchConn
 	bh              BatchHandler // non-nil when h implements BatchHandler
+	// pinned records that at least one shard worker successfully bound
+	// itself to a CPU (PinShards requested and sched_setaffinity took).
+	pinned atomic.Bool
 
 	shards []*shard
 	pool   sync.Pool

@@ -1,5 +1,7 @@
 package dataplane
 
+import "incod/internal/netio"
+
 // ShardStats is one worker's counters.
 type ShardStats struct {
 	Shard       int    `json:"shard"`
@@ -25,8 +27,14 @@ type ShardStats struct {
 type Stats struct {
 	// Mode is "single-reader" or "batched"; Sockets, RxBatch and TxBatch
 	// describe the batched-mode I/O geometry (Sockets is 1 in
-	// single-reader mode).
+	// single-reader mode). Backend names the transport rung actually
+	// serving a batched engine — "uring", "mmsg" or "single" — which is
+	// how the control plane verifies a requested uring engine didn't
+	// silently degrade. Pinned reports that shard workers are bound to
+	// CPUs.
 	Mode    string `json:"mode"`
+	Backend string `json:"backend,omitempty"`
+	Pinned  bool   `json:"pinned,omitempty"`
 	Sockets int    `json:"sockets"`
 	RxBatch int    `json:"rx_batch,omitempty"`
 	TxBatch int    `json:"tx_batch,omitempty"`
@@ -56,6 +64,19 @@ type Stats struct {
 	// persistent residue indicates a buffer leak.
 	BuffersInFlight int64 `json:"buffers_in_flight"`
 
+	// io_uring backend telemetry, summed across the per-shard rings
+	// (RingEntries/BufRingSize are per ring, identical for every shard).
+	// Resubmits counts multishot recv re-arms, UringStarved the ENOBUFS
+	// subset (the consumer fell a whole buffer ring behind),
+	// UringSendErrors failed async sends, UringEnters io_uring_enter
+	// syscalls across all shards.
+	RingEntries     int    `json:"ring_entries,omitempty"`
+	BufRingSize     int    `json:"bufring_size,omitempty"`
+	Resubmits       uint64 `json:"resubmits,omitempty"`
+	UringStarved    uint64 `json:"uring_starved,omitempty"`
+	UringSendErrors uint64 `json:"uring_send_errors,omitempty"`
+	UringEnters     uint64 `json:"uring_enters,omitempty"`
+
 	// Offload tier telemetry. TierActive reports whether a fast path is
 	// installed right now; the remaining fields describe the most
 	// recently installed tier (lifetime counters survive a shift back to
@@ -84,9 +105,21 @@ func (e *Engine) Snapshot() Stats {
 	}
 	if e.batched {
 		st.Mode = "batched"
+		st.Backend = e.Backend()
+		st.Pinned = e.pinned.Load()
 		st.Sockets = len(e.bconns)
 		st.RxBatch = e.cfg.RxBatch
 		st.TxBatch = e.cfg.TxBatch
+		for _, bc := range e.bconns {
+			if us, ok := netio.UringStatsOf(bc); ok {
+				st.RingEntries = us.RingEntries
+				st.BufRingSize = us.BufRingSize
+				st.Resubmits += us.Resubmits
+				st.UringStarved += us.Starved
+				st.UringSendErrors += us.SendErrors
+				st.UringEnters += us.Enters
+			}
+		}
 	}
 	for i, s := range e.shards {
 		ss := ShardStats{

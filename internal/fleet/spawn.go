@@ -27,6 +27,11 @@ type Spawner struct {
 	Dir string
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
+	// ExtraArgs is appended to every spawned daemon's command line after
+	// the fleet-owned flags, so an operator can push I/O tuning
+	// (-engine uring -sockets 4 -pin) to the whole fleet without the
+	// spawner knowing each flag.
+	ExtraArgs []string
 
 	procs []*Proc
 }
@@ -94,8 +99,9 @@ func (s *Spawner) Spawn(kind, name string) (Member, error) {
 	if kind == "paxos" {
 		args = append(args, "-role", "acceptor", "-id", "0")
 	}
+	args = append(args, s.ExtraArgs...)
 	cmd := exec.Command(filepath.Join(s.BinDir, spec.Binary), args...)
-	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.SysProcAttr = sysProcAttr()
 	p := &Proc{Member: m, cmd: cmd}
 	if s.Dir != "" {
 		if f, err := os.Create(filepath.Join(s.Dir, name+".daemon.log")); err == nil {

@@ -1,0 +1,11 @@
+//go:build !windows
+
+package fleet
+
+import "syscall"
+
+// sysProcAttr puts spawned daemons in their own process group so a
+// fleet teardown signal never reaches the controller itself.
+func sysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Setpgid: true}
+}

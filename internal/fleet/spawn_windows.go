@@ -1,0 +1,8 @@
+//go:build windows
+
+package fleet
+
+import "syscall"
+
+// Windows has no process groups in the POSIX sense; spawn plainly.
+func sysProcAttr() *syscall.SysProcAttr { return nil }

@@ -99,6 +99,12 @@ func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 		}
 	} else {
 		out = h.applyOther(&v, body, now, out)
+		if v.Noreply {
+			// Mutation applied; the protocol's fire-and-forget marker
+			// suppresses the acknowledgement.
+			*scratch = out
+			return nil, false
+		}
 	}
 	*scratch = out
 	return out, true
@@ -189,6 +195,9 @@ func (h *Handler) handleChunk(items []*dataplane.BatchItem) {
 		}
 		out = h.applyOther(v, body, now, out)
 		*it.Scratch = out
+		if v.Noreply {
+			continue // mutation applied, no acknowledgement; it.Out stays empty
+		}
 		it.Out = out
 	}
 	if nGets == 0 {

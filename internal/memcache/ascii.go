@@ -31,11 +31,14 @@ func (o Op) String() string {
 }
 
 // Request is a parsed memcached ASCII request. Multi-key gets ("get k1
-// k2 ...") set Key to the first key and Extra to the rest.
+// k2 ...") set Key to the first key and Extra to the rest. Noreply is
+// the protocol's fire-and-forget marker on mutations: the server applies
+// the operation and sends nothing back.
 type Request struct {
 	Op      Op
 	Key     string
 	Extra   []string
+	Noreply bool
 	Flags   uint32
 	Exptime int64
 	Value   []byte
@@ -88,7 +91,10 @@ func ParseRequest(body []byte) (Request, error) {
 		}
 		return req, nil
 	case "set":
-		if len(fields) != 5 {
+		noreply := false
+		if len(fields) == 6 && string(fields[5]) == "noreply" {
+			noreply = true
+		} else if len(fields) != 5 {
 			return Request{}, ErrMalformed
 		}
 		key := string(fields[1])
@@ -112,16 +118,19 @@ func ParseRequest(body []byte) (Request, error) {
 		}
 		val := make([]byte, n)
 		copy(val, rest[:n])
-		return Request{Op: OpSet, Key: key, Flags: uint32(flags), Exptime: exp, Value: val}, nil
+		return Request{Op: OpSet, Key: key, Noreply: noreply, Flags: uint32(flags), Exptime: exp, Value: val}, nil
 	case "delete":
-		if len(fields) != 2 {
+		noreply := false
+		if len(fields) == 3 && string(fields[2]) == "noreply" {
+			noreply = true
+		} else if len(fields) != 2 {
 			return Request{}, ErrMalformed
 		}
 		key := string(fields[1])
 		if len(key) > MaxKeyLen {
 			return Request{}, ErrKeyTooLong
 		}
-		return Request{Op: OpDelete, Key: key}, nil
+		return Request{Op: OpDelete, Key: key, Noreply: noreply}, nil
 	}
 	return Request{}, ErrUnsupportedCommand
 }
@@ -139,13 +148,20 @@ func EncodeRequest(r Request) []byte {
 		}
 		b.Write(crlf)
 	case OpSet:
-		fmt.Fprintf(&b, "set %s %d %d %d\r\n", r.Key, r.Flags, r.Exptime, len(r.Value))
+		fmt.Fprintf(&b, "set %s %d %d %d%s\r\n", r.Key, r.Flags, r.Exptime, len(r.Value), noreplySuffix(r.Noreply))
 		b.Write(r.Value)
 		b.Write(crlf)
 	case OpDelete:
-		fmt.Fprintf(&b, "delete %s\r\n", r.Key)
+		fmt.Fprintf(&b, "delete %s%s\r\n", r.Key, noreplySuffix(r.Noreply))
 	}
 	return b.Bytes()
+}
+
+func noreplySuffix(noreply bool) string {
+	if noreply {
+		return " noreply"
+	}
+	return ""
 }
 
 // Item is one VALUE block in a get response.

@@ -96,7 +96,9 @@ func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Op: OpGet, Key: "alpha"},
 		{Op: OpSet, Key: "beta", Flags: 3, Exptime: 100, Value: []byte("v")},
+		{Op: OpSet, Key: "beta2", Flags: 3, Exptime: 100, Value: []byte("v"), Noreply: true},
 		{Op: OpDelete, Key: "gamma"},
+		{Op: OpDelete, Key: "gamma2", Noreply: true},
 	}
 	for _, want := range reqs {
 		got, err := ParseRequest(EncodeRequest(want))
@@ -104,7 +106,8 @@ func TestRequestRoundTrip(t *testing.T) {
 			t.Fatalf("%v: %v", want.Op, err)
 		}
 		if got.Op != want.Op || got.Key != want.Key || got.Flags != want.Flags ||
-			got.Exptime != want.Exptime || !bytes.Equal(got.Value, want.Value) {
+			got.Exptime != want.Exptime || !bytes.Equal(got.Value, want.Value) ||
+			got.Noreply != want.Noreply {
 			t.Errorf("round trip: got %+v, want %+v", got, want)
 		}
 	}

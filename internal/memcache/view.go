@@ -19,6 +19,7 @@ type RequestView struct {
 	Op       Op
 	Key      []byte
 	MultiKey bool
+	Noreply  bool
 	Flags    uint32
 	Exptime  int64
 	Value    []byte
@@ -128,13 +129,15 @@ func ParseRequestView(body []byte, v *RequestView) error {
 		if !ok || n > uint64(len(rest)) {
 			return ErrMalformed
 		}
-		if extra, _ := nextField(line); len(extra) > 0 {
-			return ErrMalformed
+		noreply, err := parseNoreply(line)
+		if err != nil {
+			return err
 		}
 		if !bytes.HasPrefix(rest[n:], crlf) {
 			return ErrMalformed
 		}
 		v.Op, v.Key, v.Flags, v.Exptime, v.Value = OpSet, key, uint32(flags), exp, rest[:n]
+		v.Noreply = noreply
 		return nil
 	case "delete":
 		key, line := nextField(line)
@@ -144,13 +147,30 @@ func ParseRequestView(body []byte, v *RequestView) error {
 		if len(key) > MaxKeyLen {
 			return ErrKeyTooLong
 		}
-		if extra, _ := nextField(line); len(extra) > 0 {
-			return ErrMalformed
+		noreply, err := parseNoreply(line)
+		if err != nil {
+			return err
 		}
-		v.Op, v.Key = OpDelete, key
+		v.Op, v.Key, v.Noreply = OpDelete, key, noreply
 		return nil
 	}
 	return ErrUnsupportedCommand
+}
+
+// parseNoreply consumes an optional trailing "noreply" token (mutations
+// only, per the memcached protocol); anything else trailing is malformed.
+func parseNoreply(line []byte) (bool, error) {
+	tok, line := nextField(line)
+	if len(tok) == 0 {
+		return false, nil
+	}
+	if string(tok) != "noreply" {
+		return false, ErrMalformed
+	}
+	if extra, _ := nextField(line); len(extra) > 0 {
+		return false, ErrMalformed
+	}
+	return true, nil
 }
 
 // AppendStatus appends a one-line status response ("STORED", "END", ...).

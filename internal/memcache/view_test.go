@@ -20,6 +20,11 @@ func TestParseRequestViewParity(t *testing.T) {
 		"set k x 0 5\r\nhello\r\n",
 		"set k 0 0 99\r\nshort\r\n",
 		"set k 0 0 5 extra\r\nhello\r\n",
+		"set k 7 30 5 noreply\r\nhello\r\n",
+		"set k 0 0 5 noreply extra\r\nhello\r\n",
+		"delete k noreply\r\n",
+		"delete k noreply extra\r\n",
+		"delete k norep\r\n",
 		"set k\t0 0 5\r\nhello\r\n", // bytes.Fields splits on any whitespace
 		"get\ta\nb\r\n",
 		"delete a b\r\n",
@@ -44,6 +49,9 @@ func TestParseRequestViewParity(t *testing.T) {
 		}
 		if v.MultiKey != (len(want.Extra) > 0) {
 			t.Fatalf("%q: MultiKey=%v, extra=%v", in, v.MultiKey, want.Extra)
+		}
+		if v.Noreply != want.Noreply {
+			t.Fatalf("%q: Noreply=%v, want %v", in, v.Noreply, want.Noreply)
 		}
 		if v.Flags != want.Flags || v.Exptime != want.Exptime {
 			t.Fatalf("%q: flags/exptime %d/%d != %d/%d", in, v.Flags, v.Exptime, want.Flags, want.Exptime)

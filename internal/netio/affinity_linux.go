@@ -1,0 +1,57 @@
+//go:build linux && (amd64 || arm64)
+
+package netio
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// PinThread binds the calling OS thread to the given CPU via
+// sched_setaffinity. Callers must hold the thread first with
+// runtime.LockOSThread, or the Go scheduler will migrate the goroutine
+// off the pinned thread.
+func PinThread(cpu int) error {
+	if cpu < 0 {
+		return fmt.Errorf("netio: pin to negative cpu %d", cpu)
+	}
+	var mask [16]uint64 // 1024 CPUs, same size as glibc's cpu_set_t
+	if cpu >= len(mask)*64 {
+		return fmt.Errorf("netio: cpu %d out of range", cpu)
+	}
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.Syscall(sysSchedSetaffinity, 0,
+		unsafe.Sizeof(mask), uintptr(unsafe.Pointer(&mask)))
+	if errno != 0 {
+		return fmt.Errorf("netio: sched_setaffinity(cpu=%d): %v", cpu, errno)
+	}
+	return nil
+}
+
+// soBusyPoll is SO_BUSY_POLL, not in the frozen syscall package.
+const soBusyPoll = 46
+
+// SetBusyPoll enables kernel busy-polling on the socket for the given
+// number of microseconds: blocked receives spin on the device queue
+// before sleeping, trading CPU for latency. Requires a *net.UDPConn;
+// typical values are 50–200 µs.
+func SetBusyPoll(pc net.PacketConn, usec int) error {
+	udp, ok := pc.(*net.UDPConn)
+	if !ok {
+		return fmt.Errorf("netio: busy-poll needs a *net.UDPConn, got %T", pc)
+	}
+	rc, err := udp.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	err = rc.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soBusyPoll, usec)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,21 +1,111 @@
-// Package netio is the batched socket layer under the dataplane: many
-// datagrams per syscall instead of one.
+// Package netio is the batched socket layer under the dataplane. It
+// offers one seam — BatchConn, reading and writing slices of Messages —
+// over three transport rungs, each amortizing more per-packet cost than
+// the one below:
 //
-// The paper's offload argument is that the NIC amortizes per-packet cost
-// the host cannot; the standard software answer is to amortize the
-// per-packet *syscall* cost, which is what this package does. A
-// BatchConn reads and writes slices of Messages — on Linux through
-// recvmmsg(2)/sendmmsg(2) reached via syscall.RawConn (so the runtime
-// netpoller still parks the goroutine between batches and read deadlines
-// keep working), everywhere else through a one-datagram-per-call
-// fallback with identical semantics. No dependency beyond the standard
-// library's syscall package is used.
+//	single  one recvfrom/sendto per datagram through net.PacketConn.
+//	        Portable everywhere; the correctness baseline every other
+//	        rung must match byte for byte.
+//	mmsg    recvmmsg(2)/sendmmsg(2) via syscall.RawConn: many datagrams
+//	        per syscall, with the runtime netpoller still parking the
+//	        goroutine between batches. Linux only; the default.
+//	uring   receive side rebuilt around io_uring: one multishot RECVMSG
+//	        stays armed on the socket, the kernel delivers each datagram
+//	        into a registered provided-buffer ring and posts a
+//	        completion, and a loaded socket is drained from mmap'd
+//	        memory with no receive syscall at steady state. The socket
+//	        also opts into UDP GRO, so a GSO sender's whole train lands
+//	        as one coalesced completion that the conn splits back into
+//	        per-datagram Messages — kernel cost per train, not per
+//	        datagram. Transmit stays on the sendmmsg path shared with
+//	        the mmsg rung: profiles show SENDMSG SQEs costing ~40% more
+//	        than sendmmsg for inline UDP sends, so the ring owns only
+//	        the direction it wins. Linux amd64/arm64, raw syscalls,
+//	        stdlib only.
+//
+// The paper's offload argument is that the NIC amortizes per-packet
+// cost the host cannot; these rungs are the software end of that same
+// curve — syscall-per-packet, then syscall-per-batch, then (on the
+// receive side) no syscall and, under GSO/GRO, one kernel traversal per
+// train.
+//
+// # Choosing a rung
+//
+// NewBatchConn returns mmsg on Linux and single elsewhere; callers
+// treat it as "the best portable default". NewUringConn is explicit
+// opt-in (the daemons' -engine uring): it can fail on kernels without
+// the needed io_uring features, so callers probe first (ProbeUring
+// runs a cached loopback self-roundtrip) and degrade to NewBatchConn
+// when it errors. BackendOf names the rung a conn actually landed on
+// ("single", "mmsg", "uring"), which the dataplane surfaces in
+// /v1/dataplane stats — the reported backend is always the truth, not
+// the request.
+//
+// # Ownership rules (uring)
+//
+// The provided-buffer ring and its data slab belong to the conn: the
+// kernel picks a buffer per completion, the conn parses it and copies
+// the payload out into the caller's Message.Buf during ReadBatch, then
+// recycles the buffer to the ring. A GRO-coalesced completion holds a
+// whole train; its buffer stays claimed until every segment has been
+// delivered (possibly across ReadBatch calls). A starved ring (every
+// buffer claimed by undelivered completions) kills the multishot with
+// ENOBUFS; the conn re-arms it once delivery recycles buffers and
+// counts the event in UringStats.Resubmits / Starved. WriteBatch never
+// touches the ring: it flushes through the same sendmmsg loop as the
+// mmsg rung on its own lock, the caller's buffers are free the moment
+// it returns, and per-send errors are counted rather than returned,
+// matching UDP's fire-and-forget contract.
+//
+// A uring conn supports one goroutine in ReadBatch concurrently with
+// one in WriteBatch (a loadgen's receiver/sender split); the ring
+// mutex is never held across a blocking wait, so neither direction
+// can starve the other.
+//
+// # How the reader waits (uring)
+//
+// An empty ReadBatch never blocks an OS thread in io_uring_enter if it
+// can help it. It spins a few yield-and-peek rounds first —
+// runtime.Gosched, then a zero-wait GETEVENTS enter to run deferred
+// completion work — which under load finds the next batch without ever
+// sleeping. Only then does it park the goroutine on a registered CQ
+// eventfd through the runtime netpoller, exactly how the other rungs
+// wait for a socket: the P stays free for the peers whose traffic
+// produces the next completion. While the reader is awake the eventfd
+// is suppressed via IORING_CQ_EVENTFD_DISABLED (the NAPI trick), so
+// senders never pay a wakeup per datagram they complete; the flag is
+// re-enabled only on the edge of parking, with a final reap to close
+// the race. Kernels where the eventfd cannot be registered fall back
+// to bounded enter waits.
+//
+// # Reuseport groups, pinning and busy-polling
 //
 // ListenReusePortGroup opens N UDP sockets bound to the same address
-// with SO_REUSEPORT, so the kernel spreads inbound flows across them by
-// 4-tuple hash. That is the substrate of the dataplane's per-shard-
-// socket mode: one socket per shard worker, each reading its own
-// batches, with no shared reader to serialize behind. Off Linux a group
-// of one socket still works; asking for more reports an error, which the
-// daemons surface at startup.
+// with SO_REUSEPORT, so the kernel spreads inbound flows across them
+// by 4-tuple hash. That is the substrate of the dataplane's
+// per-shard-socket mode: one socket per shard worker, each draining
+// its own batches, no shared reader to serialize behind. Off Linux a
+// group of one socket still works; asking for more reports an error,
+// which the daemons surface at startup.
+//
+// PinThread (sched_setaffinity) pins the calling OS thread to a CPU;
+// the dataplane uses it for per-shard affinity (-pin), which helps
+// when shards <= cores — stable cache residency, no cross-CPU wakeup
+// — and actively hurts when shards exceed cores, since pinned workers
+// can no longer migrate off a contended CPU. SetBusyPoll arms
+// SO_BUSY_POLL, trading spin CPU for receive latency; it only pays on
+// an otherwise idle core, so it is off by default and a flag
+// (-busypoll) where it matters.
+//
+// # Saturating the server: GSO on the send side
+//
+// EnableGSO arms UDP_SEGMENT on a load generator's socket: one send
+// call carries a train of equal-size datagrams the kernel segments at
+// delivery, collapsing the generator's dominant per-datagram send cost
+// to per-train. Paired with a GRO-enabled uring server the whole
+// loopback path — send syscall, socket delivery, wakeup, completion —
+// runs once per train, which is what lets a single host push enough
+// load to expose the server's own ceiling instead of the loadgen's.
+//
+// Everything here uses the standard library's syscall package only.
 package netio

@@ -1,0 +1,9 @@
+//go:build !netio_fallback
+
+package netio
+
+// forceFallback is flipped on by the netio_fallback build tag, which
+// forces NewBatchConn to the portable singleConn path (and fails the
+// uring probe) so CI can run the fallback under -race on linux instead
+// of only cross-compiling it.
+const forceFallback = false

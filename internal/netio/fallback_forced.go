@@ -1,0 +1,9 @@
+//go:build netio_fallback
+
+package netio
+
+// The netio_fallback build tag forces the portable singleConn backend
+// everywhere (and fails the uring probe), so the code path that
+// normally only runs on non-Linux platforms gets exercised by the linux
+// -race CI leg.
+const forceFallback = true

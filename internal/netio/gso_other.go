@@ -1,0 +1,14 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netio
+
+import (
+	"errors"
+	"net"
+)
+
+// EnableGSO requires linux's UDP_SEGMENT; other platforms send one
+// datagram per call.
+func EnableGSO(c *net.UDPConn, segSize int) error {
+	return errors.New("netio: UDP GSO requires linux")
+}

@@ -71,6 +71,9 @@ func (c *mmsgConn) LocalAddr() net.Addr               { return c.udp.LocalAddr()
 func (c *mmsgConn) Close() error                      { return c.udp.Close() }
 func (c *mmsgConn) SetReadDeadline(t time.Time) error { return c.udp.SetReadDeadline(t) }
 
+// Backend names the transport rung for stats and logs.
+func (c *mmsgConn) Backend() string { return "mmsg" }
+
 func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
 	if len(ms) == 0 {
 		return 0, nil
@@ -126,37 +129,47 @@ func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
 }
 
 func (c *mmsgConn) WriteBatch(ms []Message) (int, error) {
+	return sendmmsgBatch(c.rc, &c.tx, ms, c.ip4)
+}
+
+// sendmmsgBatch flushes ms through a sendmmsg(2) loop on rc's fd using
+// tx's reusable header vector, parking in the netpoller on EAGAIN.
+// Shared by the mmsg conn and by the uring conn's transmit side: for
+// inline UDP sends sendmmsg is the cheapest batch primitive the kernel
+// offers (an io_uring SENDMSG SQE buys async punting this workload
+// never needs, at the cost of a request lifecycle per datagram).
+func sendmmsgBatch(rc syscall.RawConn, tx *mmsgScratch, ms []Message, ip4 bool) (int, error) {
 	if len(ms) == 0 {
 		return 0, nil
 	}
-	c.tx.mu.Lock()
-	defer c.tx.mu.Unlock()
-	c.tx.ensure(len(ms))
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	tx.ensure(len(ms))
 	for i := range ms {
 		m := &ms[i]
-		iov := &c.tx.iovs[i]
+		iov := &tx.iovs[i]
 		iov.Base = nil
 		if m.N > 0 {
 			iov.Base = &m.Buf[0]
 		}
 		iov.SetLen(m.N)
-		h := &c.tx.hdrs[i]
+		h := &tx.hdrs[i]
 		h.hdr = syscall.Msghdr{Iov: iov}
 		h.hdr.Iovlen = 1
 		h.n = 0
 		if m.Src.IsValid() {
-			h.hdr.Name = (*byte)(unsafe.Pointer(&c.tx.names[i]))
-			h.hdr.Namelen = putSockaddr(&c.tx.names[i], m.Src, c.ip4)
+			h.hdr.Name = (*byte)(unsafe.Pointer(&tx.names[i]))
+			h.hdr.Namelen = putSockaddr(&tx.names[i], m.Src, ip4)
 		}
 	}
 	sent := 0
 	for sent < len(ms) {
 		var n int
 		var operr syscall.Errno
-		err := c.rc.Write(func(fd uintptr) bool {
+		err := rc.Write(func(fd uintptr) bool {
 			for {
 				r, _, errno := syscall.Syscall6(sysSendmmsg, fd,
-					uintptr(unsafe.Pointer(&c.tx.hdrs[sent])), uintptr(len(ms)-sent),
+					uintptr(unsafe.Pointer(&tx.hdrs[sent])), uintptr(len(ms)-sent),
 					uintptr(syscall.MSG_DONTWAIT), 0, 0)
 				switch errno {
 				case 0:

@@ -39,9 +39,19 @@ type BatchConn interface {
 // other platforms) gets a portable one-datagram-per-ReadBatch fallback
 // with identical semantics.
 func NewBatchConn(pc net.PacketConn) BatchConn {
-	if bc := newMmsgConn(pc); bc != nil {
-		return bc
+	if !forceFallback {
+		if bc := newMmsgConn(pc); bc != nil {
+			return bc
+		}
 	}
+	return &singleConn{pc: pc}
+}
+
+// NewSingleConn wraps pc in the portable one-datagram-per-call backend
+// unconditionally, bypassing the mmsg upgrade. Benches and the engine
+// selector use it to measure (or force) the lowest transport rung on
+// platforms where NewBatchConn would pick a faster one.
+func NewSingleConn(pc net.PacketConn) BatchConn {
 	return &singleConn{pc: pc}
 }
 
@@ -102,6 +112,9 @@ func (c *singleConn) WriteBatch(ms []Message) (int, error) {
 func (c *singleConn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
 func (c *singleConn) LocalAddr() net.Addr               { return c.pc.LocalAddr() }
 func (c *singleConn) Close() error                      { return c.pc.Close() }
+
+// Backend names the transport rung for stats and logs.
+func (c *singleConn) Backend() string { return "single" }
 
 // AddrPortOf extracts a netip.AddrPort from a net.Addr: the fast path
 // for *net.UDPAddr, otherwise by parsing a.String() — which covers

@@ -1,0 +1,19 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package netio
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+)
+
+// NewUringConn is unavailable off linux/amd64+arm64; callers select the
+// mmsg or portable backend via NewBatchConn instead.
+func NewUringConn(pc net.PacketConn, cfg UringConfig) (BatchConn, error) {
+	return nil, fmt.Errorf("%w: %s/%s", ErrUringUnsupported, runtime.GOOS, runtime.GOARCH)
+}
+
+func probeUring() error {
+	return fmt.Errorf("%w: %s/%s", ErrUringUnsupported, runtime.GOOS, runtime.GOARCH)
+}

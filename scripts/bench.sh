@@ -4,13 +4,20 @@
 #
 # Covers the dataplane handler hot paths (KVS/DNS/Paxos, single and
 # batched — the 0 B/op acceptance surfaces), the codec micro-benches,
-# the per-protocol batched loopback throughput benches (achieved-kpps),
-# the engine loopback benches and the NIC-tier hit path.
+# the per-protocol batched and uring loopback throughput benches
+# (achieved-kpps), the engine three-way transport sweep
+# (single/mmsg/uring at 1/2/4 shards) and the NIC-tier hit path.
+#
+# After writing the snapshot it diffs against the newest committed
+# BENCH_*.json via cmd/incbenchdiff and fails (nonzero exit) on any
+# hot-path ns/op or loopback kpps regression beyond the tolerance.
 #
 # Usage:
-#   ./scripts/bench.sh                 # ~full run, writes BENCH_5.json
+#   ./scripts/bench.sh                 # ~full run, writes BENCH_7.json
 #   BENCH_TIME=1x ./scripts/bench.sh   # CI smoke: one iteration per bench
 #   BENCH_OUT=out.json ./scripts/bench.sh
+#   BENCH_MAX_REGRESS=75 ./scripts/bench.sh  # cross-host tolerance
+#   BENCH_DIFF=0 ./scripts/bench.sh          # skip the regression diff
 #
 # Output schema (incod-bench/v1): one entry per benchmark with
 # ns_per_op / b_per_op / allocs_per_op and any custom metrics
@@ -18,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_5.json}"
+OUT="${BENCH_OUT:-BENCH_7.json}"
 BENCHTIME="${BENCH_TIME:-200ms}"
 # The loopback throughput benches need a fixed, large-enough request
 # count: time-based calibration lands on small b.N where connection
@@ -37,10 +44,11 @@ run_bench() {
 
 # The serving hot paths and codecs (root suite).
 run_bench . 'DataplaneKVS|DataplaneBatchedKVS|DataplaneDNS|DataplaneBatchedDNS|DataplanePaxos|DataplaneBatchedPaxos|DataplaneShardedStore|MemcacheParseGet|PaxosCodec|DNSCodec|DNSQuestionView' "$BENCHTIME"
-# Per-protocol loopback kpps in batched mode.
-run_bench . 'LoopbackBatched' "$LOOPTIME"
-# The engine's batched-vs-single loopback comparison.
-run_bench ./internal/dataplane 'DataplaneBatchedLoopback|DataplaneSingleReaderLoopback' "$LOOPTIME"
+# Per-protocol loopback kpps, batched (recvmmsg) and io_uring modes.
+run_bench . 'LoopbackBatched|LoopbackUring' "$LOOPTIME"
+# The engine's batched-vs-single loopback comparison plus the three-way
+# transport sweep (single/mmsg/uring at 1/2/4 shards).
+run_bench ./internal/dataplane 'DataplaneBatchedLoopback|DataplaneSingleReaderLoopback|DataplaneEngineLoopback' "$LOOPTIME"
 # The offload tier's zero-alloc GET hit.
 run_bench ./internal/nictier 'NICTier' "$BENCHTIME"
 
@@ -83,3 +91,18 @@ END {
 ' "$raw" > "$OUT"
 
 echo "bench.sh: wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT" >&2
+
+# Regression gate: diff the fresh snapshot against the newest committed
+# BENCH_*.json (by number, skipping the file we just wrote). Same-host
+# runs use the strict default; CI smoke on unknown hardware passes a
+# generous BENCH_MAX_REGRESS so only collapses fail, not host variance.
+if [ "${BENCH_DIFF:-1}" != "0" ]; then
+  baseline="$(git ls-files 'BENCH_*.json' | sort -t_ -k2 -n | grep -Fvx "$(basename "$OUT")" | tail -1 || true)"
+  if [ -n "$baseline" ]; then
+    echo "bench.sh: diffing $OUT against committed $baseline" >&2
+    go run ./cmd/incbenchdiff -old "$baseline" -new "$OUT" \
+      -tolerance "${BENCH_MAX_REGRESS:-15}"
+  else
+    echo "bench.sh: no committed BENCH_*.json baseline; skipping diff" >&2
+  fi
+fi
