@@ -47,6 +47,7 @@ func main() {
 		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
 	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
 	pin := flag.Bool("pin", false, "pin each batched shard worker to a CPU via sched_setaffinity")
+	gsoTx := flag.Bool("gsotx", false, "coalesce same-destination replies into UDP_SEGMENT trains in batched mode (degrades to per-datagram sends on kernels without UDP_SEGMENT)")
 	zonePath := flag.String("zone", "", "zone file (name ipv4 [ttl] per line); empty = demo zone")
 	crossKpps := flag.Float64("crossover", 150, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -68,7 +69,7 @@ func main() {
 
 	eng, err := daemon.ListenEngine(
 		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
-			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin},
+			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx},
 		dns.NewHandler(zone), dataplane.Config{
 			Name: "incdnsd", Shards: *shards,
 			// DNS datagrams are small; a tight bound also caps the

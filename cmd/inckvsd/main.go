@@ -41,6 +41,7 @@ func main() {
 		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
 	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
 	pin := flag.Bool("pin", false, "pin each batched shard worker to a CPU via sched_setaffinity")
+	gsoTx := flag.Bool("gsotx", false, "coalesce same-destination replies into UDP_SEGMENT trains in batched mode (degrades to per-datagram sends on kernels without UDP_SEGMENT)")
 	maxEntries := flag.Int("max-entries", 0, "LRU-bound the store to this many entries (0 = unbounded)")
 	crossKpps := flag.Float64("crossover", 80, "software/hardware crossover (kpps)")
 	policy := flag.String("policy", "threshold",
@@ -54,7 +55,7 @@ func main() {
 	handler := kvs.NewHandler(store)
 	eng, err := daemon.ListenEngine(
 		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
-			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin},
+			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx},
 		handler, dataplane.Config{Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey})
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)

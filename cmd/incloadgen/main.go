@@ -95,6 +95,8 @@ func main() {
 		"client transport: \"\" auto (recvmmsg/sendmmsg on linux) | uring (io_uring rings) | single (portable fallback)")
 	fast := flag.Bool("fast", false,
 		"saturating fast-send mode: pre-encoded request images blasted open-loop from one worker per socket for -duration; ignores -rate/-profile, samples latency 1/64")
+	gsoTx := flag.Bool("gsotx", false,
+		"fast mode: pack runs of equal-size request images into UDP_SEGMENT trains, one send per train (degrades to per-datagram sends on kernels without UDP_SEGMENT)")
 	reportPath := flag.String("report", "", "write the final run report as JSON to this path on exit")
 	quiet := flag.Bool("quiet", false, "suppress per-phase progress logs (final summary still printed)")
 	flag.Parse()
@@ -103,8 +105,11 @@ func main() {
 	var err error
 	if *fast {
 		rep, err = runFast(*proto, *target, *duration, *keys, *preload,
-			*sockets, *rxBatch, *txBatch, *engine, *quiet)
+			*sockets, *rxBatch, *txBatch, *engine, *gsoTx, *quiet)
 	} else {
+		if *gsoTx {
+			log.Printf("incloadgen: -gsotx only applies to -fast mode; ignoring")
+		}
 		rep, err = run(*proto, *target, *rate, *duration, *keys, *preload,
 			*sockets, *rxBatch, *txBatch, *profile, *engine, *quiet)
 	}
@@ -377,10 +382,16 @@ const fastSampleEvery = 64
 // run() tops out near 300–400 kpps per core on encode + bookkeeping
 // long before the server does.
 func runFast(proto, target string, duration time.Duration, keys uint64,
-	preload bool, sockets, rxBatch, txBatch int, engine string, quiet bool) (*RunReport, error) {
+	preload bool, sockets, rxBatch, txBatch int, engine string, gsoTx, quiet bool) (*RunReport, error) {
 	rep := &RunReport{Proto: proto, Target: target, Phases: 1}
 	if sockets < 1 {
 		sockets = 1
+	}
+	if gsoTx {
+		if err := netio.ProbeGSO(); err != nil {
+			log.Printf("incloadgen: GSO TX unavailable, sending per-datagram: %v", err)
+			gsoTx = false
+		}
 	}
 	if rxBatch < 1 {
 		rxBatch = 1
@@ -493,8 +504,52 @@ func runFast(proto, target string, duration time.Duration, keys uint64,
 		go func(w *fastWorker, off uint64) {
 			defer sendWG.Done()
 			msgs := make([]netio.Message, txBatch)
+			// With -gsotx, runs of equal-size images are copied into these
+			// reusable buffers and sent as UDP_SEGMENT trains — at most one
+			// train buffer per message slot, since a run never splits.
+			var trainBufs [][]byte
+			if gsoTx {
+				trainBufs = make([][]byte, txBatch)
+			}
 			idx := off // decorrelate the workers' id phases
 			for time.Now().Before(deadline) {
+				if gsoTx {
+					out := msgs[:0]
+					n := 0
+					for n < txBatch {
+						segSize := len(images[uint16(idx)])
+						buf := trainBufs[len(out)][:0]
+						segs := 0
+						for n < txBatch && segs < netio.MaxTrainSegs {
+							id := uint16(idx)
+							img := images[id]
+							if len(img) != segSize || len(buf)+len(img) > netio.MaxTrainBytes {
+								break
+							}
+							buf = append(buf, img...)
+							if id%fastSampleEvery == 0 {
+								w.mu.Lock()
+								w.pending[id] = time.Now()
+								w.mu.Unlock()
+							}
+							idx++
+							n++
+							segs++
+						}
+						trainBufs[len(out)] = buf
+						m := netio.Message{Buf: buf, N: len(buf)}
+						if segs > 1 {
+							m.SegSize = segSize
+						}
+						out = append(out, m)
+					}
+					if _, err := w.bc.WriteBatch(out); err != nil {
+						errCh <- fmt.Errorf("fast send: %w", err)
+						return
+					}
+					w.sent += uint64(n)
+					continue
+				}
 				for j := range msgs {
 					id := uint16(idx)
 					img := images[id]

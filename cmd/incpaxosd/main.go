@@ -47,6 +47,7 @@ func main() {
 		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
 	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
 	pin := flag.Bool("pin", false, "pin each batched shard worker to a CPU via sched_setaffinity")
+	gsoTx := flag.Bool("gsotx", false, "coalesce same-destination replies into UDP_SEGMENT trains in batched mode (degrades to per-datagram sends on kernels without UDP_SEGMENT)")
 	id := flag.Int("id", 0, "acceptor id")
 	ballot := flag.Int("ballot", 1, "leader ballot (epoch); a replacement leader must use a higher one")
 	acceptors := flag.String("acceptors", "", "comma-separated acceptor addresses (leader)")
@@ -94,7 +95,7 @@ func main() {
 		log.Printf("incpaxosd: -nictier only offloads the acceptor role (P4xos, §3.2); ignoring for %q", *role)
 	}
 	io := daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
-		Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin}
+		Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx}
 	var r serverRole
 	switch *role {
 	case "acceptor":

@@ -33,6 +33,12 @@ type EngineOptions struct {
 	BusyPollUs int
 	// Pin locks each shard worker to a CPU (dataplane.Config.PinShards).
 	Pin bool
+	// GSOTx requests train-oriented reply transmission
+	// (dataplane.Config.GSOTx): replies to one destination are coalesced
+	// into UDP_SEGMENT trains per flush. Degrades to per-datagram sends —
+	// with a logged warning — on kernels without UDP_SEGMENT. Ignored
+	// when Sockets is 0.
+	GSOTx bool
 }
 
 // ListenEngine opens o.Addr and builds the serving engine in the mode
@@ -44,6 +50,7 @@ type EngineOptions struct {
 func ListenEngine(o EngineOptions, h dataplane.Handler, cfg dataplane.Config) (*dataplane.Engine, error) {
 	cfg.RxBatch, cfg.TxBatch = o.RxBatch, o.TxBatch
 	cfg.PinShards = o.Pin
+	cfg.GSOTx = o.GSOTx
 	if o.Sockets <= 0 {
 		conn, err := net.ListenPacket("udp", o.Addr)
 		if err != nil {

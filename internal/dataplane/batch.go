@@ -91,6 +91,13 @@ func NewBatchedConns(conns []net.PacketConn, bcs []netio.BatchConn, h Handler, c
 	e.arrivalDispatch = arrival
 	e.bconns = bcs
 	e.bh, _ = h.(BatchHandler)
+	if cfg.GSOTx {
+		if err := netio.ProbeGSO(); err != nil {
+			log.Printf("%s: GSO TX requested but unavailable, serving per-datagram: %v", cfg.Name, err)
+		} else {
+			e.gsoTx = true
+		}
+	}
 	return e
 }
 
@@ -134,6 +141,15 @@ type batchState struct {
 
 	qpkts []packet
 	tx    []netio.Message
+
+	// GSO train-building scratch (engine.gsoTx): txOut is the staged
+	// send vector after coalescing, trainBufs the reused buffers train
+	// payloads are copied into (replies may alias receive buffers, and a
+	// train must survive until the uring CQE; the copy settles both).
+	txOut     []netio.Message
+	txUsed    []bool
+	txIdx     []int
+	trainBufs [][]byte
 }
 
 func (e *Engine) newBatchState(i int) *batchState {
@@ -148,6 +164,9 @@ func (e *Engine) newBatchState(i int) *batchState {
 		replyBufs: make([][]byte, n),
 		qpkts:     make([]packet, 0, n),
 		tx:        make([]netio.Message, 0, n),
+		txOut:     make([]netio.Message, 0, n),
+		txUsed:    make([]bool, 0, n),
+		txIdx:     make([]int, 0, n),
 	}
 	for k := range w.replyBufs {
 		w.replyBufs[k] = make([]byte, 0, 512)
@@ -413,16 +432,27 @@ func (w *batchState) processItems(items []*BatchItem) {
 	}
 }
 
-// flushTx sends the staged replies, at most TxBatch per sendmmsg. A
-// message the socket rejects is counted and skipped; the rest of the
-// batch still goes out.
+// flushTx sends the staged replies, at most TxBatch per WriteBatch call.
+// With GSO TX active the staged replies are first coalesced into
+// destination-grouped UDP_SEGMENT trains; either way a message the
+// socket rejects is counted and skipped, and the rest of the batch still
+// goes out. Replies are counted in wire datagrams, so a train of 32
+// segments is 32 replies.
 func (w *batchState) flushTx() {
 	s := w.s
-	for off := 0; off < len(w.tx); {
-		end := min(off+w.e.cfg.TxBatch, len(w.tx))
-		n, err := w.bc.WriteBatch(w.tx[off:end])
+	out := w.tx
+	if w.e.gsoTx && len(out) > 1 {
+		out = w.buildTrains()
+	}
+	for off := 0; off < len(out); {
+		end := min(off+w.e.cfg.TxBatch, len(out))
+		n, err := w.bc.WriteBatch(out[off:end])
 		s.writeBatches.Add(1)
-		s.replies.Add(uint64(n))
+		sent := uint64(0)
+		for k := off; k < off+n; k++ {
+			sent += uint64(out[k].Segments())
+		}
+		s.replies.Add(sent)
 		if err != nil {
 			s.writeErrs.Add(1)
 			off += n + 1
@@ -431,6 +461,82 @@ func (w *batchState) flushTx() {
 		off = end
 	}
 	w.tx = w.tx[:0]
+}
+
+// buildTrains coalesces the staged replies into GSO trains: messages are
+// grouped by destination (first-seen order across destinations, arrival
+// order within one — the per-flow ordering contract), and each group is
+// cut into equal-segment-size runs. A shorter reply may close a train as
+// its final segment; a longer one starts a new run, exactly the
+// UDP_SEGMENT wire format. Runs of one message pass through untouched
+// (no copy, no cmsg); longer runs are copied into reused train buffers,
+// which also detaches them from the pooled receive buffers a reply may
+// alias. The DNS wire-answer cache and the Paxos encoder produce
+// fixed-size reply images, so in practice one client's whole batch of
+// replies folds into one train.
+func (w *batchState) buildTrains() []netio.Message {
+	out := w.txOut[:0]
+	used := w.txUsed[:0]
+	for range w.tx {
+		used = append(used, false)
+	}
+	trains := 0
+	for i := range w.tx {
+		if used[i] {
+			continue
+		}
+		idx := append(w.txIdx[:0], i)
+		for j := i + 1; j < len(w.tx); j++ {
+			if !used[j] && w.tx[j].Src == w.tx[i].Src {
+				idx = append(idx, j)
+				used[j] = true
+			}
+		}
+		for k := 0; k < len(idx); {
+			segSize := w.tx[idx[k]].N
+			run, total := 1, segSize
+			for k+run < len(idx) && run < netio.MaxTrainSegs {
+				n := w.tx[idx[k+run]].N
+				if n > segSize || total+n > netio.MaxTrainBytes {
+					break
+				}
+				total += n
+				run++
+				if n < segSize {
+					break // a short segment legally ends the train
+				}
+			}
+			if run == 1 || segSize == 0 {
+				out = append(out, w.tx[idx[k]])
+				k++
+				continue
+			}
+			buf := w.trainBuf(trains, total)
+			trains++
+			off := 0
+			for r := 0; r < run; r++ {
+				m := &w.tx[idx[k+r]]
+				off += copy(buf[off:], m.Buf[:m.N])
+			}
+			out = append(out, netio.Message{Buf: buf, N: total, Src: w.tx[i].Src, SegSize: segSize})
+			k += run
+		}
+		w.txIdx = idx[:0]
+	}
+	w.txOut = out[:0]
+	w.txUsed = used[:0]
+	return out
+}
+
+// trainBuf returns the i'th reusable train buffer with at least n bytes.
+func (w *batchState) trainBuf(i, n int) []byte {
+	for len(w.trainBufs) <= i {
+		w.trainBufs = append(w.trainBufs, nil)
+	}
+	if cap(w.trainBufs[i]) < n {
+		w.trainBufs[i] = make([]byte, n)
+	}
+	return w.trainBufs[i][:n]
 }
 
 // release returns the worker's receive-slot buffers to the pool.

@@ -102,6 +102,13 @@ type Config struct {
 	// on platforms without sched_setaffinity it degrades to a logged
 	// no-op. Ignored in single-reader mode.
 	PinShards bool
+	// GSOTx requests train-oriented reply transmission in batched mode:
+	// each shard's flush coalesces consecutive same-destination replies
+	// into UDP_SEGMENT trains before WriteBatch. It only engages when
+	// netio.ProbeGSO passes on this kernel — otherwise the engine logs
+	// the downgrade once and serves per-datagram, so the flag is safe to
+	// set unconditionally. Ignored in single-reader mode.
+	GSOTx bool
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +190,9 @@ type Engine struct {
 	arrivalDispatch bool
 	bconns          []netio.BatchConn
 	bh              BatchHandler // non-nil when h implements BatchHandler
+	// gsoTx is cfg.GSOTx gated on the kernel actually supporting
+	// UDP_SEGMENT trains (ProbeGSO), resolved once at construction.
+	gsoTx bool
 	// pinned records that at least one shard worker successfully bound
 	// itself to a CPU (PinShards requested and sched_setaffinity took).
 	pinned atomic.Bool

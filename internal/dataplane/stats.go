@@ -77,6 +77,22 @@ type Stats struct {
 	UringSendErrors uint64 `json:"uring_send_errors,omitempty"`
 	UringEnters     uint64 `json:"uring_enters,omitempty"`
 
+	// GSO TX telemetry, summed across the per-shard transports. GSOTx
+	// reports whether train-building is engaged (requested AND the kernel
+	// probe passed); the counters report what the transport actually did:
+	// TxTrains coalesced sends handed to the kernel, TxTrainSegs the
+	// datagrams they carried (TxSegsPerTrain the ratio), GSOTxFallbacks
+	// trains unrolled per-datagram by a rung or kernel that refused
+	// UDP_SEGMENT, RingSends trains submitted as io_uring SENDMSG SQEs,
+	// SendZC zero-copy ring sends (always 0 today — SENDMSG_ZC is unused).
+	GSOTx          bool    `json:"gso_tx,omitempty"`
+	TxTrains       uint64  `json:"tx_trains,omitempty"`
+	TxTrainSegs    uint64  `json:"tx_train_segs,omitempty"`
+	TxSegsPerTrain float64 `json:"tx_segs_per_train,omitempty"`
+	GSOTxFallbacks uint64  `json:"gso_tx_fallbacks,omitempty"`
+	RingSends      uint64  `json:"ring_sends,omitempty"`
+	SendZC         uint64  `json:"sendzc,omitempty"`
+
 	// Offload tier telemetry. TierActive reports whether a fast path is
 	// installed right now; the remaining fields describe the most
 	// recently installed tier (lifetime counters survive a shift back to
@@ -119,6 +135,17 @@ func (e *Engine) Snapshot() Stats {
 				st.UringSendErrors += us.SendErrors
 				st.UringEnters += us.Enters
 			}
+			if ts, ok := netio.TxStatsOf(bc); ok {
+				st.TxTrains += ts.Trains
+				st.TxTrainSegs += ts.TrainSegs
+				st.GSOTxFallbacks += ts.Fallbacks
+				st.RingSends += ts.RingSends
+				st.SendZC += ts.SendZC
+			}
+		}
+		st.GSOTx = e.gsoTx
+		if st.TxTrains > 0 {
+			st.TxSegsPerTrain = float64(st.TxTrainSegs) / float64(st.TxTrains)
 		}
 	}
 	for i, s := range e.shards {

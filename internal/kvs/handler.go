@@ -18,8 +18,11 @@ import (
 // parse. Expiry runs against a virtual clock started at construction,
 // matching the simulator's relative-exptime semantics.
 //
-// The single-key GET path — parse, shard lookup, encode — performs zero
-// heap allocations per request.
+// The single-key GET, SET and DELETE paths — parse, shard lookup/mutate,
+// encode — perform zero heap allocations per steady-state request: GETs
+// encode under the shard lock (ShardedStore.AppendGetHit/AppendGetBatch)
+// and SET overwrites reuse the entry's value buffer in place
+// (Store.SetBytes); only a first-time insert allocates.
 type Handler struct {
 	store *ShardedStore
 	epoch time.Time
@@ -90,9 +93,9 @@ func (h *Handler) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 		out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqID, Total: 1})
 	}
 	if v.Op == memcache.OpGet && !v.MultiKey {
-		if e, ok := h.store.Get(v.Key, now); ok {
+		if hit, ok := h.store.AppendGetHit(out, v.Key, now); ok {
 			h.hits.Add(1)
-			out = memcache.AppendGetHit(out, v.Key, e.Flags, e.Value)
+			out = hit
 		} else {
 			h.misses.Add(1)
 			out = memcache.AppendStatus(out, memcache.StatusEnd)
@@ -120,14 +123,14 @@ func (h *Handler) applyOther(v *memcache.RequestView, body []byte, now simnet.Ti
 		if v.Exptime > 0 {
 			exp = int64(now.Add(time.Duration(v.Exptime) * time.Second))
 		}
-		// The view aliases the receive buffer; the store outlives it.
-		val := make([]byte, len(v.Value))
-		copy(val, v.Value)
-		h.store.Set(string(v.Key), Entry{Flags: v.Flags, Value: val, Expires: exp})
+		// The view aliases the receive buffer; SetBytes copies the value
+		// into the store (reusing the entry's buffer on overwrite), so a
+		// steady-state SET allocates nothing.
+		h.store.SetBytes(v.Key, Entry{Flags: v.Flags, Value: v.Value, Expires: exp})
 		out = memcache.AppendStatus(out, memcache.StatusStored)
 	case v.Op == memcache.OpDelete:
 		h.deletes.Add(1)
-		if h.store.Delete(string(v.Key)) {
+		if h.store.DeleteBytes(v.Key) {
 			out = memcache.AppendStatus(out, memcache.StatusDeleted)
 		} else {
 			out = memcache.AppendStatus(out, memcache.StatusNotFound)
@@ -149,12 +152,14 @@ func (h *Handler) applyOther(v *memcache.RequestView, body []byte, now simnet.Ti
 
 // HandleBatch implements dataplane.BatchHandler: the virtual clock is
 // read once per chunk and every single-key GET in the chunk resolves
-// through ShardedStore.GetBatch, so each store shard's lock is taken
-// once per chunk instead of once per request; hit/miss counters are
-// bumped once per chunk too. Mutations apply in batch order during the
-// classification pass, so a GET may observe a later mutation from the
-// same batch early — indistinguishable from UDP reordering, which the
-// protocol already tolerates. The GET hit path allocates nothing.
+// through ShardedStore.AppendGetBatch, so each store shard's lock is
+// taken once per chunk instead of once per request and every hit is
+// encoded onto its reply buffer while that lock is held; hit/miss
+// counters are bumped once per chunk too. Mutations apply in batch order
+// during the classification pass, so a GET may observe a later mutation
+// from the same batch early — indistinguishable from UDP reordering,
+// which the protocol already tolerates. Neither the GET path nor the
+// SET/DELETE path allocates.
 func (h *Handler) HandleBatch(items []*dataplane.BatchItem) {
 	for off := 0; off < len(items); off += getBatchChunk {
 		h.handleChunk(items[off:min(off+getBatchChunk, len(items))])
@@ -164,36 +169,36 @@ func (h *Handler) HandleBatch(items []*dataplane.BatchItem) {
 func (h *Handler) handleChunk(items []*dataplane.BatchItem) {
 	now := simnet.Time(time.Since(h.epoch))
 	var (
-		views   [getBatchChunk]memcache.RequestView
-		framed  [getBatchChunk]bool
-		reqIDs  [getBatchChunk]uint16
-		getIdx  [getBatchChunk]int
-		keys    [getBatchChunk][]byte
-		entries [getBatchChunk]Entry
-		found   [getBatchChunk]bool
+		getIdx [getBatchChunk]int
+		keys   [getBatchChunk][]byte
+		outs   [getBatchChunk]*[]byte
+		found  [getBatchChunk]bool
 	)
 	nGets := 0
 	for i, it := range items {
-		v := &views[i]
-		body, fr, id, ok := parseRequest(it.In, v)
-		framed[i], reqIDs[i] = fr, id
+		var v memcache.RequestView
+		body, fr, id, ok := parseRequest(it.In, &v)
 		if !ok {
 			h.malformed.Add(1)
 			*it.Scratch = memcache.AppendStatus((*it.Scratch)[:0], memcache.StatusError)
 			it.Out = *it.Scratch
 			continue
 		}
-		if v.Op == memcache.OpGet && !v.MultiKey {
-			getIdx[nGets] = i
-			keys[nGets] = v.Key
-			nGets++
-			continue
-		}
 		out := (*it.Scratch)[:0]
 		if fr {
 			out = memcache.AppendFrame(out, memcache.Frame{RequestID: id, Total: 1})
 		}
-		out = h.applyOther(v, body, now, out)
+		if v.Op == memcache.OpGet && !v.MultiKey {
+			// Seed the reply with its frame header now; AppendGetBatch
+			// appends the hit lines under the shard lock.
+			*it.Scratch = out
+			getIdx[nGets] = i
+			keys[nGets] = v.Key
+			outs[nGets] = it.Scratch
+			nGets++
+			continue
+		}
+		out = h.applyOther(&v, body, now, out)
 		*it.Scratch = out
 		if v.Noreply {
 			continue // mutation applied, no acknowledgement; it.Out stays empty
@@ -203,23 +208,16 @@ func (h *Handler) handleChunk(items []*dataplane.BatchItem) {
 	if nGets == 0 {
 		return
 	}
-	h.store.GetBatch(keys[:nGets], now, entries[:nGets], found[:nGets])
+	h.store.AppendGetBatch(keys[:nGets], now, outs[:nGets], found[:nGets])
 	hits := 0
 	for g := 0; g < nGets; g++ {
-		i := getIdx[g]
-		it := items[i]
-		out := (*it.Scratch)[:0]
-		if framed[i] {
-			out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqIDs[i], Total: 1})
-		}
+		it := items[getIdx[g]]
 		if found[g] {
 			hits++
-			out = memcache.AppendGetHit(out, views[i].Key, entries[g].Flags, entries[g].Value)
 		} else {
-			out = memcache.AppendStatus(out, memcache.StatusEnd)
+			*it.Scratch = memcache.AppendStatus(*it.Scratch, memcache.StatusEnd)
 		}
-		*it.Scratch = out
-		it.Out = out
+		it.Out = *it.Scratch
 	}
 	h.hits.Add(uint64(hits))
 	if misses := nGets - hits; misses > 0 {

@@ -64,12 +64,33 @@ func (st *ShardedStore) shardOfString(key string) *storeShard {
 
 // Get returns the entry for key if present and unexpired at now. The key
 // is a byte slice so the serving path stays allocation-free.
+//
+// The returned Entry.Value aliases the store's internal buffer, which a
+// concurrent SetBytes overwrite rewrites in place — consume it before the
+// next mutation can run, or use AppendGetHit, which encodes under the
+// shard lock instead of leaking the alias.
 func (st *ShardedStore) Get(key []byte, now simnet.Time) (Entry, bool) {
 	sh := st.shardOf(key)
 	sh.mu.Lock()
 	e, ok := sh.s.GetBytes(key, now)
 	sh.mu.Unlock()
 	return e, ok
+}
+
+// AppendGetHit resolves key at now and, on a hit, appends the memcached
+// "VALUE ... END" reply to out while the key's shard lock is held — the
+// zero-alloc single-GET serving path. Encoding under the lock is what
+// makes the zero-alloc SetBytes overwrite safe: value bytes are copied
+// onto the reply before any later mutation can reuse their buffer.
+func (st *ShardedStore) AppendGetHit(out []byte, key []byte, now simnet.Time) ([]byte, bool) {
+	sh := st.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.s.GetBytes(key, now)
+	if ok {
+		out = memcache.AppendGetHit(out, key, e.Flags, e.Value)
+	}
+	sh.mu.Unlock()
+	return out, ok
 }
 
 // getBatchChunk is GetBatch's unit of work: its done-set is a uint64
@@ -81,6 +102,10 @@ const getBatchChunk = 64
 // keys hash to the same shard — the batched dataplane's lock
 // amortization hook. All three slices must have equal length. It
 // allocates nothing, so the batched GET hot path stays allocation-free.
+//
+// Returned entries alias the store's value buffers (see Get); serving
+// paths that encode replies should prefer AppendGetBatch, which copies
+// the bytes out under the shard locks.
 func (st *ShardedStore) GetBatch(keys [][]byte, now simnet.Time, entries []Entry, found []bool) {
 	for off := 0; off < len(keys); off += getBatchChunk {
 		end := min(off+getBatchChunk, len(keys))
@@ -110,21 +135,87 @@ func (st *ShardedStore) getChunk(keys [][]byte, now simnet.Time, entries []Entry
 	}
 }
 
-// GetString is Get for a string key.
+// AppendGetBatch is GetBatch's encode-under-lock form: each hit's
+// memcached "VALUE ... END" reply lines are appended to *outs[i] while
+// the owning shard's lock is held (outs[i] is typically a pre-seeded
+// per-reply scratch buffer). Lock amortization matches GetBatch — one
+// acquisition per touched shard per chunk of 64 keys — and nothing
+// allocates beyond scratch growth, so the batched GET path stays
+// heap-free while never aliasing value bytes outside the lock.
+func (st *ShardedStore) AppendGetBatch(keys [][]byte, now simnet.Time, outs []*[]byte, found []bool) {
+	for off := 0; off < len(keys); off += getBatchChunk {
+		end := min(off+getBatchChunk, len(keys))
+		st.appendGetChunk(keys[off:end], now, outs[off:end], found[off:end])
+	}
+}
+
+func (st *ShardedStore) appendGetChunk(keys [][]byte, now simnet.Time, outs []*[]byte, found []bool) {
+	var shardOf [getBatchChunk]uint64
+	for i, k := range keys {
+		shardOf[i] = dataplane.HashBytes(k) & st.mask
+	}
+	var done uint64
+	for i := range keys {
+		if done&(1<<i) != 0 {
+			continue
+		}
+		sh := st.shards[shardOf[i]]
+		sh.mu.Lock()
+		for j := i; j < len(keys); j++ {
+			if done&(1<<j) == 0 && shardOf[j] == shardOf[i] {
+				var e Entry
+				e, found[j] = sh.s.GetBytes(keys[j], now)
+				if found[j] {
+					*outs[j] = memcache.AppendGetHit(*outs[j], keys[j], e.Flags, e.Value)
+				}
+				done |= 1 << j
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// GetString is Get for a string key. The value is copied under the shard
+// lock, so the result is stable across later mutations (the allocating,
+// convenience form — the serving path uses AppendGetHit).
 func (st *ShardedStore) GetString(key string, now simnet.Time) (Entry, bool) {
 	sh := st.shardOfString(key)
 	sh.mu.Lock()
 	e, ok := sh.s.Get(key, now)
+	if ok {
+		e.Value = append([]byte(nil), e.Value...)
+	}
 	sh.mu.Unlock()
 	return e, ok
 }
 
-// Set stores key, evicting within the key's shard if bounded.
+// Set stores key, evicting within the key's shard if bounded. The store
+// takes ownership of e.Value (see Store.Set).
 func (st *ShardedStore) Set(key string, e Entry) {
 	sh := st.shardOfString(key)
 	sh.mu.Lock()
 	sh.s.Set(key, e)
 	sh.mu.Unlock()
+}
+
+// SetBytes stores key with zero steady-state allocation: an overwrite
+// reuses the existing entry's value buffer in place under the shard lock
+// (see Store.SetBytes). e.Value is copied in, so the caller's buffer —
+// typically a pooled receive buffer — is free for reuse on return.
+func (st *ShardedStore) SetBytes(key []byte, e Entry) {
+	sh := st.shardOf(key)
+	sh.mu.Lock()
+	sh.s.SetBytes(key, e)
+	sh.mu.Unlock()
+}
+
+// DeleteBytes is Delete for a byte-slice key (no key allocation).
+func (st *ShardedStore) DeleteBytes(key []byte) bool {
+	sh := st.shardOf(key)
+	sh.mu.Lock()
+	ok := sh.s.DeleteBytes(key)
+	sh.mu.Unlock()
+	return ok
 }
 
 // SetIfAbsent stores key only when it is not already present, reporting
@@ -146,7 +237,9 @@ func (st *ShardedStore) SetIfAbsent(key string, e Entry) bool {
 // Range calls fn for every live entry, shard by shard, until fn returns
 // false. Each shard's lock is held while fn walks it, so fn must be quick
 // and must not call back into this store (other stores are fine — the
-// tier warm-up copies entries into its own cache layers from here).
+// tier warm-up copies entries into its own cache layers from here). The
+// Entry.Value passed to fn aliases the store's buffer, which SetBytes
+// reuses in place: fn must copy the bytes if they outlive the walk.
 func (st *ShardedStore) Range(fn func(key string, e Entry) bool) {
 	for _, sh := range st.shards {
 		stop := false

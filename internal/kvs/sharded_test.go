@@ -5,7 +5,9 @@ import (
 	"net/netip"
 	"sync"
 	"testing"
+	"time"
 
+	"incod/internal/dataplane"
 	"incod/internal/memcache"
 	"incod/internal/simnet"
 )
@@ -184,6 +186,128 @@ func TestHandlerGetHotPathDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("GET hot path allocates %.1f per request, want 0", allocs)
+	}
+}
+
+func TestHandlerSetOverwriteDoesNotAllocate(t *testing.T) {
+	h := NewHandler(NewShardedStore(4, 0))
+	scratch := make([]byte, 0, 4096)
+	set := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: "key-123", Value: []byte("value-xyz")}))
+	// The first SET inserts (key string + value copy); every later SET of
+	// the same key overwrites the entry's value buffer in place.
+	if _, ok := h.HandleDatagram(set, &scratch); !ok {
+		t.Fatal("set failed")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, ok := h.HandleDatagram(set, &scratch)
+		if !ok || len(out) == 0 {
+			t.Fatal("set failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SET overwrite hot path allocates %.1f per request, want 0", allocs)
+	}
+	if e, ok := h.Store().Get([]byte("key-123"), simnet.Time(time.Hour)); !ok || string(e.Value) != "value-xyz" {
+		t.Fatalf("overwritten entry = %q, %v", e.Value, ok)
+	}
+}
+
+func TestHandlerDeleteDoesNotAllocate(t *testing.T) {
+	h := NewHandler(NewShardedStore(4, 0))
+	scratch := make([]byte, 0, 4096)
+	del := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpDelete, Key: "key-123"}))
+	// Steady state here is the NOT_FOUND reply; the DELETED branch differs
+	// only by which status it appends.
+	allocs := testing.AllocsPerRun(200, func() {
+		out, ok := h.HandleDatagram(del, &scratch)
+		if !ok || len(out) == 0 {
+			t.Fatal("delete failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DELETE hot path allocates %.1f per request, want 0", allocs)
+	}
+	set := memcache.EncodeFrame(memcache.Frame{RequestID: 2, Total: 1},
+		memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: "key-123", Value: []byte("v")}))
+	h.HandleDatagram(set, &scratch)
+	out, _ := h.HandleDatagram(del, &scratch)
+	if _, body, err := memcache.DecodeFrame(out); err != nil || string(body) != "DELETED\r\n" {
+		t.Fatalf("delete of present key replied %q", out)
+	}
+}
+
+// TestSetBytesOverwriteSemantics pins down the in-place value reuse:
+// grow, shrink, caller-buffer independence, and flag/expiry refresh.
+func TestSetBytesOverwriteSemantics(t *testing.T) {
+	st := NewShardedStore(1, 0)
+	key := []byte("k")
+	st.SetBytes(key, Entry{Flags: 1, Value: []byte("short")})
+	st.SetBytes(key, Entry{Flags: 2, Value: []byte("a-much-longer-value")})
+	if e, ok := st.Get(key, 0); !ok || e.Flags != 2 || string(e.Value) != "a-much-longer-value" {
+		t.Fatalf("after grow: %+v %v", e, ok)
+	}
+	st.SetBytes(key, Entry{Flags: 3, Value: []byte("tiny")})
+	if e, ok := st.Get(key, 0); !ok || e.Flags != 3 || string(e.Value) != "tiny" {
+		t.Fatalf("after shrink: %+v %v", e, ok)
+	}
+	// The store copies the caller's bytes; mutating them afterwards must
+	// not reach the stored entry.
+	buf := []byte("mutate-me")
+	st.SetBytes(key, Entry{Value: buf})
+	buf[0] = 'X'
+	if e, _ := st.Get(key, 0); string(e.Value) != "mutate-me" {
+		t.Fatalf("stored value aliases the caller's buffer: %q", e.Value)
+	}
+	if !st.DeleteBytes(key) || st.DeleteBytes(key) {
+		t.Fatal("DeleteBytes: want present-then-absent")
+	}
+}
+
+// TestHandlerBatchMutationsDoNotAllocate is the batched-mode mirror of
+// the single-datagram alloc tests: a chunk mixing GETs, overwrite-SETs
+// and a miss must stay heap-free end to end.
+func TestHandlerBatchMutationsDoNotAllocate(t *testing.T) {
+	h := NewHandler(NewShardedStore(4, 0))
+	frame := func(id uint16, r memcache.Request) []byte {
+		return memcache.EncodeFrame(memcache.Frame{RequestID: id, Total: 1}, memcache.EncodeRequest(r))
+	}
+	const n = 16
+	items := make([]*dataplane.BatchItem, n)
+	scratches := make([][]byte, n)
+	ins := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		scratches[i] = make([]byte, 0, 4096)
+		switch {
+		case i%4 == 0:
+			ins[i] = frame(uint16(i), memcache.Request{Op: memcache.OpSet,
+				Key: fmt.Sprintf("key-%02d", i), Value: []byte("value-abc")})
+		case i%4 == 3:
+			ins[i] = frame(uint16(i), memcache.Request{Op: memcache.OpGet, Key: "absent"})
+		default:
+			ins[i] = frame(uint16(i), memcache.Request{Op: memcache.OpGet,
+				Key: fmt.Sprintf("key-%02d", i-i%4)})
+		}
+		items[i] = &dataplane.BatchItem{Scratch: &scratches[i]}
+	}
+	run := func() {
+		for k := range items {
+			items[k].In = ins[k]
+			items[k].Out = nil
+			items[k].Served = false
+		}
+		h.HandleBatch(items)
+	}
+	run() // warm: first SETs insert, scratches size themselves
+	allocs := testing.AllocsPerRun(200, run)
+	if allocs != 0 {
+		t.Fatalf("batched GET/SET chunk allocates %.1f per batch, want 0", allocs)
+	}
+	for i, it := range items {
+		if len(it.Out) == 0 {
+			t.Fatalf("item %d produced no reply", i)
+		}
 	}
 }
 

@@ -76,6 +76,8 @@ func (s *Store) finishGet(el *list.Element, now simnet.Time) (Entry, bool) {
 }
 
 // Set stores key, evicting the least recently used entry if bounded.
+// The store takes ownership of e.Value: a later SetBytes overwrite may
+// rewrite those bytes in place, so callers must not retain the slice.
 func (s *Store) Set(key string, e Entry) {
 	s.sets++
 	if el, ok := s.data[key]; ok {
@@ -83,6 +85,34 @@ func (s *Store) Set(key string, e Entry) {
 		s.order.MoveToFront(el)
 		return
 	}
+	s.insert(key, e)
+}
+
+// SetBytes is Set for a byte-slice key, shaped for the serving hot path:
+// overwriting an existing key reuses the entry's value buffer in place,
+// so a steady-state SET allocates nothing — only a first-time insert
+// pays for the key string and value copy. e.Value is copied in; the
+// caller's buffer (typically a pooled receive buffer) is free on return.
+//
+// The in-place reuse is what obliges readers to consume Entry.Value
+// before releasing the lock that guards this store; ShardedStore's
+// encode-under-lock APIs (AppendGetHit, AppendGetBatch) exist for that.
+func (s *Store) SetBytes(key []byte, e Entry) {
+	s.sets++
+	if el, ok := s.data[string(key)]; ok {
+		it := el.Value.(*storeItem)
+		it.entry.Flags = e.Flags
+		it.entry.Expires = e.Expires
+		it.entry.Value = append(it.entry.Value[:0], e.Value...)
+		s.order.MoveToFront(el)
+		return
+	}
+	e.Value = append([]byte(nil), e.Value...)
+	s.insert(string(key), e)
+}
+
+// insert adds a key that is known to be absent, evicting if bounded.
+func (s *Store) insert(key string, e Entry) {
 	if s.maxEntries > 0 && len(s.data) >= s.maxEntries {
 		if oldest := s.order.Back(); oldest != nil {
 			s.remove(oldest)
@@ -96,6 +126,17 @@ func (s *Store) Set(key string, e Entry) {
 func (s *Store) Delete(key string) bool {
 	s.deletes++
 	el, ok := s.data[key]
+	if ok {
+		s.remove(el)
+	}
+	return ok
+}
+
+// DeleteBytes is Delete for a byte-slice key: the map lookup converts in
+// place without allocating, like GetBytes.
+func (s *Store) DeleteBytes(key []byte) bool {
+	s.deletes++
+	el, ok := s.data[string(key)]
 	if ok {
 		s.remove(el)
 	}

@@ -5,10 +5,15 @@
 //
 //	single  one recvfrom/sendto per datagram through net.PacketConn.
 //	        Portable everywhere; the correctness baseline every other
-//	        rung must match byte for byte.
+//	        rung must match byte for byte. Train-marked Messages are
+//	        unrolled into per-segment sends.
 //	mmsg    recvmmsg(2)/sendmmsg(2) via syscall.RawConn: many datagrams
 //	        per syscall, with the runtime netpoller still parking the
-//	        goroutine between batches. Linux only; the default.
+//	        goroutine between batches. A Message marked as a train
+//	        (SegSize set) carries a UDP_SEGMENT cmsg on its slot of the
+//	        sendmmsg vector, so one syscall can push a whole batch of
+//	        trains — kernel segmentation fans each back into datagrams
+//	        at delivery. Linux only; the default.
 //	uring   receive side rebuilt around io_uring: one multishot RECVMSG
 //	        stays armed on the socket, the kernel delivers each datagram
 //	        into a registered provided-buffer ring and posts a
@@ -17,17 +22,19 @@
 //	        also opts into UDP GRO, so a GSO sender's whole train lands
 //	        as one coalesced completion that the conn splits back into
 //	        per-datagram Messages — kernel cost per train, not per
-//	        datagram. Transmit stays on the sendmmsg path shared with
-//	        the mmsg rung: profiles show SENDMSG SQEs costing ~40% more
-//	        than sendmmsg for inline UDP sends, so the ring owns only
-//	        the direction it wins. Linux amd64/arm64, raw syscalls,
+//	        datagram. Transmit splits by shape: plain datagrams flush
+//	        through the inline sendmmsg path shared with the mmsg rung
+//	        (profiles show SENDMSG SQEs costing ~40% more than sendmmsg
+//	        for single UDP sends), while trains ride the ring as
+//	        SENDMSG SQEs — the per-SQE cost amortizes across every
+//	        segment in the train, and submission batches with whatever
+//	        else is queued on the SQ. Linux amd64/arm64, raw syscalls,
 //	        stdlib only.
 //
 // The paper's offload argument is that the NIC amortizes per-packet
 // cost the host cannot; these rungs are the software end of that same
-// curve — syscall-per-packet, then syscall-per-batch, then (on the
-// receive side) no syscall and, under GSO/GRO, one kernel traversal per
-// train.
+// curve — syscall-per-packet, then syscall-per-batch, then (under
+// GSO/GRO) one kernel traversal per train in both directions.
 //
 // # Choosing a rung
 //
@@ -41,6 +48,35 @@
 // /v1/dataplane stats — the reported backend is always the truth, not
 // the request.
 //
+// # Reply trains: GSO on the transmit side
+//
+// A Message whose SegSize is in (0, N) is a train: one buffer holding a
+// run of SegSize-byte datagrams back to back, the last possibly short.
+// Every rung accepts trains through the same WriteBatch seam and must
+// produce the identical per-datagram wire image; the rungs differ only
+// in what the train costs. The mmsg and uring rungs attach a
+// UDP_SEGMENT cmsg so the kernel segments the run after one traversal
+// of the stack; the single rung — and any kernel that refuses the cmsg
+// (EINVAL/EOPNOTSUPP at send time) — unrolls the train into per-segment
+// sends instead, so correctness never depends on kernel support.
+//
+// ProbeGSO reports (cached) whether the kernel can segment: it sends a
+// real three-segment train over loopback and counts the datagrams that
+// arrive. Engines use it to decide whether building trains is worth the
+// copy (dataplane.Config.GSOTx), and the INCOD_NO_GSOTX environment
+// variable fails the probe for CI's forced-fallback leg — note it
+// disables the probe, not the conns, which still coalesce any
+// train-marked Message a capable kernel allows.
+//
+// TxStats (via TxStatsOf) is the truthful telemetry: Trains/TrainSegs
+// count coalesced sends that actually left as one submission, Fallbacks
+// counts trains that were unrolled per-datagram, RingSends counts
+// trains that rode the uring SQ, and SendZC stays zero until SEND_ZC is
+// actually wired. Every submitted train lands in exactly one of Trains
+// or Fallbacks, so the /v1/dataplane counters (tx_trains,
+// tx_segs_per_train, gso_tx_fallbacks, ring_sends) never overstate what
+// the kernel did.
+//
 // # Ownership rules (uring)
 //
 // The provided-buffer ring and its data slab belong to the conn: the
@@ -51,11 +87,20 @@
 // delivered (possibly across ReadBatch calls). A starved ring (every
 // buffer claimed by undelivered completions) kills the multishot with
 // ENOBUFS; the conn re-arms it once delivery recycles buffers and
-// counts the event in UringStats.Resubmits / Starved. WriteBatch never
-// touches the ring: it flushes through the same sendmmsg loop as the
-// mmsg rung on its own lock, the caller's buffers are free the moment
-// it returns, and per-send errors are counted rather than returned,
-// matching UDP's fire-and-forget contract.
+// counts the event in UringStats.Resubmits / Starved.
+//
+// On transmit the caller's buffers are free the moment WriteBatch
+// returns, whichever path a Message took. Plain datagrams flush
+// through the inline sendmmsg loop on the conn's send lock. A train is
+// copied into one of a fixed set of ring-owned send slots with its
+// msghdr/iovec/sockaddr/cmsg images, and that slot stays claimed from
+// SQE submission until its CQE is reaped (opportunistically, on later
+// sends and flushes) — the kernel reads the slot asynchronously, so
+// slot lifetime, not caller-buffer lifetime, spans the send. When
+// every slot is in flight WriteBatch flushes, reaps, and — if a slot
+// still cannot be had — sends the train through the inline GSO
+// sendmmsg path rather than block; per-send errors are counted rather
+// than returned, matching UDP's fire-and-forget contract.
 //
 // A uring conn supports one goroutine in ReadBatch concurrently with
 // one in WriteBatch (a loadgen's receiver/sender split); the ring
@@ -97,15 +142,18 @@
 // an otherwise idle core, so it is off by default and a flag
 // (-busypoll) where it matters.
 //
-// # Saturating the server: GSO on the send side
+// # Saturating the path: GSO at the endpoints
 //
-// EnableGSO arms UDP_SEGMENT on a load generator's socket: one send
-// call carries a train of equal-size datagrams the kernel segments at
-// delivery, collapsing the generator's dominant per-datagram send cost
-// to per-train. Paired with a GRO-enabled uring server the whole
-// loopback path — send syscall, socket delivery, wakeup, completion —
-// runs once per train, which is what lets a single host push enough
-// load to expose the server's own ceiling instead of the loadgen's.
+// EnableGSO arms UDP_SEGMENT socket-wide on a load generator's socket:
+// one plain Write carries a train the kernel segments at delivery,
+// collapsing the generator's dominant per-datagram send cost to
+// per-train (incloadgen -fast -gsotx builds the trains per send
+// instead, via Message.SegSize, which needs no socket option). Paired
+// with a GRO-enabled uring server the whole loopback path — send
+// syscall, socket delivery, wakeup, completion — runs once per train;
+// with the server's reply side building trains too (-gsotx on the
+// daemons), the return direction matches, and neither end of the
+// connection pays per-datagram kernel cost anywhere.
 //
 // Everything here uses the standard library's syscall package only.
 package netio

@@ -12,3 +12,10 @@ import (
 func EnableGSO(c *net.UDPConn, segSize int) error {
 	return errors.New("netio: UDP GSO requires linux")
 }
+
+// ProbeGSO always fails off linux: train messages still work through
+// every rung's per-datagram unroll, there is just no kernel to coalesce
+// them.
+func ProbeGSO() error {
+	return errors.New("netio: UDP GSO trains require linux")
+}

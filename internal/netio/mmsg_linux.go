@@ -27,6 +27,9 @@ type mmsgScratch struct {
 	hdrs  []mmsghdr
 	iovs  []syscall.Iovec
 	names []syscall.RawSockaddrAny
+	// ctrls holds one gsoCtrlSpace-byte control buffer per slot, used
+	// only by messages marked as GSO trains.
+	ctrls []byte
 }
 
 func (s *mmsgScratch) ensure(n int) {
@@ -34,10 +37,12 @@ func (s *mmsgScratch) ensure(n int) {
 		s.hdrs = make([]mmsghdr, n)
 		s.iovs = make([]syscall.Iovec, n)
 		s.names = make([]syscall.RawSockaddrAny, n)
+		s.ctrls = make([]byte, n*gsoCtrlSpace)
 	}
 	s.hdrs = s.hdrs[:n]
 	s.iovs = s.iovs[:n]
 	s.names = s.names[:n]
+	s.ctrls = s.ctrls[:n*gsoCtrlSpace]
 }
 
 // mmsgConn is the Linux BatchConn: recvmmsg/sendmmsg with MSG_DONTWAIT
@@ -50,6 +55,7 @@ type mmsgConn struct {
 	ip4 bool // socket family: true when bound to an IPv4 address
 	rx  mmsgScratch
 	tx  mmsgScratch
+	txc txCounters
 }
 
 // newMmsgConn returns the recvmmsg/sendmmsg implementation when pc is a
@@ -129,7 +135,77 @@ func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
 }
 
 func (c *mmsgConn) WriteBatch(ms []Message) (int, error) {
-	return sendmmsgBatch(c.rc, &c.tx, ms, c.ip4)
+	return writeBatchGSO(c.rc, &c.tx, &c.txc, ms, c.ip4)
+}
+
+// TxStats implements TxStatser.
+func (c *mmsgConn) TxStats() TxStats { return c.txc.snapshot() }
+
+// writeBatchGSO is the transmit entry shared by the mmsg rung and the
+// uring rung's inline side: sendmmsg with a UDP_SEGMENT cmsg on each
+// train message, plus a graceful per-datagram retry when the kernel
+// rejects one specific train (st records what actually happened, so a
+// fallback never masquerades as a coalesced send).
+func writeBatchGSO(rc syscall.RawConn, tx *mmsgScratch, st *txCounters, ms []Message, ip4 bool) (int, error) {
+	sent := 0
+	for sent < len(ms) {
+		n, err := sendmmsgBatch(rc, tx, ms[sent:], ip4)
+		countTrains(st, ms[sent:sent+n])
+		sent += n
+		if err == nil {
+			return sent, nil
+		}
+		// ms[sent] is the message the kernel refused. A refused train is
+		// unrolled and re-sent segment by segment — identical bytes on
+		// the wire, no UDP_SEGMENT — so a kernel or path that rejects
+		// one send shape degrades per message, not per socket.
+		if m := &ms[sent]; m.SegSize > 0 && m.SegSize < m.N {
+			if ferr := sendTrainSplit(rc, tx, m, ip4); ferr != nil {
+				return sent, ferr
+			}
+			st.fallbacks.Add(1)
+			sent++
+			continue
+		}
+		return sent, err
+	}
+	return sent, nil
+}
+
+// countTrains credits the trains in a successfully sent run.
+func countTrains(st *txCounters, ms []Message) {
+	for i := range ms {
+		if segs := ms[i].Segments(); segs > 1 {
+			st.trains.Add(1)
+			st.trainSegs.Add(uint64(segs))
+		}
+	}
+}
+
+// sendTrainSplit unrolls one train into per-datagram sends through the
+// same sendmmsg loop. The segment vector lives on the stack: a train
+// carries at most MaxTrainSegs segments.
+func sendTrainSplit(rc syscall.RawConn, tx *mmsgScratch, m *Message, ip4 bool) error {
+	var segbuf [MaxTrainSegs]Message
+	segs := segbuf[:0]
+	flush := func() error {
+		if len(segs) == 0 {
+			return nil
+		}
+		_, err := sendmmsgBatch(rc, tx, segs, ip4)
+		segs = segs[:0]
+		return err
+	}
+	for off := 0; off < m.N; off += m.SegSize {
+		end := min(off+m.SegSize, m.N)
+		segs = append(segs, Message{Buf: m.Buf[off:end], N: end - off, Src: m.Src})
+		if len(segs) == cap(segs) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }
 
 // sendmmsgBatch flushes ms through a sendmmsg(2) loop on rc's fd using
@@ -160,6 +236,12 @@ func sendmmsgBatch(rc syscall.RawConn, tx *mmsgScratch, ms []Message, ip4 bool) 
 		if m.Src.IsValid() {
 			h.hdr.Name = (*byte)(unsafe.Pointer(&tx.names[i]))
 			h.hdr.Namelen = putSockaddr(&tx.names[i], m.Src, ip4)
+		}
+		if m.SegSize > 0 && m.SegSize < m.N {
+			ctrl := tx.ctrls[i*gsoCtrlSpace : (i+1)*gsoCtrlSpace]
+			putGSOControl(ctrl, uint16(m.SegSize))
+			h.hdr.Control = &ctrl[0]
+			h.hdr.SetControllen(gsoCtrlSpace)
 		}
 	}
 	sent := 0

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,10 +15,36 @@ import (
 // Buf[:N] is sent to Src; a zero Src sends to the connected peer (the
 // net.Dial case), which is how the load generator drives a connected
 // socket through the same interface.
+//
+// A SegSize in (0, N) marks Buf[:N] as a GSO train instead of one
+// datagram: a run of SegSize-byte datagrams, the last of which may be
+// shorter, all bound for Src. Rungs with UDP_SEGMENT hand the whole
+// train to the kernel in one send; rungs without it unroll the train
+// into per-datagram sends with identical bytes on the wire (counted in
+// TxStats.Fallbacks). Callers should only mark trains after ProbeGSO
+// succeeds — the unroll keeps them correct, not fast.
 type Message struct {
-	Buf []byte
-	N   int
-	Src netip.AddrPort
+	Buf     []byte
+	N       int
+	Src     netip.AddrPort
+	SegSize int
+}
+
+// Kernel bounds on one GSO train: UDP_MAX_SEGMENTS caps a train at 64
+// segments, and one UDP send carries at most the largest legal payload.
+// Train builders must respect both.
+const (
+	MaxTrainSegs  = 64
+	MaxTrainBytes = 65507
+)
+
+// Segments returns how many datagrams the message puts on the wire:
+// the train's segment count when SegSize marks one, otherwise 1.
+func (m *Message) Segments() int {
+	if m.SegSize <= 0 || m.SegSize >= m.N {
+		return 1
+	}
+	return (m.N + m.SegSize - 1) / m.SegSize
 }
 
 // BatchConn is a datagram socket with batched I/O. ReadBatch blocks for
@@ -59,9 +86,67 @@ func NewSingleConn(pc net.PacketConn) BatchConn {
 // that is not connected.
 var errNoDest = errors.New("netio: message has no destination and the socket is not connected")
 
+// TxStats is the transmit side's GSO train telemetry. Every field
+// reports what actually happened, not what was requested: a conn that
+// unrolled a train per-datagram counts a Fallback, not a Train.
+type TxStats struct {
+	// Trains counts GSO trains handed to the kernel as single sends.
+	Trains uint64
+	// TrainSegs counts the datagrams those trains carried.
+	TrainSegs uint64
+	// Fallbacks counts trains unrolled into per-datagram sends because
+	// the rung (or the kernel, per send) could not take UDP_SEGMENT.
+	Fallbacks uint64
+	// RingSends counts trains submitted as io_uring SENDMSG SQEs rather
+	// than inline sendmmsg.
+	RingSends uint64
+	// SendZC counts zero-copy ring sends. Reserved: the conn never uses
+	// SENDMSG_ZC today (trains are copied into ring-owned buffers), so
+	// it is truthfully zero.
+	SendZC uint64
+}
+
+// Add accumulates o into s, for summing per-socket stats.
+func (s *TxStats) Add(o TxStats) {
+	s.Trains += o.Trains
+	s.TrainSegs += o.TrainSegs
+	s.Fallbacks += o.Fallbacks
+	s.RingSends += o.RingSends
+	s.SendZC += o.SendZC
+}
+
+// TxStatser is implemented by conns that track GSO transmit telemetry.
+type TxStatser interface{ TxStats() TxStats }
+
+// TxStatsOf reports bc's transmit telemetry when its rung tracks any.
+func TxStatsOf(bc BatchConn) (TxStats, bool) {
+	if t, ok := bc.(TxStatser); ok {
+		return t.TxStats(), true
+	}
+	return TxStats{}, false
+}
+
+// txCounters is the shared atomic backing of TxStats, embedded by every
+// rung's conn.
+type txCounters struct {
+	trains, trainSegs, fallbacks, ringSends atomic.Uint64
+}
+
+func (t *txCounters) snapshot() TxStats {
+	return TxStats{
+		Trains:    t.trains.Load(),
+		TrainSegs: t.trainSegs.Load(),
+		Fallbacks: t.fallbacks.Load(),
+		RingSends: t.ringSends.Load(),
+	}
+}
+
 // singleConn is the portable fallback: one datagram per call, same
 // contract as the mmsg path.
-type singleConn struct{ pc net.PacketConn }
+type singleConn struct {
+	pc net.PacketConn
+	tx txCounters
+}
 
 func (c *singleConn) ReadBatch(ms []Message) (int, error) {
 	if len(ms) == 0 {
@@ -89,25 +174,45 @@ func (c *singleConn) WriteBatch(ms []Message) (int, error) {
 	u, _ := c.pc.(*net.UDPConn)
 	for i := range ms {
 		m := &ms[i]
-		var err error
-		switch {
-		case !m.Src.IsValid():
-			if w, ok := c.pc.(net.Conn); ok {
-				_, err = w.Write(m.Buf[:m.N])
-			} else {
-				err = errNoDest
+		if m.SegSize > 0 && m.SegSize < m.N {
+			// This rung has no UDP_SEGMENT: unroll the train into the
+			// same per-datagram sends a GSO kernel would produce.
+			for off := 0; off < m.N; off += m.SegSize {
+				end := min(off+m.SegSize, m.N)
+				if err := c.writeOne(u, m.Buf[off:end], m.Src); err != nil {
+					return i, err
+				}
 			}
-		case u != nil:
-			_, err = u.WriteToUDPAddrPort(m.Buf[:m.N], m.Src)
-		default:
-			_, err = c.pc.WriteTo(m.Buf[:m.N], net.UDPAddrFromAddrPort(m.Src))
+			c.tx.fallbacks.Add(1)
+			continue
 		}
-		if err != nil {
+		if err := c.writeOne(u, m.Buf[:m.N], m.Src); err != nil {
 			return i, err
 		}
 	}
 	return len(ms), nil
 }
+
+func (c *singleConn) writeOne(u *net.UDPConn, buf []byte, src netip.AddrPort) error {
+	var err error
+	switch {
+	case !src.IsValid():
+		if w, ok := c.pc.(net.Conn); ok {
+			_, err = w.Write(buf)
+		} else {
+			err = errNoDest
+		}
+	case u != nil:
+		_, err = u.WriteToUDPAddrPort(buf, src)
+	default:
+		_, err = c.pc.WriteTo(buf, net.UDPAddrFromAddrPort(src))
+	}
+	return err
+}
+
+// TxStats implements TxStatser: on this rung only Fallbacks can be
+// nonzero.
+func (c *singleConn) TxStats() TxStats { return c.tx.snapshot() }
 
 func (c *singleConn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
 func (c *singleConn) LocalAddr() net.Addr               { return c.pc.LocalAddr() }

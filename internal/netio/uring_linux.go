@@ -23,14 +23,15 @@ import (
 // completions from a registered provided-buffer ring — the kernel picks
 // a buffer per datagram and posts a CQE, so a loaded socket is drained
 // from the mmap'd completion queue with no syscall at all. Send side:
-// WriteBatch flushes through the same sendmmsg(2) loop as the mmsg rung.
-// That asymmetry is measured, not accidental: profiles on the loopback
-// benches show multishot receive cutting the server's RX cost roughly in
-// half versus recvmmsg, while SENDMSG SQEs cost ~40% more than sendmmsg
-// for the same inline sends — each SQE pays a full io_uring request
+// plain datagrams flush through the same sendmmsg(2) loop as the mmsg
+// rung — profiles show a SENDMSG SQE costing ~40% more than a sendmmsg
+// slot per datagram, since each SQE pays a full io_uring request
 // lifecycle to buy async punting that MSG_DONTWAIT UDP transmit never
-// uses. So the ring owns the direction it wins and the plain batch
-// syscall keeps the one it wins.
+// uses. GSO trains flip that economics: one SENDMSG SQE carries up to 64
+// segments in one UDP_SEGMENT send, so the request lifecycle amortizes
+// below what even sendmmsg charges per datagram, and trains therefore
+// ride the ring (payload copied into a slot that stays claimed until the
+// CQE). Each direction and shape lands on the primitive that wins it.
 //
 // Everything is raw syscalls against the standard library only —
 // io_uring_setup/io_uring_enter/io_uring_register share one number on
@@ -45,6 +46,7 @@ const (
 )
 
 const (
+	opSendmsg = 9  // IORING_OP_SENDMSG
 	opRecvmsg = 10 // IORING_OP_RECVMSG
 
 	sqeBufferSelect   = 1 << 5 // IOSQE_BUFFER_SELECT
@@ -187,12 +189,14 @@ type pendingRecv struct {
 	src netip.AddrPort
 }
 
-// uringConn is the io_uring BatchConn. The ring carries only the
-// receive direction; transmit goes through the sendmmsg fast path on
-// its own lock, so ReadBatch and WriteBatch run fully concurrently (the
-// loadgen splits a conn that way: a dedicated receiver plus a sender).
-// The mutex guards all ring state but is never held across a blocking
-// wait — waits happen with the lock dropped so Close stays prompt.
+// uringConn is the io_uring BatchConn. The ring carries the receive
+// direction and GSO-train sends; plain transmit goes through the
+// sendmmsg fast path on its own lock, so ReadBatch and WriteBatch still
+// run concurrently (the loadgen splits a conn that way: a dedicated
+// receiver plus a sender) — a train send takes the ring mutex only for
+// the short stage/submit window, never across a wait. The mutex guards
+// all ring state but is never held across a blocking wait — waits
+// happen with the lock dropped so Close stays prompt.
 type uringConn struct {
 	mu sync.Mutex
 
@@ -251,8 +255,21 @@ type uringConn struct {
 
 	// Transmit side: the reusable sendmmsg header vector, locked
 	// independently of the ring (mmsgScratch carries its own mutex) so
-	// sends never contend with the receive path.
-	tx mmsgScratch
+	// plain sends never contend with the receive path.
+	tx  mmsgScratch
+	txc txCounters
+
+	// GSO train transmit rides the ring: one SENDMSG SQE per train, its
+	// payload copied into a send slot whose buffer, msghdr, iovec,
+	// sockaddr and cmsg all stay claimed until the CQE returns the slot
+	// to sendFree. The slab is mmap'd (non-GC memory, like the receive
+	// slab) because the kernel reads it after WriteBatch returns.
+	sendSlab  []byte
+	sendHdrs  []syscall.Msghdr
+	sendIovs  []syscall.Iovec
+	sendNames []syscall.RawSockaddrAny
+	sendCtrls []byte
+	sendFree  []uint16
 
 	// CQ-ready eventfd, registered with the ring and parked on through
 	// the Go netpoller: an idle ReadBatch blocks its goroutine, not an
@@ -283,9 +300,21 @@ type uringConn struct {
 	enters    atomic.Uint64
 }
 
-// recvTag is the user_data of the multishot RECVMSG, the only SQE this
-// conn ever submits.
-const recvTag = uint64(1) << 63
+// recvTag is the user_data of the multishot RECVMSG; sendTag marks a
+// train SENDMSG SQE, with the slot index in the low bits. The two bit
+// namespaces cannot collide: a recv CQE's user_data is exactly recvTag.
+const (
+	recvTag = uint64(1) << 63
+	sendTag = uint64(1) << 62
+)
+
+// sendSlots bounds the trains in flight on the ring at once; a full
+// slot table falls back to an inline GSO sendmmsg, so it is a working
+// set, not a limit. sendSlotSize fits the largest legal train.
+const (
+	sendSlots    = 32
+	sendSlotSize = 65536
+)
 
 // NewUringConn builds the io_uring BatchConn over pc, which must be a
 // real *net.UDPConn. The conn takes ownership: Close tears down the
@@ -399,6 +428,9 @@ func NewUringConn(pc net.PacketConn, cfg UringConfig) (BatchConn, error) {
 	if err := c.setupBufRing(cfg); err != nil {
 		return nil, err
 	}
+	if err := c.setupSendSlots(); err != nil {
+		return nil, err
+	}
 	c.setupEventfd()
 
 	// Arm the multishot receive and hand it to the kernel now, so the
@@ -448,6 +480,28 @@ func (c *uringConn) setupBufRing(cfg UringConfig) error {
 		c.provideBuf(uint16(i))
 	}
 	c.publishBufTail()
+	return nil
+}
+
+// setupSendSlots builds the train-transmit slot table. The payload slab
+// is mmap'd so untouched slots cost no physical pages and the memory
+// outlives the Go references the kernel cannot see; the header arrays
+// are ordinary heap slices pinned by the conn, exactly like rcvHdr.
+func (c *uringConn) setupSendSlots() error {
+	slab, err := syscall.Mmap(-1, 0, sendSlots*sendSlotSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANONYMOUS|syscall.MAP_PRIVATE)
+	if err != nil {
+		return fmt.Errorf("netio: uring send slab mmap: %w", err)
+	}
+	c.sendSlab = slab
+	c.sendHdrs = make([]syscall.Msghdr, sendSlots)
+	c.sendIovs = make([]syscall.Iovec, sendSlots)
+	c.sendNames = make([]syscall.RawSockaddrAny, sendSlots)
+	c.sendCtrls = make([]byte, sendSlots*gsoCtrlSpace)
+	c.sendFree = make([]uint16, sendSlots)
+	for i := range c.sendFree {
+		c.sendFree[i] = uint16(i)
+	}
 	return nil
 }
 
@@ -605,19 +659,37 @@ func (c *uringConn) waitCQE(ts *kernelTimespec, earg *geteventsArg, d time.Durat
 }
 
 // reap drains the completion queue: multishot receives are parsed into
-// pending (their provided buffer stays claimed until delivery). The
-// multishot is the only SQE the conn submits, so anything else is
-// skipped defensively.
+// pending (their provided buffer stays claimed until delivery), train
+// send completions release their slot and account errors. Anything else
+// is skipped defensively.
 func (c *uringConn) reap() {
 	head := atomic.LoadUint32(c.kCQHead)
 	tail := atomic.LoadUint32(c.kCQTail)
 	for ; head != tail; head++ {
 		cqe := c.cqes[head&c.cqMask]
-		if cqe.userData == recvTag {
+		switch {
+		case cqe.userData == recvTag:
 			c.reapRecv(&cqe)
+		case cqe.userData&sendTag != 0:
+			c.reapSend(&cqe)
 		}
 	}
 	atomic.StoreUint32(c.kCQHead, head)
+}
+
+// reapSend retires one train SENDMSG completion: the slot (buffer,
+// msghdr, cmsg) was claimed since submission and is free again only
+// now. Errors are counted, not returned — the send already succeeded
+// from the caller's point of view, matching UDP's fire-and-forget
+// contract (and the mmsg rung's own error accounting).
+func (c *uringConn) reapSend(cqe *uringCQE) {
+	slot := uint16(cqe.userData &^ sendTag)
+	if int(slot) < sendSlots {
+		c.sendFree = append(c.sendFree, slot)
+	}
+	if cqe.res < 0 {
+		c.sendErrs.Add(1)
+	}
 }
 
 func (c *uringConn) reapRecv(cqe *uringCQE) {
@@ -730,7 +802,15 @@ func (c *uringConn) deliver(ms []Message) int {
 // eventfd signals, so under sustained load a couple of scheduler yields
 // (letting producers run, then peeking the CQ) are far cheaper than the
 // park/wake cycle they avoid.
-const readSpins = 4
+//
+// Tuned on the DNS reply loop (BenchmarkLoopbackUringDNS, 4 shards,
+// 16 windowed clients), where the uring rung trailed mmsg in the
+// BENCH_7 snapshot (260 vs 277 kpps): 4 spins ~285 kpps, 8 ~294, 16
+// ~293, 32 ~282 on the same rig. 8 recovers most of the gap — the
+// window's last few replies land within the longer peek budget instead
+// of paying a park/wake — and doubling again only burns CPU the shard
+// workers want.
+const readSpins = 8
 
 func (c *uringConn) ReadBatch(ms []Message) (int, error) {
 	if len(ms) == 0 {
@@ -871,20 +951,124 @@ func (c *uringConn) rearmIfPossible() error {
 	return c.submit()
 }
 
-// WriteBatch transmits via the shared sendmmsg path, never touching the
-// ring or its mutex: the receive direction keeps draining completions
-// while a batch flushes. Close closes the socket, which surfaces here
-// as the netpoller's ErrClosed.
+// WriteBatch transmits plain datagrams via the shared sendmmsg path —
+// the primitive profiles show cheapest for inline per-datagram UDP —
+// and GSO trains as SENDMSG SQEs, where one SQE's request lifecycle is
+// amortized over up to 64 segments and flips that economics. Train
+// payloads are copied into ring-owned send slots, so the caller's
+// buffers are free the moment WriteBatch returns while each slot stays
+// claimed until its CQE. Runs of plain messages around a train flush
+// before the train is staged, keeping submission order aligned with the
+// caller's message order.
 func (c *uringConn) WriteBatch(ms []Message) (int, error) {
 	if c.closed.Load() {
 		return 0, net.ErrClosed
 	}
-	n, err := sendmmsgBatch(c.rc, &c.tx, ms, c.ip4)
-	if err != nil {
-		c.sendErrs.Add(1)
+	sent, staged := 0, 0
+	for i := 0; i < len(ms); {
+		if !ringTrain(&ms[i]) {
+			j := i + 1
+			for j < len(ms) && !ringTrain(&ms[j]) {
+				j++
+			}
+			n, err := writeBatchGSO(c.rc, &c.tx, &c.txc, ms[i:j], c.ip4)
+			sent += n
+			if err != nil {
+				if staged > 0 {
+					c.flushSends()
+				}
+				c.sendErrs.Add(1)
+				return sent, err
+			}
+			i = j
+			continue
+		}
+		if c.stageTrain(&ms[i]) {
+			staged++
+			sent++
+		} else {
+			// Every send slot is in flight even after a reap: send this
+			// train inline, still as one GSO datagram burst. Flush the
+			// staged SQEs first so same-destination order holds.
+			if staged > 0 {
+				c.flushSends()
+				staged = 0
+			}
+			n, err := writeBatchGSO(c.rc, &c.tx, &c.txc, ms[i:i+1], c.ip4)
+			sent += n
+			if err != nil {
+				c.sendErrs.Add(1)
+				return sent, err
+			}
+		}
+		i++
 	}
-	return n, err
+	if staged > 0 {
+		c.flushSends()
+	}
+	return sent, nil
 }
+
+// ringTrain reports whether m should ride the ring: a GSO train that
+// fits a send slot.
+func ringTrain(m *Message) bool {
+	return m.SegSize > 0 && m.SegSize < m.N && m.N <= sendSlotSize
+}
+
+// stageTrain claims a send slot, copies the train in and queues its
+// SENDMSG SQE (submitted by flushSends). false means no slot was free
+// even after a reap.
+func (c *uringConn) stageTrain(m *Message) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.sendFree) == 0 {
+		c.reap()
+		if len(c.sendFree) == 0 {
+			return false
+		}
+	}
+	slot := c.sendFree[len(c.sendFree)-1]
+	buf := c.sendSlab[int(slot)*sendSlotSize:][:sendSlotSize]
+	n := copy(buf, m.Buf[:m.N])
+	iov := &c.sendIovs[slot]
+	iov.Base = &buf[0]
+	iov.SetLen(n)
+	hdr := &c.sendHdrs[slot]
+	*hdr = syscall.Msghdr{Iov: iov}
+	hdr.Iovlen = 1
+	if m.Src.IsValid() {
+		hdr.Name = (*byte)(unsafe.Pointer(&c.sendNames[slot]))
+		hdr.Namelen = putSockaddr(&c.sendNames[slot], m.Src, c.ip4)
+	}
+	ctrl := c.sendCtrls[int(slot)*gsoCtrlSpace : (int(slot)+1)*gsoCtrlSpace]
+	putGSOControl(ctrl, uint16(m.SegSize))
+	hdr.Control = &ctrl[0]
+	hdr.SetControllen(gsoCtrlSpace)
+	sqe, err := c.nextSQE()
+	if err != nil {
+		return false
+	}
+	c.sendFree = c.sendFree[:len(c.sendFree)-1]
+	sqe.opcode = opSendmsg
+	sqe.fd = int32(c.fd)
+	sqe.addr = uint64(uintptr(unsafe.Pointer(hdr)))
+	sqe.len = 1
+	sqe.userData = sendTag | uint64(slot)
+	c.txc.trains.Add(1)
+	c.txc.trainSegs.Add(uint64(m.Segments()))
+	c.txc.ringSends.Add(1)
+	return true
+}
+
+// flushSends pushes queued train SQEs to the kernel.
+func (c *uringConn) flushSends() {
+	c.mu.Lock()
+	_ = c.submit()
+	c.mu.Unlock()
+}
+
+// TxStats implements TxStatser.
+func (c *uringConn) TxStats() TxStats { return c.txc.snapshot() }
 
 func (c *uringConn) SetReadDeadline(t time.Time) error {
 	if t.IsZero() {
@@ -971,6 +1155,10 @@ func (c *uringConn) teardown() {
 	if c.slab != nil {
 		_ = syscall.Munmap(c.slab)
 		c.slab = nil
+	}
+	if c.sendSlab != nil {
+		_ = syscall.Munmap(c.sendSlab)
+		c.sendSlab = nil
 	}
 	if c.pc != nil {
 		_ = c.pc.Close()

@@ -123,6 +123,10 @@ func (t *KVSTier) Stage() error {
 func (t *KVSTier) Warm() error {
 	installed := 0
 	t.store.Range(func(key string, e kvs.Entry) bool {
+		// The ranged value aliases the host store's buffer, which the
+		// zero-alloc SET path reuses in place; the tier caches outlive
+		// the walk, so they must own their bytes.
+		e.Value = append([]byte(nil), e.Value...)
 		if t.l2.SetIfAbsent(key, e) {
 			installed++
 		}

@@ -36,6 +36,30 @@ const (
 // of skewing the numbers. The clients always use the mmsg transport, so
 // the spread between backends is the server's alone.
 func benchProtoLoopback(b *testing.B, backend string, h dataplane.Handler, cfg dataplane.Config, reqs [][]byte) {
+	benchProtoLoopbackTx(b, backend, false, h, cfg, reqs)
+}
+
+// benchProtoLoopbackTx is benchProtoLoopback with the train-TX mode: when
+// gsoTx is set the server engine coalesces same-destination replies into
+// UDP_SEGMENT trains (dataplane.Config.GSOTx) and each client packs its
+// whole request window into one train (requests must be uniform-size —
+// the equal-segment precondition), so both directions ride one send
+// per window instead of one per datagram. The replies still arrive at
+// the GRO-less client socket as individual datagrams, so answered-%
+// accounting is identical across modes.
+func benchProtoLoopbackTx(b *testing.B, backend string, gsoTx bool, h dataplane.Handler, cfg dataplane.Config, reqs [][]byte) {
+	reqLen := len(reqs[0])
+	if gsoTx {
+		if err := netio.ProbeGSO(); err != nil {
+			b.Skipf("UDP GSO unavailable: %v", err)
+		}
+		for i, r := range reqs {
+			if len(r) != reqLen {
+				b.Fatalf("req %d is %d bytes, want uniform %d (GSO trains need equal-size segments)", i, len(r), reqLen)
+			}
+		}
+		cfg.GSOTx = true
+	}
 	e := startLoopbackEngine(b, backend, h, cfg)
 	defer e.Close()
 	addr := e.LocalAddr().String()
@@ -58,6 +82,7 @@ func benchProtoLoopback(b *testing.B, backend string, h dataplane.Handler, cfg d
 			bc := netio.NewBatchConn(conn.(*net.UDPConn))
 			const window = 32
 			tx := make([]netio.Message, 0, window)
+			train := make([]byte, 0, window*reqLen)
 			rx := make([]netio.Message, window)
 			for i := range rx {
 				rx[i].Buf = make([]byte, 2048)
@@ -66,10 +91,19 @@ func benchProtoLoopback(b *testing.B, backend string, h dataplane.Handler, cfg d
 			for sent := 0; sent < per; {
 				n := min(window, per-sent)
 				tx = tx[:0]
-				for k := 0; k < n; k++ {
-					r := reqs[next%len(reqs)]
-					next++
-					tx = append(tx, netio.Message{Buf: r, N: len(r)})
+				if gsoTx {
+					train = train[:0]
+					for k := 0; k < n; k++ {
+						train = append(train, reqs[next%len(reqs)]...)
+						next++
+					}
+					tx = append(tx, netio.Message{Buf: train, N: len(train), SegSize: reqLen})
+				} else {
+					for k := 0; k < n; k++ {
+						r := reqs[next%len(reqs)]
+						next++
+						tx = append(tx, netio.Message{Buf: r, N: len(r)})
+					}
 				}
 				if _, err := bc.WriteBatch(tx); err != nil {
 					b.Error(err)
@@ -92,6 +126,11 @@ func benchProtoLoopback(b *testing.B, backend string, h dataplane.Handler, cfg d
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if gsoTx {
+		// The coalescing evidence: wire datagrams per reply-train send.
+		st := e.Snapshot()
+		b.ReportMetric(st.TxSegsPerTrain, "tx-segs-per-train")
+	}
 	if elapsed > 0 {
 		b.ReportMetric(float64(replies.Load())/elapsed.Seconds()/1000, "achieved-kpps")
 	}
@@ -325,4 +364,89 @@ func benchPaxosLoopback(b *testing.B, backend string) {
 		}
 	}
 	benchProtoLoopback(b, backend, a, dataplane.Config{Name: "bench-paxos", MaxDatagram: 4096}, reqs)
+}
+
+// TX-mode comparison benches: the same three serving paths with reply
+// transmission train-oriented end to end — the server coalesces each
+// flush's same-destination replies into UDP_SEGMENT trains (-gsotx) and
+// the clients pack each request window into one train. Uniform-size
+// requests (fixed-width keys/names) keep both directions on the
+// equal-segment fast path; tx-segs-per-train reports how many wire
+// datagrams each reply-train send carried.
+
+// BenchmarkLoopbackBatchedGSOKVS: framed GET hits, mmsg engine, train TX
+// both ways.
+func BenchmarkLoopbackBatchedGSOKVS(b *testing.B) { benchKVSGSOLoopback(b, "mmsg") }
+
+// BenchmarkLoopbackUringGSOKVS: the same with reply trains riding the
+// io_uring SQ as SENDMSG SQEs.
+func BenchmarkLoopbackUringGSOKVS(b *testing.B) { benchKVSGSOLoopback(b, "uring") }
+
+func benchKVSGSOLoopback(b *testing.B, backend string) {
+	h := kvs.NewHandler(kvs.NewShardedStore(loopbackShards, 0))
+	scratch := make([]byte, 0, 4096)
+	reqs := make([][]byte, 64)
+	for i := range reqs {
+		// Fixed-width keys make every request — and every reply — the
+		// same wire length, so both directions coalesce fully.
+		key := fmt.Sprintf("key-%02d", i)
+		set := memcache.EncodeFrame(memcache.Frame{RequestID: 1, Total: 1},
+			memcache.EncodeRequest(memcache.Request{Op: memcache.OpSet, Key: key, Value: []byte("value-abcdef")}))
+		if _, ok := h.HandleDatagram(set, &scratch); !ok {
+			b.Fatal("preload failed")
+		}
+		reqs[i] = memcache.EncodeFrame(memcache.Frame{RequestID: uint16(i), Total: 1},
+			memcache.EncodeRequest(memcache.Request{Op: memcache.OpGet, Key: key}))
+	}
+	benchProtoLoopbackTx(b, backend, true, h, dataplane.Config{Name: "bench-kvs-gsotx"}, reqs)
+}
+
+// BenchmarkLoopbackBatchedGSODNS: wire-cache A answers, mmsg engine,
+// train TX both ways.
+func BenchmarkLoopbackBatchedGSODNS(b *testing.B) { benchDNSGSOLoopback(b, "mmsg") }
+
+// BenchmarkLoopbackUringGSODNS: the same over the io_uring transport.
+func BenchmarkLoopbackUringGSODNS(b *testing.B) { benchDNSGSOLoopback(b, "uring") }
+
+func benchDNSGSOLoopback(b *testing.B, backend string) {
+	zone := dns.NewZone()
+	zone.PopulateSequential(64)
+	// host10..host63: two-digit names, so every query (and answer) is the
+	// same wire length.
+	reqs := make([][]byte, 54)
+	for i := range reqs {
+		name := dns.SequentialName(10 + i)
+		if i%2 == 1 {
+			name = "HOST" + name[4:] // keep the fold path loaded
+		}
+		q, err := dns.Encode(dns.NewQuery(uint16(i), name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = q
+	}
+	benchProtoLoopbackTx(b, backend, true, dns.NewHandler(zone),
+		dataplane.Config{Name: "bench-dns-gsotx", MaxDatagram: 4096}, reqs)
+}
+
+// BenchmarkLoopbackBatchedGSOPaxos: Phase2A re-votes, mmsg engine, train
+// TX both ways (the paxos codec is fixed-width, so votes are uniform).
+func BenchmarkLoopbackBatchedGSOPaxos(b *testing.B) { benchPaxosGSOLoopback(b, "mmsg") }
+
+// BenchmarkLoopbackUringGSOPaxos: the same over the io_uring transport.
+func BenchmarkLoopbackUringGSOPaxos(b *testing.B) { benchPaxosGSOLoopback(b, "uring") }
+
+func benchPaxosGSOLoopback(b *testing.B, backend string) {
+	a := paxos.NewLiveAcceptor(1, nil, func(string, paxos.Msg) {})
+	scratch := make([]byte, 0, 4096)
+	reqs := make([][]byte, 64)
+	for i := range reqs {
+		reqs[i] = paxos.Encode(paxos.Msg{Type: paxos.MsgPhase2A, Instance: uint64(i + 1),
+			Ballot: 3, Seq: uint64(i), ClientAddr: "client-1:2345", Value: []byte("value-of-modest-size")})
+		if _, ok := a.HandleDatagram(reqs[i], &scratch); !ok {
+			b.Fatal("seed vote failed")
+		}
+	}
+	benchProtoLoopbackTx(b, backend, true, a,
+		dataplane.Config{Name: "bench-paxos-gsotx", MaxDatagram: 4096}, reqs)
 }

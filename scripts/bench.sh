@@ -5,7 +5,9 @@
 # Covers the dataplane handler hot paths (KVS/DNS/Paxos, single and
 # batched — the 0 B/op acceptance surfaces), the codec micro-benches,
 # the per-protocol batched and uring loopback throughput benches
-# (achieved-kpps), the engine three-way transport sweep
+# (achieved-kpps) including the TX-mode comparison (per-datagram mmsg vs
+# mmsg+GSO-train vs uring+GSO-train reply TX, with tx-segs-per-train
+# evidence), the engine three-way transport sweep
 # (single/mmsg/uring at 1/2/4 shards) and the NIC-tier hit path.
 #
 # After writing the snapshot it diffs against the newest committed
@@ -13,7 +15,7 @@
 # hot-path ns/op or loopback kpps regression beyond the tolerance.
 #
 # Usage:
-#   ./scripts/bench.sh                 # ~full run, writes BENCH_7.json
+#   ./scripts/bench.sh                 # ~full run, writes BENCH_8.json
 #   BENCH_TIME=1x ./scripts/bench.sh   # CI smoke: one iteration per bench
 #   BENCH_OUT=out.json ./scripts/bench.sh
 #   BENCH_MAX_REGRESS=75 ./scripts/bench.sh  # cross-host tolerance
@@ -25,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_7.json}"
+OUT="${BENCH_OUT:-BENCH_8.json}"
 BENCHTIME="${BENCH_TIME:-200ms}"
 # The loopback throughput benches need a fixed, large-enough request
 # count: time-based calibration lands on small b.N where connection
