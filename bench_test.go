@@ -7,6 +7,8 @@ package incod
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -263,8 +265,10 @@ func BenchmarkDataplaneBatchedPaxosAcceptor(b *testing.B) {
 }
 
 // BenchmarkDataplaneShardedStore shows GET throughput scaling with the
-// shard count under parallel load (run with -cpu to vary worker count):
-// one shard serializes on a single mutex, more shards spread the work.
+// partition count under parallel load (run with -cpu to vary worker
+// count). The measured path is the serving one — AppendGetHit's
+// lock-free seqlock read plus reply encode — so ns/op here is the
+// store-side cost of one served GET.
 func BenchmarkDataplaneShardedStore(b *testing.B) {
 	const keys = 4096
 	keyBytes := make([][]byte, keys)
@@ -280,14 +284,74 @@ func BenchmarkDataplaneShardedStore(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
+				scratch := make([]byte, 0, 256)
 				i := 0
 				for pb.Next() {
-					if _, ok := st.Get(keyBytes[i&(keys-1)], 0); !ok {
-						b.Fatal("miss")
+					out, ok := st.AppendGetHit(scratch[:0], keyBytes[i&(keys-1)], 0)
+					if !ok {
+						panic("bench: unexpected miss")
 					}
+					scratch = out
 					i++
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkShardedStoreScaling is the shard-scaling curve artifact: one
+// goroutine per partition, each reading only keys its own partition
+// owns, so the curve isolates shared-nothing store scaling from
+// dispatch contention and scheduler noise. Every sub-bench does b.N
+// reads per goroutine — flat ns/op across shards-1/2/4/8 is perfect
+// (linear) scaling, rising ns/op is cross-partition interference.
+// scripts/bench.sh records the curve and cmd/incbenchdiff gates both
+// the per-shard-count ns/op and the curve shape.
+func BenchmarkShardedStoreScaling(b *testing.B) {
+	const perShard = 512 // power of two: the read loop masks into it
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			st := kvs.NewShardedStore(shards, 0)
+			// Bucket keys by owning partition with the same hash+mask
+			// dispatch the store uses.
+			mask := uint64(st.Shards() - 1)
+			buckets := make([][][]byte, st.Shards())
+			for i, filled := 0, 0; filled < len(buckets); i++ {
+				k := fmt.Appendf(nil, "scale-%d", i)
+				s := dataplane.HashBytes(k) & mask
+				if len(buckets[s]) >= perShard {
+					continue
+				}
+				buckets[s] = append(buckets[s], k)
+				if len(buckets[s]) == perShard {
+					filled++
+				}
+				st.SetBytes(k, kvs.Entry{Value: []byte("0123456789abcdef")})
+			}
+			var misses atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < st.Shards(); s++ {
+				wg.Add(1)
+				go func(keys [][]byte) {
+					defer wg.Done()
+					scratch := make([]byte, 0, 256)
+					for i := 0; i < b.N; i++ {
+						out, ok := st.AppendGetHit(scratch[:0], keys[i&(perShard-1)], 0)
+						if !ok {
+							misses.Add(1)
+							return
+						}
+						scratch = out
+					}
+				}(buckets[s])
+			}
+			wg.Wait()
+			b.StopTimer()
+			if misses.Load() > 0 {
+				b.Fatalf("%d unexpected misses", misses.Load())
+			}
 		})
 	}
 }

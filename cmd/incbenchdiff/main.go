@@ -8,6 +8,12 @@
 // counts still line up. Entries present on only one side are reported
 // but never fail the diff — benches come and go as the repo grows.
 //
+// Benchmark families with /shards-N sub-benches additionally gate the
+// scaling curve itself: for each shard count the speedup relative to
+// the family's smallest shard count must not fall below the baseline's
+// by more than the tolerance, so a change that keeps every absolute
+// ns/op within tolerance but flattens the scaling curve still fails.
+//
 //	incbenchdiff -old BENCH_5.json -new BENCH_7.json            # 15%
 //	incbenchdiff -old BENCH_5.json -new ci.json -tolerance 75   # cross-host smoke
 package main
@@ -19,6 +25,8 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 type benchFile struct {
@@ -51,8 +59,18 @@ const minCalibrated = 10
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func key(e entry) string {
-	return e.Package + " " + gomaxprocsSuffix.ReplaceAllString(e.Name, "")
+	name := gomaxprocsSuffix.ReplaceAllString(e.Name, "")
+	if strings.HasSuffix(name, "/shards") {
+		// The stripped digits were a /shards-N sub-bench's shard count,
+		// not a GOMAXPROCS suffix (single-core runs append none).
+		name = e.Name
+	}
+	return e.Package + " " + name
 }
+
+// shardSuffix picks the shard count out of a normalized key; keys
+// sharing the remainder form one scaling family.
+var shardSuffix = regexp.MustCompile(`/shards-(\d+)$`)
 
 func load(path string) (map[string]entry, error) {
 	data, err := os.ReadFile(path)
@@ -132,6 +150,54 @@ func main() {
 	for k := range newB {
 		if _, ok := oldB[k]; !ok {
 			fmt.Printf("  (new)  %s\n", k)
+		}
+	}
+
+	// Scaling-curve gate: group /shards-N keys into families and compare
+	// each point's speedup over the family's smallest shard count.
+	type curvePoint struct {
+		shards       int
+		oldNs, newNs float64
+	}
+	families := map[string][]curvePoint{}
+	for _, k := range keys {
+		m := shardSuffix.FindStringSubmatch(k)
+		if m == nil {
+			continue
+		}
+		o := oldB[k]
+		n, ok := newB[k]
+		if !ok || o.NsPerOp <= 0 || n.NsPerOp <= 0 ||
+			o.Iterations < minCalibrated || n.Iterations < minCalibrated {
+			continue
+		}
+		shards, _ := strconv.Atoi(m[1])
+		fam := strings.TrimSuffix(k, m[0])
+		families[fam] = append(families[fam], curvePoint{shards, o.NsPerOp, n.NsPerOp})
+	}
+	famNames := make([]string, 0, len(families))
+	for fam := range families {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		pts := families[fam]
+		if len(pts) < 2 {
+			continue
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].shards < pts[j].shards })
+		base := pts[0]
+		for _, p := range pts[1:] {
+			oldSp := base.oldNs / p.oldNs
+			newSp := base.newNs / p.newNs
+			deltaPct := (newSp/oldSp - 1) * 100
+			fmt.Printf("  %-72s x%d speedup %7.2f -> %7.2f  (%+6.1f%%)\n",
+				fam+" [curve]", p.shards, oldSp, newSp, deltaPct)
+			if -deltaPct > *tolerance {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d-shard speedup %.2f -> %.2f (-%.1f%% > %.0f%%)",
+						fam, p.shards, oldSp, newSp, -deltaPct, *tolerance))
+			}
 		}
 	}
 	fmt.Printf("incbenchdiff: %d matched benchmarks, tolerance %.0f%%\n", matched, *tolerance)

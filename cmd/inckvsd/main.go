@@ -37,6 +37,7 @@ func main() {
 		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
 	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
 	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
+	bufCache := flag.Int("bufcache", 0, "per-worker private receive-buffer free list size in batched mode (0 = rxbatch, negative disables)")
 	engineMode := flag.String("engine", "batched",
 		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
 	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
@@ -49,13 +50,16 @@ func main() {
 	ctrl := flag.String("ctrl", "", "control-plane HTTP address (e.g. :8080); empty disables")
 	useTier := flag.Bool("nictier", false,
 		"attach the emulated NIC offload tier (LaKe-style L1/L2 cache): policy shifts become real dataplane transitions")
+	hotKeys := flag.Int("hotkeys", 16,
+		"per-shard hot-key top-K sample size fed by the GET path (surfaced in /v1/dataplane, seeds the NIC tier's L1 on warm-up; 0 disables)")
 	flag.Parse()
 
 	store := kvs.NewShardedStore(*shards, *maxEntries)
+	store.EnableHotKeys(*hotKeys)
 	handler := kvs.NewHandler(store)
 	eng, err := daemon.ListenEngine(
 		daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
-			Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx},
+			BufCache: *bufCache, Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx},
 		handler, dataplane.Config{Name: "inckvsd", Shards: *shards, ShardBy: kvs.ShardByKey})
 	if err != nil {
 		log.Fatalf("inckvsd: %v", err)

@@ -43,6 +43,7 @@ func main() {
 		"per-shard SO_REUSEPORT sockets with batched recvmmsg/sendmmsg I/O (0 = classic single-reader engine; batched mode runs one shard per socket, Linux)")
 	rxBatch := flag.Int("rxbatch", 0, "datagrams per receive batch in batched mode (0 = default 32)")
 	txBatch := flag.Int("txbatch", 0, "datagrams per send batch in batched mode (0 = default 32)")
+	bufCache := flag.Int("bufcache", 0, "per-worker private receive-buffer free list size in batched mode (0 = rxbatch, negative disables)")
 	engineMode := flag.String("engine", "batched",
 		"batched-mode transport: batched (recvmmsg/sendmmsg) | uring (io_uring multishot recv, falls back to batched when the kernel can't) | single (portable fallback)")
 	busyPoll := flag.Int("busypoll", 0, "SO_BUSY_POLL microseconds on the serving sockets (0 = off; trades CPU for latency)")
@@ -95,7 +96,7 @@ func main() {
 		log.Printf("incpaxosd: -nictier only offloads the acceptor role (P4xos, §3.2); ignoring for %q", *role)
 	}
 	io := daemon.EngineOptions{Addr: *addr, Sockets: *sockets, RxBatch: *rxBatch, TxBatch: *txBatch,
-		Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx}
+		BufCache: *bufCache, Engine: *engineMode, BusyPollUs: *busyPoll, Pin: *pin, GSOTx: *gsoTx}
 	var r serverRole
 	switch *role {
 	case "acceptor":

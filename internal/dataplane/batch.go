@@ -134,6 +134,14 @@ type batchState struct {
 	rx     []netio.Message
 	rxBufs []*[]byte
 
+	// free is the worker-private receive-buffer free list (cap
+	// cfg.BufCache): pinned workers that recycle through the shared
+	// sync.Pool steal buffers across CPUs, because a pool's per-P caches
+	// follow the scheduler rather than the pinned thread. Buffers parked
+	// here remain counted in bufsOut (they are outside the pool) and are
+	// drained back by release() so the leak invariant still holds.
+	free []*[]byte
+
 	items     []BatchItem
 	ptrs      []*BatchItem
 	host      []*BatchItem
@@ -158,6 +166,7 @@ func (e *Engine) newBatchState(i int) *batchState {
 		e: e, s: e.shards[i], i: i, bc: e.bconns[i],
 		rx:        make([]netio.Message, n),
 		rxBufs:    make([]*[]byte, n),
+		free:      make([]*[]byte, 0, e.cfg.BufCache),
 		items:     make([]BatchItem, n),
 		ptrs:      make([]*BatchItem, 0, n),
 		host:      make([]*BatchItem, 0, n),
@@ -234,12 +243,35 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// getBuf takes a buffer from the worker's private free list, falling
+// back to the shared pool.
+func (w *batchState) getBuf() *[]byte {
+	if n := len(w.free); n > 0 {
+		bufp := w.free[n-1]
+		w.free = w.free[:n-1]
+		w.e.bufsCached.Add(-1)
+		return bufp
+	}
+	return w.e.getBuf()
+}
+
+// putBuf parks a buffer on the worker's free list, overflowing into the
+// shared pool when the list is full (or disabled).
+func (w *batchState) putBuf(bufp *[]byte) {
+	if len(w.free) < cap(w.free) {
+		w.free = append(w.free, bufp)
+		w.e.bufsCached.Add(1)
+		return
+	}
+	w.e.putBuf(bufp)
+}
+
 // fillRx tops up receive slots whose buffers moved into a cross-shard
 // queue since the last read.
 func (w *batchState) fillRx() {
 	for j := range w.rx {
 		if w.rxBufs[j] == nil {
-			bufp := w.e.getBuf()
+			bufp := w.getBuf()
 			w.rxBufs[j] = bufp
 			w.rx[j].Buf = (*bufp)[:w.e.cfg.MaxDatagram]
 		}
@@ -363,7 +395,7 @@ func (w *batchState) processQueued(pkts []packet) {
 	// can be recvmmsg'd into by another shard before sendmmsg runs.
 	w.flushTx()
 	for k := range pkts {
-		w.e.putBuf(pkts[k].buf)
+		w.putBuf(pkts[k].buf)
 	}
 }
 
@@ -539,7 +571,8 @@ func (w *batchState) trainBuf(i, n int) []byte {
 	return w.trainBufs[i][:n]
 }
 
-// release returns the worker's receive-slot buffers to the pool.
+// release returns the worker's receive-slot buffers and its private
+// free list to the pool, so BuffersInFlight drains to zero on shutdown.
 func (w *batchState) release() {
 	for j, bufp := range w.rxBufs {
 		if bufp != nil {
@@ -547,4 +580,9 @@ func (w *batchState) release() {
 			w.rxBufs[j] = nil
 		}
 	}
+	for _, bufp := range w.free {
+		w.e.bufsCached.Add(-1)
+		w.e.putBuf(bufp)
+	}
+	w.free = w.free[:0]
 }

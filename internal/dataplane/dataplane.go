@@ -102,6 +102,14 @@ type Config struct {
 	// on platforms without sched_setaffinity it degrades to a logged
 	// no-op. Ignored in single-reader mode.
 	PinShards bool
+	// BufCache is the per-worker private receive-buffer free list size
+	// in batched mode (default RxBatch, negative disables). Pinned shard
+	// workers that get/put through the shared sync.Pool steal buffers
+	// across CPUs (a pool's per-P caches follow the scheduler, not the
+	// pinned thread), so each worker first recycles buffers through its
+	// own free list and only overflows into the pool. Cached buffers
+	// still count as in-flight until the worker exits.
+	BufCache int
 	// GSOTx requests train-oriented reply transmission in batched mode:
 	// each shard's flush coalesces consecutive same-destination replies
 	// into UDP_SEGMENT trains before WriteBatch. It only engages when
@@ -130,6 +138,11 @@ func (c Config) withDefaults() Config {
 	if c.RxBatch <= 0 {
 		c.RxBatch = 32
 	}
+	if c.BufCache == 0 {
+		c.BufCache = c.RxBatch
+	} else if c.BufCache < 0 {
+		c.BufCache = 0
+	}
 	if c.TxBatch <= 0 {
 		c.TxBatch = 32
 	}
@@ -150,10 +163,13 @@ type packet struct {
 	barrier chan<- struct{}
 }
 
-// shard is one worker's queue and counters.
+// shard is one worker's queue and counters. The counter block is padded
+// on both sides so two pinned workers bumping their own counters never
+// false-share a cache line across adjacent shard allocations.
 type shard struct {
 	ch chan packet
 
+	_         [64]byte
 	received  atomic.Uint64
 	handled   atomic.Uint64
 	offloaded atomic.Uint64
@@ -166,6 +182,7 @@ type shard struct {
 	// RX syscall amortization.
 	readBatches  atomic.Uint64
 	writeBatches atomic.Uint64
+	_            [64]byte
 }
 
 // Engine is a sharded UDP serving runtime with two I/O modes: the
@@ -203,7 +220,10 @@ type Engine struct {
 	// (in readers, queues or handlers); it must return to zero after
 	// Close, which the overrun tests assert to catch buffer leaks.
 	bufsOut atomic.Int64
-	meter   *telemetry.AtomicRateMeter
+	// bufsCached counts buffers parked in per-worker free lists (a
+	// subset of bufsOut — cached buffers are outside the pool).
+	bufsCached atomic.Int64
+	meter      *telemetry.AtomicRateMeter
 
 	// fastPath is the installed offload tier (nil = host-only dispatch);
 	// lastTier remembers the most recently installed one so Snapshot can

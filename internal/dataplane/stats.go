@@ -1,6 +1,19 @@
 package dataplane
 
-import "incod/internal/netio"
+import (
+	"incod/internal/netio"
+	"incod/internal/telemetry"
+)
+
+// HotKeyReporter is implemented by handlers whose GET path feeds a
+// hot-key sketch (kvs.Handler over a ShardedStore with hot-key sampling
+// enabled); Snapshot folds the hottest entries into /v1/dataplane.
+type HotKeyReporter interface {
+	HotKeys(max int) []telemetry.HotKey
+}
+
+// hotKeysInSnapshot caps how many hot keys a snapshot carries.
+const hotKeysInSnapshot = 16
 
 // ShardStats is one worker's counters.
 type ShardStats struct {
@@ -61,8 +74,14 @@ type Stats struct {
 
 	// BuffersInFlight is the number of pooled receive buffers currently
 	// outside the pool; it returns to zero on a drained engine, so a
-	// persistent residue indicates a buffer leak.
+	// persistent residue indicates a buffer leak. BuffersCached is the
+	// subset parked in per-worker private free lists.
 	BuffersInFlight int64 `json:"buffers_in_flight"`
+	BuffersCached   int64 `json:"buffers_cached,omitempty"`
+
+	// HotKeys is the handler's merged hot-key top-K (hottest first),
+	// present when the handler samples its GET path.
+	HotKeys []telemetry.HotKey `json:"hot_keys,omitempty"`
 
 	// io_uring backend telemetry, summed across the per-shard rings
 	// (RingEntries/BufRingSize are per ring, identical for every shard).
@@ -178,8 +197,12 @@ func (e *Engine) Snapshot() Stats {
 	if st.WriteBatches > 0 {
 		st.TxPerWrite = float64(st.Replies) / float64(st.WriteBatches)
 	}
+	st.BuffersCached = e.bufsCached.Load()
 	if r, ok := e.h.(StatsReporter); ok {
 		st.Handler = r.StatsCounters().Snapshot()
+	}
+	if r, ok := e.h.(HotKeyReporter); ok {
+		st.HotKeys = r.HotKeys(hotKeysInSnapshot)
 	}
 	st.TierActive = e.fastPath.Load() != nil
 	if ref := e.lastTier.Load(); ref != nil {

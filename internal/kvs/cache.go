@@ -1,7 +1,8 @@
-// Package kvs implements the key-value store case study (§3.1): a
-// memcached-semantics software store and server, and LaKe, the layered
-// hardware key-value cache (L1 in on-chip BRAM, L2 in board DRAM, misses
-// forwarded to the host software).
+// This file holds the key-value store case study types (§3.1): the
+// memcached-semantics Entry, and LaKe, the layered hardware key-value
+// cache (L1 in on-chip BRAM, L2 in board DRAM, misses forwarded to the
+// host software). The package comment lives in doc.go.
+
 package kvs
 
 import (

@@ -66,6 +66,10 @@ func (h *Handler) Epoch() time.Time { return h.epoch }
 // StatsCounters exposes protocol counters on the /v1 control API.
 func (h *Handler) StatsCounters() *telemetry.AtomicCounters { return h.counters }
 
+// HotKeys exposes the store's merged hot-key top-K on the /v1 control
+// API (nil unless ShardedStore.EnableHotKeys was called).
+func (h *Handler) HotKeys(max int) []telemetry.HotKey { return h.store.HotKeys(max) }
+
 // parseRequest undoes optional UDP framing and parses the request line
 // into v. ok=false means the datagram parses neither framed nor raw.
 func parseRequest(in []byte, v *memcache.RequestView) (body []byte, framed bool, reqID uint16, ok bool) {

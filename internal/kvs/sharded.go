@@ -2,36 +2,36 @@ package kvs
 
 import (
 	"runtime"
-	"sync"
+	"sort"
 	"time"
 
 	"incod/internal/dataplane"
 	"incod/internal/memcache"
 	"incod/internal/simnet"
+	"incod/internal/telemetry"
 )
 
-// ShardedStore is the concurrent serving form of Store: N independently
-// locked Store shards with key-hash fan-out, so dataplane workers on
-// different cores contend only when they touch the same key range. Each
-// shard keeps its own LRU order and counters; Stats merges them. Shard
-// count is rounded up to a power of two and fixed for the store's life,
-// which makes key->shard assignment deterministic.
+// ShardedStore is the concurrent serving form of Store: N shared-nothing
+// partitions with key-hash fan-out. Reads are lock-free — a per-slot
+// sequence counter detects torn reads and the reader retries — so GET
+// hits acquire no mutex at all; writes are serialized per partition by a
+// writer mutex (the batched dataplane's flow->shard affinity means each
+// partition normally has exactly one writer, and cross-shard writes
+// arrive through the engine's queue handoff). Eviction is CLOCK
+// second-chance: GET hits set a per-entry reference bit with a plain
+// atomic store instead of splicing an LRU list under a lock. Shard count
+// is rounded up to a power of two and fixed for the store's life, which
+// makes key->shard assignment deterministic. See doc.go for the memory
+// model.
 type ShardedStore struct {
-	shards []*storeShard
-	mask   uint64
+	parts []*partition
+	mask  uint64
 }
 
-type storeShard struct {
-	mu sync.Mutex
-	s  *Store
-	// Pad to a cache line so neighboring shard locks don't false-share.
-	_ [40]byte
-}
-
-// NewShardedStore returns a store with at least shards shards (0 means
-// GOMAXPROCS) bounded to maxEntries total (0 = unbounded; the bound is
-// split evenly across shards, so per-shard LRU approximates global LRU
-// under a hashed key distribution).
+// NewShardedStore returns a store with at least shards partitions (0
+// means GOMAXPROCS) bounded to maxEntries total (0 = unbounded; the
+// bound is split evenly across partitions, so per-partition CLOCK
+// approximates global second-chance under a hashed key distribution).
 func NewShardedStore(shards, maxEntries int) *ShardedStore {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -40,219 +40,153 @@ func NewShardedStore(shards, maxEntries int) *ShardedStore {
 	for n < shards {
 		n <<= 1
 	}
-	st := &ShardedStore{shards: make([]*storeShard, n), mask: uint64(n - 1)}
+	st := &ShardedStore{parts: make([]*partition, n), mask: uint64(n - 1)}
 	perShard := 0
 	if maxEntries > 0 {
 		perShard = (maxEntries + n - 1) / n
 	}
-	for i := range st.shards {
-		st.shards[i] = &storeShard{s: NewBoundedStore(perShard)}
+	for i := range st.parts {
+		st.parts[i] = newPartition(perShard)
 	}
 	return st
 }
 
-// Shards returns the shard count.
-func (st *ShardedStore) Shards() int { return len(st.shards) }
+// Shards returns the partition count.
+func (st *ShardedStore) Shards() int { return len(st.parts) }
 
-func (st *ShardedStore) shardOf(key []byte) *storeShard {
-	return st.shards[dataplane.HashBytes(key)&st.mask]
+// EnableHotKeys attaches a k-slot space-saving hot-key sketch to every
+// partition, fed with sampled GET hits from then on. k <= 0 disables
+// sampling (the default).
+func (st *ShardedStore) EnableHotKeys(k int) {
+	for _, p := range st.parts {
+		p.sampler.Store(telemetry.NewTopK(k))
+	}
 }
 
-func (st *ShardedStore) shardOfString(key string) *storeShard {
-	return st.shards[dataplane.HashString(key)&st.mask]
+// HotKeys merges every partition's hot-key sketch and returns up to max
+// entries, hottest first. Counts are sampled (1 in 8 GET hits), so only
+// the ranking is meaningful. Returns nil when sampling is disabled.
+func (st *ShardedStore) HotKeys(max int) []telemetry.HotKey {
+	var all []telemetry.HotKey
+	for _, p := range st.parts {
+		if sam := p.sampler.Load(); sam != nil {
+			all = append(all, sam.Snapshot()...)
+		}
+	}
+	// Keys never repeat across partitions (a key hashes to exactly one),
+	// so a sort-and-truncate is a correct merge.
+	sort.Slice(all, func(i, j int) bool { return all[i].Count > all[j].Count })
+	if max > 0 && len(all) > max {
+		all = all[:max]
+	}
+	return all
 }
 
-// Get returns the entry for key if present and unexpired at now. The key
-// is a byte slice so the serving path stays allocation-free.
-//
-// The returned Entry.Value aliases the store's internal buffer, which a
-// concurrent SetBytes overwrite rewrites in place — consume it before the
-// next mutation can run, or use AppendGetHit, which encodes under the
-// shard lock instead of leaking the alias.
+// Get returns the entry for key if present and unexpired at now, without
+// acquiring any lock. The returned Entry.Value is a private copy (the
+// lock-free reader copies value bytes out before validating the read),
+// so it is stable across later mutations.
 func (st *ShardedStore) Get(key []byte, now simnet.Time) (Entry, bool) {
-	sh := st.shardOf(key)
-	sh.mu.Lock()
-	e, ok := sh.s.GetBytes(key, now)
-	sh.mu.Unlock()
-	return e, ok
+	h := dataplane.HashBytes(key)
+	p := st.parts[h&st.mask]
+	v, fl, exp, ok := p.read(nil, key, h, now, false)
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Flags: fl, Value: v, Expires: exp}, true
 }
 
 // AppendGetHit resolves key at now and, on a hit, appends the memcached
-// "VALUE ... END" reply to out while the key's shard lock is held — the
-// zero-alloc single-GET serving path. Encoding under the lock is what
-// makes the zero-alloc SetBytes overwrite safe: value bytes are copied
-// onto the reply before any later mutation can reuse their buffer.
+// "VALUE ... END" reply to out — the zero-alloc, zero-lock single-GET
+// serving path. The value bytes are copied onto the reply and the read
+// validated afterwards, so a torn copy is dropped and retried rather
+// than served.
 func (st *ShardedStore) AppendGetHit(out []byte, key []byte, now simnet.Time) ([]byte, bool) {
-	sh := st.shardOf(key)
-	sh.mu.Lock()
-	e, ok := sh.s.GetBytes(key, now)
-	if ok {
-		out = memcache.AppendGetHit(out, key, e.Flags, e.Value)
-	}
-	sh.mu.Unlock()
+	h := dataplane.HashBytes(key)
+	p := st.parts[h&st.mask]
+	out, _, _, ok := p.read(out, key, h, now, true)
 	return out, ok
 }
 
-// getBatchChunk is GetBatch's unit of work: its done-set is a uint64
-// bitmask, so a chunk is at most 64 keys.
+// getBatchChunk is the batched handler's unit of work (its
+// classification arrays are sized to it).
 const getBatchChunk = 64
 
-// GetBatch resolves keys[i] into entries[i]/found[i] at now, acquiring
-// each touched shard's lock once per chunk of 64 keys even when many
-// keys hash to the same shard — the batched dataplane's lock
-// amortization hook. All three slices must have equal length. It
-// allocates nothing, so the batched GET hot path stays allocation-free.
-//
-// Returned entries alias the store's value buffers (see Get); serving
-// paths that encode replies should prefer AppendGetBatch, which copies
-// the bytes out under the shard locks.
+// GetBatch resolves keys[i] into entries[i]/found[i] at now. All three
+// slices must have equal length. Each lookup is an independent lock-free
+// read — there are no shard locks left to amortize — and entries[i]'s
+// existing Value capacity is reused, so the batched GET hot path stays
+// allocation-free. Returned values are private copies.
 func (st *ShardedStore) GetBatch(keys [][]byte, now simnet.Time, entries []Entry, found []bool) {
-	for off := 0; off < len(keys); off += getBatchChunk {
-		end := min(off+getBatchChunk, len(keys))
-		st.getChunk(keys[off:end], now, entries[off:end], found[off:end])
-	}
-}
-
-func (st *ShardedStore) getChunk(keys [][]byte, now simnet.Time, entries []Entry, found []bool) {
-	var shardOf [getBatchChunk]uint64
 	for i, k := range keys {
-		shardOf[i] = dataplane.HashBytes(k) & st.mask
-	}
-	var done uint64
-	for i := range keys {
-		if done&(1<<i) != 0 {
-			continue
-		}
-		sh := st.shards[shardOf[i]]
-		sh.mu.Lock()
-		for j := i; j < len(keys); j++ {
-			if done&(1<<j) == 0 && shardOf[j] == shardOf[i] {
-				entries[j], found[j] = sh.s.GetBytes(keys[j], now)
-				done |= 1 << j
-			}
-		}
-		sh.mu.Unlock()
+		h := dataplane.HashBytes(k)
+		p := st.parts[h&st.mask]
+		v, fl, exp, ok := p.read(entries[i].Value[:0], k, h, now, false)
+		entries[i] = Entry{Flags: fl, Value: v, Expires: exp}
+		found[i] = ok
 	}
 }
 
-// AppendGetBatch is GetBatch's encode-under-lock form: each hit's
-// memcached "VALUE ... END" reply lines are appended to *outs[i] while
-// the owning shard's lock is held (outs[i] is typically a pre-seeded
-// per-reply scratch buffer). Lock amortization matches GetBatch — one
-// acquisition per touched shard per chunk of 64 keys — and nothing
-// allocates beyond scratch growth, so the batched GET path stays
-// heap-free while never aliasing value bytes outside the lock.
+// AppendGetBatch is GetBatch's encode form: each hit's memcached
+// "VALUE ... END" reply is appended to *outs[i] (typically a pre-seeded
+// per-reply scratch buffer). Nothing locks and nothing allocates beyond
+// scratch growth.
 func (st *ShardedStore) AppendGetBatch(keys [][]byte, now simnet.Time, outs []*[]byte, found []bool) {
-	for off := 0; off < len(keys); off += getBatchChunk {
-		end := min(off+getBatchChunk, len(keys))
-		st.appendGetChunk(keys[off:end], now, outs[off:end], found[off:end])
-	}
-}
-
-func (st *ShardedStore) appendGetChunk(keys [][]byte, now simnet.Time, outs []*[]byte, found []bool) {
-	var shardOf [getBatchChunk]uint64
 	for i, k := range keys {
-		shardOf[i] = dataplane.HashBytes(k) & st.mask
-	}
-	var done uint64
-	for i := range keys {
-		if done&(1<<i) != 0 {
-			continue
-		}
-		sh := st.shards[shardOf[i]]
-		sh.mu.Lock()
-		for j := i; j < len(keys); j++ {
-			if done&(1<<j) == 0 && shardOf[j] == shardOf[i] {
-				var e Entry
-				e, found[j] = sh.s.GetBytes(keys[j], now)
-				if found[j] {
-					*outs[j] = memcache.AppendGetHit(*outs[j], keys[j], e.Flags, e.Value)
-				}
-				done |= 1 << j
-			}
-		}
-		sh.mu.Unlock()
+		h := dataplane.HashBytes(k)
+		p := st.parts[h&st.mask]
+		*outs[i], _, _, found[i] = p.read(*outs[i], k, h, now, true)
 	}
 }
 
-// GetString is Get for a string key. The value is copied under the shard
-// lock, so the result is stable across later mutations (the allocating,
-// convenience form — the serving path uses AppendGetHit).
+// GetString is Get for a string key (the allocating convenience form —
+// the serving path uses AppendGetHit).
 func (st *ShardedStore) GetString(key string, now simnet.Time) (Entry, bool) {
-	sh := st.shardOfString(key)
-	sh.mu.Lock()
-	e, ok := sh.s.Get(key, now)
-	if ok {
-		e.Value = append([]byte(nil), e.Value...)
-	}
-	sh.mu.Unlock()
-	return e, ok
+	return st.Get([]byte(key), now)
 }
 
-// Set stores key, evicting within the key's shard if bounded. The store
-// takes ownership of e.Value (see Store.Set).
+// Set stores key, evicting within the key's partition if bounded. The
+// value bytes are copied in; the caller keeps ownership of e.Value.
 func (st *ShardedStore) Set(key string, e Entry) {
-	sh := st.shardOfString(key)
-	sh.mu.Lock()
-	sh.s.Set(key, e)
-	sh.mu.Unlock()
+	h := dataplane.HashString(key)
+	st.parts[h&st.mask].set(h, nil, key, false, e)
 }
 
 // SetBytes stores key with zero steady-state allocation: an overwrite
-// reuses the existing entry's value buffer in place under the shard lock
-// (see Store.SetBytes). e.Value is copied in, so the caller's buffer —
-// typically a pooled receive buffer — is free for reuse on return.
+// repacks the value into the existing slot's word array in place, under
+// the partition's writer mutex. e.Value is copied in, so the caller's
+// buffer — typically a pooled receive buffer — is free for reuse on
+// return.
 func (st *ShardedStore) SetBytes(key []byte, e Entry) {
-	sh := st.shardOf(key)
-	sh.mu.Lock()
-	sh.s.SetBytes(key, e)
-	sh.mu.Unlock()
+	h := dataplane.HashBytes(key)
+	st.parts[h&st.mask].set(h, key, "", true, e)
 }
 
 // DeleteBytes is Delete for a byte-slice key (no key allocation).
 func (st *ShardedStore) DeleteBytes(key []byte) bool {
-	sh := st.shardOf(key)
-	sh.mu.Lock()
-	ok := sh.s.DeleteBytes(key)
-	sh.mu.Unlock()
-	return ok
+	h := dataplane.HashBytes(key)
+	return st.parts[h&st.mask].del(h, key, "", true)
 }
 
 // SetIfAbsent stores key only when it is not already present, reporting
-// whether it stored. The check and the insert run under the key's shard
-// lock, so a concurrent Set for the same key can never be overwritten by
-// a stale snapshot value — the property the offload tier's warm-up
-// depends on.
+// whether it stored. The check and the insert run under the key's
+// partition writer mutex, so a concurrent Set for the same key can never
+// be overwritten by a stale snapshot value — the property the offload
+// tier's warm-up depends on.
 func (st *ShardedStore) SetIfAbsent(key string, e Entry) bool {
-	sh := st.shardOfString(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.s.Contains(key) {
-		return false
-	}
-	sh.s.Set(key, e)
-	return true
+	h := dataplane.HashString(key)
+	return st.parts[h&st.mask].setIfAbsent(h, key, e)
 }
 
-// Range calls fn for every live entry, shard by shard, until fn returns
-// false. Each shard's lock is held while fn walks it, so fn must be quick
-// and must not call back into this store (other stores are fine — the
-// tier warm-up copies entries into its own cache layers from here). The
-// Entry.Value passed to fn aliases the store's buffer, which SetBytes
-// reuses in place: fn must copy the bytes if they outlive the walk.
+// Range calls fn for every live entry, partition by partition in slot
+// order, until fn returns false. Each partition's writer mutex is held
+// while fn walks it, so fn must be quick and must not write back into
+// this store (other stores are fine — the tier warm-up copies entries
+// into its own cache layers from here). The Entry.Value passed to fn is
+// a fresh copy.
 func (st *ShardedStore) Range(fn func(key string, e Entry) bool) {
-	for _, sh := range st.shards {
-		stop := false
-		sh.mu.Lock()
-		sh.s.Range(func(key string, e Entry) bool {
-			if !fn(key, e) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		sh.mu.Unlock()
-		if stop {
+	for _, p := range st.parts {
+		if !p.rangeAll(fn) {
 			return
 		}
 	}
@@ -260,42 +194,35 @@ func (st *ShardedStore) Range(fn func(key string, e Entry) bool) {
 
 // Delete removes key, reporting whether it existed.
 func (st *ShardedStore) Delete(key string) bool {
-	sh := st.shardOfString(key)
-	sh.mu.Lock()
-	ok := sh.s.Delete(key)
-	sh.mu.Unlock()
-	return ok
+	h := dataplane.HashString(key)
+	return st.parts[h&st.mask].del(h, nil, key, false)
 }
 
-// Len returns the number of live entries across all shards.
+// Len returns the number of live entries across all partitions. Entries
+// that readers have observed expired remain counted until Sweep reaps
+// them (lock-free readers cannot remove entries).
 func (st *ShardedStore) Len() int {
 	n := 0
-	for _, sh := range st.shards {
-		sh.mu.Lock()
-		n += sh.s.Len()
-		sh.mu.Unlock()
+	for _, p := range st.parts {
+		n += p.len()
 	}
 	return n
 }
 
-// Sweep reaps expired entries in every shard, returning the total.
+// Sweep reaps expired entries in every partition, returning the total.
 func (st *ShardedStore) Sweep(now simnet.Time) int {
 	n := 0
-	for _, sh := range st.shards {
-		sh.mu.Lock()
-		n += sh.s.Sweep(now)
-		sh.mu.Unlock()
+	for _, p := range st.parts {
+		n += p.sweep(now)
 	}
 	return n
 }
 
-// Stats merges every shard's counters.
+// Stats merges every partition's counters.
 func (st *ShardedStore) Stats() StoreStats {
 	var out StoreStats
-	for _, sh := range st.shards {
-		sh.mu.Lock()
-		out.Add(sh.s.Stats())
-		sh.mu.Unlock()
+	for _, p := range st.parts {
+		out.Add(p.statsSnapshot())
 	}
 	return out
 }
@@ -310,8 +237,8 @@ func (st *ShardedStore) HitRatio() float64 {
 }
 
 // Apply executes a parsed memcached request at virtual time now, routing
-// each key to its shard — Store.Apply semantics over the sharded form.
-// Multi-key gets resolve each key independently.
+// each key to its partition — Store.Apply semantics over the sharded
+// form. Multi-key gets resolve each key independently.
 func (st *ShardedStore) Apply(req memcache.Request, now simnet.Time) memcache.Response {
 	switch req.Op {
 	case memcache.OpGet:

@@ -179,15 +179,23 @@ func AppendStatus(dst []byte, status string) []byte {
 	return append(dst, crlf...)
 }
 
-// AppendValue appends one VALUE block (no END terminator).
-func AppendValue(dst, key []byte, flags uint32, value []byte) []byte {
+// AppendValueHeader appends the "VALUE <key> <flags> <n>\r\n" line of a
+// VALUE block, for callers that stream the n value bytes in themselves
+// (the lock-free store copies the value word-at-a-time straight into the
+// reply buffer).
+func AppendValueHeader(dst, key []byte, flags uint32, n int) []byte {
 	dst = append(dst, "VALUE "...)
 	dst = append(dst, key...)
 	dst = append(dst, ' ')
 	dst = strconv.AppendUint(dst, uint64(flags), 10)
 	dst = append(dst, ' ')
-	dst = strconv.AppendUint(dst, uint64(len(value)), 10)
-	dst = append(dst, crlf...)
+	dst = strconv.AppendUint(dst, uint64(n), 10)
+	return append(dst, crlf...)
+}
+
+// AppendValue appends one VALUE block (no END terminator).
+func AppendValue(dst, key []byte, flags uint32, value []byte) []byte {
+	dst = AppendValueHeader(dst, key, flags, len(value))
 	dst = append(dst, value...)
 	return append(dst, crlf...)
 }

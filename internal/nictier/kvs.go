@@ -116,28 +116,38 @@ func (t *KVSTier) Stage() error {
 }
 
 // Warm implements Tier: the LaKe cache activation — bulk-install the
-// store of record into L2 (and an initial working set into L1) while
+// store of record into L2, and seed L1 with the host's measured hot-key
+// top-K (falling back to walk order when hot-key sampling is off) while
 // the host keeps serving. SetIfAbsent keeps concurrent write-through
 // values (newer by definition) from being clobbered, and the deletion
 // log erases any install that raced a delete.
 func (t *KVSTier) Warm() error {
+	// Snapshot the hot set before the walk: a shift pre-loads the keys
+	// the host actually served, not whatever order the table yields.
+	hot := t.store.HotKeys(fpga.OnChipValueEntries)
 	installed := 0
 	t.store.Range(func(key string, e kvs.Entry) bool {
-		// The ranged value aliases the host store's buffer, which the
-		// zero-alloc SET path reuses in place; the tier caches outlive
-		// the walk, so they must own their bytes.
-		e.Value = append([]byte(nil), e.Value...)
+		// Range hands the walk a fresh copy of each value, so the tier
+		// caches can own the bytes directly.
 		if t.l2.SetIfAbsent(key, e) {
 			installed++
 		}
-		if installed <= fpga.OnChipValueEntries {
-			// Seed L1 with the first slice of the walk; its own LRU
-			// bound caps it at the on-chip budget either way, and real
-			// popularity sorts itself out through promotion.
+		if len(hot) == 0 && installed <= fpga.OnChipValueEntries {
+			// No hot-key telemetry: seed L1 with the first slice of the
+			// walk; its own bound caps it at the on-chip budget either
+			// way, and real popularity sorts itself out via promotion.
 			t.l1.SetIfAbsent(key, e)
 		}
 		return true
 	})
+	// Seed L1 from the measured hot set, hottest first, reading through
+	// L2 so the host store's serving counters stay untouched.
+	now := simnet.Time(time.Since(t.epoch))
+	for _, hk := range hot {
+		if e, ok := t.l2.GetString(hk.Key, now); ok {
+			t.l1.SetIfAbsent(hk.Key, e)
+		}
+	}
 	t.delMu.Lock()
 	for _, k := range t.delLog {
 		t.l1.Delete(k)
@@ -201,24 +211,29 @@ func (t *KVSTier) tryHandleAt(in []byte, now simnet.Time, scratch *[]byte) ([]by
 	t.meter.Add(1)
 	switch {
 	case v.Op == memcache.OpGet && !v.MultiKey:
-		e, ok := t.l1.Get(v.Key, now)
-		if ok {
-			t.l1Hits.Add(1)
-		} else if e, ok = t.l2.Get(v.Key, now); ok {
-			t.l2Hits.Add(1)
-			t.l1.Set(string(v.Key), e) // promote; off the allocation-free path
-		} else {
-			// Miss at both layers: the host software services it (§3.1).
-			t.misses.Add(1)
-			return nil, false, false
-		}
+		// Encode the reply straight out of the lock-free read: the frame
+		// header goes down first, then AppendGetHit copies the value
+		// bytes in under seqlock validation — no lock, no allocation.
 		out := (*scratch)[:0]
 		if framed {
 			out = memcache.AppendFrame(out, memcache.Frame{RequestID: reqID, Total: 1})
 		}
-		out = memcache.AppendGetHit(out, v.Key, e.Flags, e.Value)
-		*scratch = out
-		return out, true, true
+		if res, ok := t.l1.AppendGetHit(out, v.Key, now); ok {
+			t.l1Hits.Add(1)
+			*scratch = res
+			return res, true, true
+		}
+		if res, ok := t.l2.AppendGetHit(out, v.Key, now); ok {
+			t.l2Hits.Add(1)
+			if e, ok2 := t.l2.Get(v.Key, now); ok2 {
+				t.l1.Set(string(v.Key), e) // promote; off the allocation-free path
+			}
+			*scratch = res
+			return res, true, true
+		}
+		// Miss at both layers: the host software services it (§3.1).
+		t.misses.Add(1)
+		return nil, false, false
 	case v.Op == memcache.OpSet:
 		// Write-through into the cache layers, then fall through so the
 		// host store stays authoritative and sends the reply.

@@ -21,8 +21,12 @@ import (
 type PaxosAcceptorTier struct {
 	host *paxos.LiveAcceptor
 
+	// mu serializes mutating table accesses (ProcessView, delegated
+	// processing) and the Warm/Park swaps; the pointer itself is atomic so
+	// the lock-free settled-vote pre-pass can read it without the lock.
+	// Nil while parked.
 	mu    sync.Mutex
-	table *paxos.AcceptorTable // nil while parked
+	table atomic.Pointer[paxos.AcceptorTable]
 
 	active atomic.Bool
 	meter  *telemetry.AtomicRateMeter
@@ -97,7 +101,7 @@ func (t *PaxosAcceptorTier) Warm() error {
 	clone := moved.Clone()
 	instances := clone.Instances() // before publishing: workers own it after
 	t.mu.Lock()
-	t.table = clone
+	t.table.Store(clone)
 	t.mu.Unlock()
 	t.handedOff.Store(uint64(instances))
 	return nil
@@ -112,8 +116,8 @@ func (t *PaxosAcceptorTier) Warm() error {
 func (t *PaxosAcceptorTier) Park() error {
 	t.active.Store(false)
 	t.mu.Lock()
-	table := t.table
-	t.table = nil
+	table := t.table.Load()
+	t.table.Store(nil)
 	t.mu.Unlock()
 	t.host.EndHandoff(table)
 	return nil
@@ -125,11 +129,12 @@ func (t *PaxosAcceptorTier) Park() error {
 // then tier).
 func (t *PaxosAcceptorTier) ProcessDelegated(m paxos.Msg) (paxos.Msg, bool) {
 	t.mu.Lock()
-	if t.table == nil {
+	tab := t.table.Load()
+	if tab == nil {
 		t.mu.Unlock()
 		return paxos.Msg{}, false
 	}
-	resp, vote, ok := t.table.Process(m, t.host.ID())
+	resp, vote, ok := tab.Process(m, t.host.ID())
 	t.mu.Unlock()
 	return t.finish(m.Type, resp, vote, ok)
 }
@@ -169,13 +174,27 @@ func (t *PaxosAcceptorTier) TryHandleDatagram(in []byte, _ netip.AddrPort, scrat
 		return nil, false, false
 	}
 	t.meter.Add(1)
+	// Lock-free pre-pass: a re-vote for a settled instance is answered
+	// straight from the table's published lookaside without the tier lock
+	// (the settled vote is immutable, so a stale table generation still
+	// answers correctly — see LiveAcceptor.table).
+	if v.Type == paxos.MsgPhase2A {
+		if tab := t.table.Load(); tab != nil {
+			if resp, ok := tab.TryVote(&v, t.host.ID()); ok {
+				resp, _ = t.finish(v.Type, resp, true, true)
+				*scratch = paxos.AppendMsg((*scratch)[:0], resp)
+				return *scratch, true, true
+			}
+		}
+	}
 	t.mu.Lock()
-	if t.table == nil {
+	tab := t.table.Load()
+	if tab == nil {
 		t.mu.Unlock()
 		// Not yet warmed: the host role still owns the state.
 		return nil, false, false
 	}
-	resp, vote, ok := t.table.ProcessView(&v, t.host.ID())
+	resp, vote, ok := tab.ProcessView(&v, t.host.ID())
 	t.mu.Unlock()
 	if resp, ok = t.finish(v.Type, resp, vote, ok); !ok {
 		return nil, false, false
@@ -202,6 +221,7 @@ func (t *PaxosAcceptorTier) handleChunk(items []*dataplane.BatchItem) {
 		resps [64]paxos.Msg
 		votes [64]bool
 		oks   [64]bool
+		done  [64]bool
 	)
 	classified := uint64(0)
 	passed := uint64(0)
@@ -221,18 +241,37 @@ func (t *PaxosAcceptorTier) handleChunk(items []*dataplane.BatchItem) {
 		return
 	}
 	t.meter.Add(classified)
-	t.mu.Lock()
-	if t.table == nil {
-		t.mu.Unlock()
-		// Not yet warmed: everything falls through to the host role.
-		return
-	}
-	for i := range items {
-		if oks[i] {
-			resps[i], votes[i], oks[i] = t.table.ProcessView(&views[i], t.host.ID())
+	// Lock-free pre-pass: settled re-votes are answered from the table's
+	// published lookaside before the tier lock is taken; only the
+	// remainder pays for serialization.
+	if tab := t.table.Load(); tab != nil {
+		for i := range items {
+			if oks[i] && views[i].Type == paxos.MsgPhase2A {
+				if resp, ok := tab.TryVote(&views[i], t.host.ID()); ok {
+					resps[i], votes[i], done[i] = resp, true, true
+				}
+			}
 		}
 	}
-	t.mu.Unlock()
+	t.mu.Lock()
+	if tab := t.table.Load(); tab != nil {
+		for i := range items {
+			if oks[i] && !done[i] {
+				resps[i], votes[i], oks[i] = tab.ProcessView(&views[i], t.host.ID())
+			}
+		}
+		t.mu.Unlock()
+	} else {
+		t.mu.Unlock()
+		// Not yet warmed (or parked mid-batch): undecided items fall
+		// through to the host role. Pre-pass answers were served from a
+		// still-valid generation and go out below.
+		for i := range items {
+			if !done[i] {
+				oks[i] = false
+			}
+		}
+	}
 	var p1, p2 uint64
 	send := t.host.Sender()
 	for i, it := range items {

@@ -3,6 +3,7 @@ package paxos
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"incod/internal/dataplane"
@@ -32,12 +33,40 @@ type liveVoteState struct {
 // AcceptorTable is the substrate-independent acceptor state machine: the
 // promise/vote rules over per-instance records plus the §9.2 last-voted
 // high-water mark. It is the unit of state a placement shift hands
-// between the host role and the emulated NIC fast path. It does no
-// locking; the owner (LiveAcceptor or the NIC tier) serializes access.
+// between the host role and the emulated NIC fast path. Mutations are
+// serialized by the owner (LiveAcceptor or the NIC tier); the settled
+// lookaside additionally lets ANY goroutine answer a Phase2A for an
+// already-accepted instance via TryVote without that serialization —
+// accepted values are immutable here (a re-vote never rewrites state),
+// which is what makes the lock-free read linearizable.
 type AcceptorTable struct {
 	states    map[uint64]*liveVoteState
-	lastVoted uint64
+	lastVoted atomic.Uint64
+
+	// settled is the lock-free lookaside: an open-addressing table from
+	// instance to a prebuilt, immutable Phase2B template. The owner
+	// publishes into it on every fresh accept; readers only ever load.
+	// Grown generations are republished whole; retired generations stay
+	// valid forever (their entries are immutable), so a reader holding a
+	// stale pointer merely misses newer instances and falls back to the
+	// locked path.
+	settled      atomic.Pointer[settledTable]
+	settledCount int // owner-serialized
 }
+
+// settledTable maps instance -> prebuilt Phase2B. insts holds inst+1 so
+// zero means empty (wire instance numbers start at 0 in principle);
+// votes[i] is published before insts[i], so a visible key always has a
+// visible template.
+type settledTable struct {
+	mask  uint64
+	insts []atomic.Uint64
+	votes []atomic.Pointer[Msg]
+}
+
+// settledFib is the Fibonacci multiplier spreading sequential instance
+// numbers across the table.
+const settledFib = 0x9E3779B97F4A7C15
 
 // NewAcceptorTable returns an empty table.
 func NewAcceptorTable() *AcceptorTable {
@@ -49,20 +78,115 @@ func NewAcceptorTable() *AcceptorTable {
 func (t *AcceptorTable) Instances() int { return len(t.states) }
 
 // LastVoted returns the highest instance this acceptor has voted on.
-func (t *AcceptorTable) LastVoted() uint64 { return t.lastVoted }
+func (t *AcceptorTable) LastVoted() uint64 { return t.lastVoted.Load() }
 
-// Clone deep-copies the table: the modeled DMA of acceptor state into (or
-// out of) NIC memory during a placement shift.
+// Clone deep-copies the table (settled lookaside included): the modeled
+// DMA of acceptor state into (or out of) NIC memory during a placement
+// shift.
 func (t *AcceptorTable) Clone() *AcceptorTable {
 	out := &AcceptorTable{
-		states:    make(map[uint64]*liveVoteState, len(t.states)),
-		lastVoted: t.lastVoted,
+		states: make(map[uint64]*liveVoteState, len(t.states)),
 	}
+	out.lastVoted.Store(t.lastVoted.Load())
 	for inst, st := range t.states {
 		cp := *st
 		out.states[inst] = &cp
+		if cp.accepted {
+			out.publishSettled(inst, &cp)
+		}
 	}
 	return out
+}
+
+// publishSettled installs the prebuilt Phase2B for a freshly accepted
+// (or cloned) instance into the lookaside. Owner-serialized; readers
+// see votes-before-insts publication order.
+func (t *AcceptorTable) publishSettled(inst uint64, st *liveVoteState) {
+	tab := t.settled.Load()
+	if tab == nil || (t.settledCount+1)*8 >= len(tab.insts)*7 {
+		t.growSettled(tab)
+		tab = t.settled.Load()
+	}
+	m := st.m
+	m.Type = MsgPhase2B
+	m.Instance = inst
+	m.Ballot = st.vballot
+	m.VBallot = st.vballot
+	idx := (inst * settledFib) & tab.mask
+	for tab.insts[idx].Load() != 0 {
+		if tab.insts[idx].Load() == inst+1 {
+			return // already published; accepted state never changes
+		}
+		idx = (idx + 1) & tab.mask
+	}
+	tab.votes[idx].Store(&m)
+	tab.insts[idx].Store(inst + 1)
+	t.settledCount++
+}
+
+// growSettled builds and publishes a larger generation carrying every
+// settled entry. The old generation is left intact for stale readers.
+func (t *AcceptorTable) growSettled(old *settledTable) {
+	size := 256
+	if old != nil {
+		size = len(old.insts) * 2
+	}
+	nt := &settledTable{
+		mask:  uint64(size - 1),
+		insts: make([]atomic.Uint64, size),
+		votes: make([]atomic.Pointer[Msg], size),
+	}
+	if old != nil {
+		for i := range old.insts {
+			key := old.insts[i].Load()
+			if key == 0 {
+				continue
+			}
+			idx := ((key - 1) * settledFib) & nt.mask
+			for nt.insts[idx].Load() != 0 {
+				idx = (idx + 1) & nt.mask
+			}
+			nt.votes[idx].Store(old.votes[i].Load())
+			nt.insts[idx].Store(key)
+		}
+	}
+	t.settled.Store(nt)
+}
+
+// TryVote answers a Phase2A for an already-settled instance without any
+// lock: the template Msg is immutable (its Value aliases retained state
+// written once), so the only per-call fields are the responder identity
+// and the last-voted piggyback. ok=false means the instance is not in
+// the lookaside (or v is not a 2A) and the caller must take the locked
+// path. A stale LastVoted read is harmless — the leader folds the
+// maximum over everything it hears.
+func (t *AcceptorTable) TryVote(v *MsgView, id uint16) (Msg, bool) {
+	if v.Type != MsgPhase2A {
+		return Msg{}, false
+	}
+	tab := t.settled.Load()
+	if tab == nil {
+		return Msg{}, false
+	}
+	idx := (v.Instance * settledFib) & tab.mask
+	for range tab.insts {
+		got := tab.insts[idx].Load()
+		if got == 0 {
+			return Msg{}, false
+		}
+		if got == v.Instance+1 {
+			mp := tab.votes[idx].Load()
+			if mp == nil {
+				return Msg{}, false // publication race; locked path serves it
+			}
+			out := *mp
+			out.NodeID = id
+			out.LastVoted = t.lastVoted.Load()
+			return out, true
+		}
+		idx = (idx + 1) & tab.mask
+	}
+	return Msg{}, false
 }
 
 func (t *AcceptorTable) state(inst uint64) *liveVoteState {
@@ -90,7 +214,7 @@ func (t *AcceptorTable) ProcessView(v *MsgView, id uint16) (resp Msg, vote, ok b
 			st.promised = v.Ballot
 		}
 		resp = Msg{Type: MsgPhase1B, Instance: v.Instance,
-			Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted}
+			Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted.Load()}
 		if st.accepted {
 			resp.VBallot = st.vballot
 			resp.Value = st.m.Value
@@ -103,15 +227,16 @@ func (t *AcceptorTable) ProcessView(v *MsgView, id uint16) (resp Msg, vote, ok b
 		}
 		if v.Ballot < st.promised {
 			return Msg{Type: MsgPhase1B, Instance: v.Instance,
-				Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted}, false, true
+				Ballot: st.promised, NodeID: id, LastVoted: t.lastVoted.Load()}, false, true
 		}
 		st.promised = v.Ballot
 		st.accepted = true
 		st.vballot = v.Ballot
 		st.m = v.Msg() // the retention copy: state outlives the datagram
-		if v.Instance > t.lastVoted {
-			t.lastVoted = v.Instance
+		if v.Instance > t.lastVoted.Load() {
+			t.lastVoted.Store(v.Instance)
 		}
+		t.publishSettled(v.Instance, st)
 		return t.vote(v.Instance, st, id), true, true
 	}
 	return Msg{}, false, false
@@ -138,7 +263,7 @@ func (t *AcceptorTable) vote(inst uint64, st *liveVoteState, id uint16) Msg {
 	out.Ballot = st.vballot
 	out.VBallot = st.vballot
 	out.NodeID = id
-	out.LastVoted = t.lastVoted
+	out.LastVoted = t.lastVoted.Load()
 	return out
 }
 
@@ -162,8 +287,16 @@ type LiveAcceptor struct {
 	learners []string
 	send     Sender
 
+	// table is an atomic pointer so the lock-free Phase2A pre-pass can
+	// reach the settled lookaside without the mutex; the mutex still
+	// serializes all mutation and the handoff swap. A pre-pass that
+	// loaded the pointer just before BeginHandoff swapped it may answer
+	// a straggler from the surrendered table while the tier serves its
+	// clone — safe, because settled votes are immutable (the accepted
+	// value for an instance never changes) and a stale LastVoted
+	// piggyback is folded out by the leader's max.
 	mu       sync.Mutex
-	table    *AcceptorTable
+	table    atomic.Pointer[AcceptorTable]
 	delegate AcceptorDelegate
 }
 
@@ -172,8 +305,9 @@ var _ dataplane.BatchHandler = (*LiveAcceptor)(nil)
 
 // NewLiveAcceptor returns an acceptor with identity id voting to learners.
 func NewLiveAcceptor(id uint16, learners []string, send Sender) *LiveAcceptor {
-	return &LiveAcceptor{id: id, learners: learners, send: send,
-		table: NewAcceptorTable()}
+	a := &LiveAcceptor{id: id, learners: learners, send: send}
+	a.table.Store(NewAcceptorTable())
+	return a
 }
 
 // ID returns the acceptor's identity, piggybacked on every response.
@@ -195,8 +329,8 @@ func (a *LiveAcceptor) Sender() Sender { return a.send }
 func (a *LiveAcceptor) BeginHandoff(d AcceptorDelegate) *AcceptorTable {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	t := a.table
-	a.table = NewAcceptorTable()
+	t := a.table.Load()
+	a.table.Store(NewAcceptorTable())
 	a.delegate = d
 	return t
 }
@@ -208,7 +342,7 @@ func (a *LiveAcceptor) EndHandoff(t *AcceptorTable) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if t != nil {
-		a.table = t
+		a.table.Store(t)
 	}
 	a.delegate = nil
 }
@@ -217,11 +351,21 @@ func (a *LiveAcceptor) EndHandoff(t *AcceptorTable) {
 // a promise on a known instance, a re-vote on an accepted one — run
 // without heap allocation: DecodeView aliases the datagram, the reply
 // encodes into the scratch buffer, and only a fresh 2A pays the
-// retention copy.
+// retention copy. Re-votes on settled instances — the dominant retry
+// traffic under duplication and loss — are answered entirely without
+// the role mutex via the table's settled lookaside.
 func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool) {
 	var v MsgView
 	if DecodeView(in, &v) != nil {
 		return nil, false
+	}
+	if v.Type == MsgPhase2A {
+		if resp, ok := a.table.Load().TryVote(&v, a.id); ok {
+			for _, l := range a.learners {
+				a.send(l, resp)
+			}
+			return a.reply(resp, scratch)
+		}
 	}
 	a.mu.Lock()
 	if d := a.delegate; d != nil {
@@ -235,7 +379,7 @@ func (a *LiveAcceptor) HandleDatagram(in []byte, scratch *[]byte) ([]byte, bool)
 		}
 		return a.reply(resp, scratch)
 	}
-	resp, vote, ok := a.table.ProcessView(&v, a.id)
+	resp, vote, ok := a.table.Load().ProcessView(&v, a.id)
 	a.mu.Unlock()
 	if !ok {
 		return nil, false
@@ -275,32 +419,53 @@ func (a *LiveAcceptor) handleChunk(items []*dataplane.BatchItem) {
 		resps [liveBatchChunk]Msg
 		votes [liveBatchChunk]bool
 		oks   [liveBatchChunk]bool
+		done  [liveBatchChunk]bool
 	)
 	for i, it := range items {
 		oks[i] = DecodeView(it.In, &views[i]) == nil
+	}
+	// Lock-free pre-pass: settled re-votes are answered off the
+	// lookaside before the chunk ever takes the role mutex, shrinking
+	// the locked section to fresh/unsettled work only.
+	tab := a.table.Load()
+	for i := range items {
+		if oks[i] && views[i].Type == MsgPhase2A {
+			if resp, ok := tab.TryVote(&views[i], a.id); ok {
+				resps[i], votes[i], done[i] = resp, true, true
+			}
+		}
 	}
 	a.mu.Lock()
 	if d := a.delegate; d != nil {
 		// Handoff in effect: stragglers route to the tier's copy, with
 		// the role mutex held across the chunk (lock order: role, tier).
+		// Items the pre-pass already answered (a settled re-vote served
+		// off the pre-swap table — see the field comment) keep their
+		// responses and still fan out below.
 		for i := range items {
-			if oks[i] {
+			if oks[i] && !done[i] {
 				resps[i], oks[i] = d.ProcessDelegated(views[i].Msg())
 			}
 		}
 		a.mu.Unlock()
 		for i, it := range items {
-			if oks[i] {
-				out := AppendMsg((*it.Scratch)[:0], resps[i])
-				*it.Scratch = out
-				it.Out = out
+			if !oks[i] {
+				continue
 			}
+			if done[i] && votes[i] {
+				for _, l := range a.learners {
+					a.send(l, resps[i])
+				}
+			}
+			out := AppendMsg((*it.Scratch)[:0], resps[i])
+			*it.Scratch = out
+			it.Out = out
 		}
 		return
 	}
 	for i := range items {
-		if oks[i] {
-			resps[i], votes[i], oks[i] = a.table.ProcessView(&views[i], a.id)
+		if oks[i] && !done[i] {
+			resps[i], votes[i], oks[i] = a.table.Load().ProcessView(&views[i], a.id)
 		}
 	}
 	a.mu.Unlock()

@@ -43,7 +43,11 @@ func (c *AtomicCounters) Handle(name string) *atomic.Uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if v = c.vals[name]; v == nil {
-		v = new(atomic.Uint64)
+		// Each cell gets its own cache line: pinned shards hammer
+		// adjacent handles (hits/misses/sets), and unpadded cells
+		// false-share when the allocator packs them together.
+		p := new(PaddedUint64)
+		v = &p.Uint64
 		c.vals[name] = v
 		c.names = append(c.names, name)
 	}

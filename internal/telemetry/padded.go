@@ -1,0 +1,14 @@
+package telemetry
+
+import "sync/atomic"
+
+// PaddedUint64 is an atomic.Uint64 padded out to its own cache line so
+// that unrelated hot counters bumped by different (possibly pinned)
+// shards never false-share. The counter sits at the front of the struct
+// and the pad pushes the allocation into the 64-byte size class, which
+// on the common 64-byte-line targets gives each counter a line of its
+// own when heap-allocated.
+type PaddedUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}

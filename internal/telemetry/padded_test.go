@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestPaddedUint64FillsACacheLine(t *testing.T) {
+	if s := unsafe.Sizeof(PaddedUint64{}); s != 64 {
+		t.Fatalf("PaddedUint64 is %d bytes, want 64", s)
+	}
+}
+
+func TestTopKSpaceSaving(t *testing.T) {
+	tk := NewTopK(2)
+	for i := 0; i < 10; i++ {
+		tk.Observe(1, "a")
+	}
+	for i := 0; i < 5; i++ {
+		tk.Observe(2, "b")
+	}
+	// "c" replaces the minimum ("b", 5) and inherits its count as err.
+	tk.Observe(3, "c")
+	snap := tk.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	byKey := map[string]HotKey{}
+	for _, hk := range snap {
+		byKey[hk.Key] = hk
+	}
+	if a := byKey["a"]; a.Count != 10 || a.Err != 0 {
+		t.Fatalf("a = %+v, want count 10 err 0", a)
+	}
+	if c := byKey["c"]; c.Count != 6 || c.Err != 5 {
+		t.Fatalf("c = %+v, want count 6 err 5", c)
+	}
+	if _, ok := byKey["b"]; ok {
+		t.Fatal("b should have been evicted from the sketch")
+	}
+}
+
+func TestTopKNilAndDisabled(t *testing.T) {
+	var tk *TopK
+	tk.Observe(1, "a") // must not panic
+	if s := tk.Snapshot(); s != nil {
+		t.Fatalf("nil sketch snapshot = %v, want nil", s)
+	}
+	if NewTopK(0) != nil {
+		t.Fatal("NewTopK(0) should return the nil sketch")
+	}
+}
+
+// benchCells hammers per-goroutine counters laid out by the given
+// function; the packed/padded pair below measures the false-sharing
+// cost the padding satellite is meant to kill.
+func benchCells(b *testing.B, cell func(i int) *atomic.Uint64) {
+	var next atomic.Uint32
+	b.RunParallel(func(pb *testing.PB) {
+		c := cell(int(next.Add(1) - 1))
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkCounterPadding(b *testing.B) {
+	b.Run("packed", func(b *testing.B) {
+		cells := make([]atomic.Uint64, 64)
+		benchCells(b, func(i int) *atomic.Uint64 { return &cells[i%len(cells)] })
+	})
+	b.Run("padded", func(b *testing.B) {
+		cells := make([]PaddedUint64, 64)
+		benchCells(b, func(i int) *atomic.Uint64 { return &cells[i%len(cells)].Uint64 })
+	})
+}

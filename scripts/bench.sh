@@ -15,7 +15,7 @@
 # hot-path ns/op or loopback kpps regression beyond the tolerance.
 #
 # Usage:
-#   ./scripts/bench.sh                 # ~full run, writes BENCH_8.json
+#   ./scripts/bench.sh                 # ~full run, writes BENCH_9.json
 #   BENCH_TIME=1x ./scripts/bench.sh   # CI smoke: one iteration per bench
 #   BENCH_OUT=out.json ./scripts/bench.sh
 #   BENCH_MAX_REGRESS=75 ./scripts/bench.sh  # cross-host tolerance
@@ -27,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_8.json}"
+OUT="${BENCH_OUT:-BENCH_9.json}"
 BENCHTIME="${BENCH_TIME:-200ms}"
 # The loopback throughput benches need a fixed, large-enough request
 # count: time-based calibration lands on small b.N where connection
@@ -45,7 +45,7 @@ run_bench() {
 }
 
 # The serving hot paths and codecs (root suite).
-run_bench . 'DataplaneKVS|DataplaneBatchedKVS|DataplaneDNS|DataplaneBatchedDNS|DataplanePaxos|DataplaneBatchedPaxos|DataplaneShardedStore|MemcacheParseGet|PaxosCodec|DNSCodec|DNSQuestionView' "$BENCHTIME"
+run_bench . 'DataplaneKVS|DataplaneBatchedKVS|DataplaneDNS|DataplaneBatchedDNS|DataplanePaxos|DataplaneBatchedPaxos|DataplaneShardedStore|ShardedStoreScaling|MemcacheParseGet|PaxosCodec|DNSCodec|DNSQuestionView' "$BENCHTIME"
 # Per-protocol loopback kpps, batched (recvmmsg) and io_uring modes.
 run_bench . 'LoopbackBatched|LoopbackUring' "$LOOPTIME"
 # The engine's batched-vs-single loopback comparison plus the three-way
