@@ -1,0 +1,19 @@
+package chaos
+
+import "testing"
+
+// BenchmarkProps times one quick run of each property — the sweep's
+// per-seed cost budget. The 1000-seed CI bar needs the per-seed total
+// across all five to stay in the low tens of milliseconds.
+func BenchmarkProps(b *testing.B) {
+	for _, p := range Properties() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(int64(i), Config{Quick: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

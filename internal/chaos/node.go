@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"net/netip"
+	"time"
+
+	"incod/internal/dataplane"
+	"incod/internal/nictier"
+	"incod/internal/simnet"
+)
+
+// ServerNode is a serving engine on the simulated network: it receives
+// datagrams as a simnet.Node, dispatches them through the same contract
+// the live dataplane engine uses — installed fast path first, host
+// handler for everything unserved — and sends non-empty replies back to
+// the packet source. It implements nictier.Dataplane, so a real
+// nictier.Service drives placement shifts on it unmodified.
+//
+// With a zero BatchWindow every datagram is handled at delivery time
+// (the single-datagram path). With a nonzero window, deliveries queue
+// and flush together after the window elapses, exercising the batched
+// TryHandleBatch/HandleBatch path; Barrier flushes synchronously, which
+// is exactly the pre-warm fence the shift sequence needs.
+//
+// Everything runs inside the single-threaded simulation loop, so no
+// locking is needed — but replies must be copied before Send, because
+// handlers reuse their scratch buffers while simnet defers delivery.
+type ServerNode struct {
+	sim  *simnet.Simulator
+	net  *simnet.Network
+	addr simnet.Addr
+
+	host      dataplane.Handler
+	hostBatch dataplane.BatchHandler // nil: per-datagram host calls
+	window    time.Duration
+
+	fp      dataplane.FastPath
+	fpBatch dataplane.BatchFastPath // fp asserted, when it batches
+
+	pending []*simnet.Packet
+	armed   bool // a flush is scheduled
+
+	scratch    []byte
+	items      []dataplane.BatchItem
+	itemPtrs   []*dataplane.BatchItem
+	hostPtrs   []*dataplane.BatchItem
+	scratches  [][]byte
+	fastServed uint64
+	hostServed uint64
+}
+
+var _ simnet.Node = (*ServerNode)(nil)
+var _ nictier.Dataplane = (*ServerNode)(nil)
+
+// NewServerNode builds a node at addr serving host, with deliveries
+// batched over window (0 = single-datagram dispatch). If host also
+// implements dataplane.BatchHandler, batched flushes use it.
+func NewServerNode(sim *simnet.Simulator, net *simnet.Network, addr simnet.Addr,
+	host dataplane.Handler, window time.Duration) *ServerNode {
+	s := &ServerNode{sim: sim, net: net, addr: addr, host: host, window: window}
+	s.hostBatch, _ = host.(dataplane.BatchHandler)
+	return s
+}
+
+// Addr implements simnet.Node.
+func (s *ServerNode) Addr() simnet.Addr { return s.addr }
+
+// Served reports how many datagrams the fast path consumed and how many
+// reached the host handler.
+func (s *ServerNode) Served() (fast, host uint64) { return s.fastServed, s.hostServed }
+
+// SetFastPath implements nictier.Dataplane. The simulation loop is
+// single-threaded, so installation is trivially atomic with dispatch.
+func (s *ServerNode) SetFastPath(fp dataplane.FastPath) {
+	s.fp = fp
+	s.fpBatch, _ = fp.(dataplane.BatchFastPath)
+}
+
+// ClearFastPath implements nictier.Dataplane. No call can be inside the
+// tier when it returns — dispatch and this call share the event loop.
+func (s *ServerNode) ClearFastPath() {
+	s.fp, s.fpBatch = nil, nil
+}
+
+// Barrier implements nictier.Dataplane: every datagram delivered before
+// the call has fully landed once the pending batch is flushed.
+func (s *ServerNode) Barrier() { s.flush() }
+
+// Receive implements simnet.Node.
+func (s *ServerNode) Receive(pkt *simnet.Packet) {
+	if s.window <= 0 {
+		s.handleOne(pkt)
+		return
+	}
+	s.pending = append(s.pending, pkt)
+	if !s.armed {
+		s.armed = true
+		s.sim.Schedule(s.window, s.flush)
+	}
+}
+
+// handleOne is the single-datagram dispatch path.
+func (s *ServerNode) handleOne(pkt *simnet.Packet) {
+	if s.fp != nil {
+		out, served, reply := s.fp.TryHandleDatagram(pkt.Payload, netip.AddrPort{}, &s.scratch)
+		if served {
+			s.fastServed++
+			if reply {
+				s.reply(pkt, out)
+			}
+			return
+		}
+	}
+	s.hostServed++
+	if out, ok := s.host.HandleDatagram(pkt.Payload, &s.scratch); ok {
+		s.reply(pkt, out)
+	}
+}
+
+// flush runs the batched dispatch over every pending delivery: fast path
+// over the whole batch first, host pass over the unserved remainder,
+// replies sent in arrival order.
+func (s *ServerNode) flush() {
+	s.armed = false
+	batch := s.pending
+	s.pending = s.pending[:0]
+	if len(batch) == 0 {
+		return
+	}
+	n := len(batch)
+	if cap(s.items) < n {
+		s.items = make([]dataplane.BatchItem, n)
+		s.itemPtrs = make([]*dataplane.BatchItem, n)
+		s.scratches = make([][]byte, n)
+	}
+	items, ptrs := s.items[:n], s.itemPtrs[:n]
+	for i, pkt := range batch {
+		items[i] = dataplane.BatchItem{In: pkt.Payload, Scratch: &s.scratches[i]}
+		ptrs[i] = &items[i]
+	}
+	switch {
+	case s.fpBatch != nil:
+		s.fpBatch.TryHandleBatch(ptrs)
+	case s.fp != nil:
+		for _, it := range ptrs {
+			out, served, reply := s.fp.TryHandleDatagram(it.In, netip.AddrPort{}, it.Scratch)
+			if served {
+				it.Served = true
+				if reply {
+					it.Out = out
+				}
+			}
+		}
+	}
+	s.hostPtrs = s.hostPtrs[:0]
+	for _, it := range ptrs {
+		if it.Served {
+			s.fastServed++
+		} else {
+			s.hostPtrs = append(s.hostPtrs, it)
+			s.hostServed++
+		}
+	}
+	if len(s.hostPtrs) > 0 {
+		if s.hostBatch != nil {
+			s.hostBatch.HandleBatch(s.hostPtrs)
+		} else {
+			for _, it := range s.hostPtrs {
+				if out, ok := s.host.HandleDatagram(it.In, it.Scratch); ok {
+					it.Out = out
+				}
+			}
+		}
+	}
+	for i, pkt := range batch {
+		if len(items[i].Out) > 0 {
+			s.reply(pkt, items[i].Out)
+		}
+	}
+}
+
+// reply copies out (handlers reuse scratch; delivery is deferred) and
+// sends it back to the request's source.
+func (s *ServerNode) reply(req *simnet.Packet, out []byte) {
+	s.net.Send(&simnet.Packet{
+		Src:     s.addr,
+		Dst:     req.Src,
+		SrcPort: req.DstPort,
+		DstPort: req.SrcPort,
+		Payload: append([]byte(nil), out...),
+	})
+}

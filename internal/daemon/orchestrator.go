@@ -97,9 +97,10 @@ type ManagedService struct {
 	// releases its mutex while Shift runs (warm-up and drains take real
 	// time and must not block the control plane), and this flag keeps a
 	// concurrent tick or pin from starting a second one.
-	shifting     bool
-	shiftRetries int           // lifetime count of failed shift attempts
-	lastShiftDur time.Duration // duration of the last completed attempt
+	shifting       bool
+	shiftRetries   int           // lifetime count of failed shift attempts
+	shiftRollbacks int           // failed shifts rolled back to the prior placement
+	lastShiftDur   time.Duration // duration of the last completed attempt
 }
 
 // Observe records n=1 served request.
@@ -334,19 +335,43 @@ func (o *Orchestrator) apply(m *ManagedService, now time.Time, target core.Place
 		return false
 	}
 	m.shifting = true
+	from := m.svc.Placement()
 	o.mu.Unlock()
 	start := time.Now()
 	err := m.svc.Shift(target)
 	dur := time.Since(start)
+	rolledBack := false
+	var rollbackErr error
+	if err != nil && m.svc.Placement() != from {
+		// The transition task failed after the service had already left
+		// its prior placement — the exact stranding a wedged daemon shows.
+		// Roll back so placement, dispatch and the fast-path fence agree
+		// again; the policy (or pin) re-evaluates from a sane state on the
+		// next tick instead of retrying forever from limbo.
+		if rollbackErr = m.svc.Shift(from); rollbackErr == nil {
+			rolledBack = true
+		}
+	}
 	o.mu.Lock()
 	m.shifting = false
 	m.lastShiftDur = dur
 	if err != nil {
 		m.shiftRetries++
-		if err.Error() != m.lastErr {
-			log.Printf("%s: on-demand: shift to %s failed: %v", m.name, target, err)
+		if rolledBack {
+			m.shiftRollbacks++
 		}
-		m.lastErr = err.Error()
+		msg := err.Error()
+		if rollbackErr != nil {
+			msg += "; rollback to " + from.String() + " also failed: " + rollbackErr.Error()
+		}
+		if msg != m.lastErr {
+			if rolledBack {
+				log.Printf("%s: on-demand: shift to %s failed, rolled back to %s: %v", m.name, target, from, err)
+			} else {
+				log.Printf("%s: on-demand: shift to %s failed: %v", m.name, target, msg)
+			}
+		}
+		m.lastErr = msg
 		return false
 	}
 	m.lastErr = ""
@@ -395,6 +420,9 @@ type ServiceStatus struct {
 	Shifting bool `json:"shifting,omitempty"`
 	// ShiftRetries counts failed shift attempts over the service's life.
 	ShiftRetries int `json:"shift_retries,omitempty"`
+	// ShiftRollbacks counts failed shifts that left the service stranded
+	// mid-transition and were rolled back to the prior placement.
+	ShiftRollbacks int `json:"shift_rollbacks,omitempty"`
 	// LastShiftDuration is how long the most recent shift attempt took
 	// (successful or not), as a Go duration string.
 	LastShiftDuration string `json:"last_shift_duration,omitempty"`
@@ -414,14 +442,15 @@ func (o *Orchestrator) lookup(name string) (*ManagedService, error) {
 
 func statusLocked(m *ManagedService) ServiceStatus {
 	s := ServiceStatus{
-		Name:         m.name,
-		Placement:    m.svc.Placement().String(),
-		Policy:       m.pol.Name(),
-		Shifts:       m.shifts,
-		Requests:     m.total(),
-		LastError:    m.lastErr,
-		Shifting:     m.shifting,
-		ShiftRetries: m.shiftRetries,
+		Name:           m.name,
+		Placement:      m.svc.Placement().String(),
+		Policy:         m.pol.Name(),
+		Shifts:         m.shifts,
+		Requests:       m.total(),
+		LastError:      m.lastErr,
+		Shifting:       m.shifting,
+		ShiftRetries:   m.shiftRetries,
+		ShiftRollbacks: m.shiftRollbacks,
 	}
 	if m.lastShiftDur > 0 {
 		s.LastShiftDuration = m.lastShiftDur.Round(time.Microsecond).String()

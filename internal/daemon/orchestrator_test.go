@@ -181,6 +181,93 @@ func TestOrchestratorShiftFailureRetries(t *testing.T) {
 	}
 }
 
+// strandingService violates the core.Service stay-put contract: while
+// unhealed, every up-shift moves the placement to the target AND returns
+// an error — the wedged-daemon shape where the flip landed but the
+// transition task died. Down-shifts (including the orchestrator's
+// rollback) always succeed.
+type strandingService struct {
+	mu     sync.Mutex
+	where  core.Placement
+	healed bool
+	shifts []core.Placement
+}
+
+func (s *strandingService) Name() string { return "strander" }
+
+func (s *strandingService) Placement() core.Placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.where
+}
+
+func (s *strandingService) Shift(to core.Placement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if to == s.where {
+		return nil
+	}
+	s.shifts = append(s.shifts, to)
+	s.where = to
+	if to == core.Network && !s.healed {
+		return errTest
+	}
+	return nil
+}
+
+func (s *strandingService) heal() {
+	s.mu.Lock()
+	s.healed = true
+	s.mu.Unlock()
+}
+
+// A shift that fails AFTER moving the service must be rolled back: the
+// orchestrator restores the prior placement, counts it, and surfaces the
+// error — rather than reporting a placement the failed transition never
+// finished establishing.
+func TestOrchestratorRollsBackStrandedShift(t *testing.T) {
+	o := NewOrchestrator(0)
+	svc := &strandingService{where: core.Host}
+	m, err := o.Register("strander", ServiceConfig{
+		Service: svc,
+		Policy:  core.NewThresholdPolicy(core.DefaultNetworkConfig(100)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	o.Tick(start)
+	now := drive(o, m, start, 300, 1500*time.Millisecond)
+	s, _ := o.Status("strander")
+	if s.Placement != "host" {
+		t.Fatalf("stranded shift must be rolled back to host, got %+v", s)
+	}
+	if s.ShiftRollbacks == 0 {
+		t.Fatalf("rollbacks must be counted, got %+v", s)
+	}
+	if s.LastError == "" {
+		t.Fatalf("original shift error must be surfaced, got %+v", s)
+	}
+	svc.mu.Lock()
+	gotShifts := append([]core.Placement(nil), svc.shifts[:2]...)
+	svc.mu.Unlock()
+	if gotShifts[0] != core.Network || gotShifts[1] != core.Host {
+		t.Fatalf("shift sequence = %v, want [network host ...]", gotShifts)
+	}
+	rollbacks := s.ShiftRollbacks
+	// The rate is still high, so later ticks retry; the now-healthy
+	// service converges on the network and the error clears.
+	svc.heal()
+	_ = drive(o, m, now, 300, 2*time.Second)
+	s, _ = o.Status("strander")
+	if s.Placement != "network" || s.LastError != "" {
+		t.Fatalf("post-rollback retry should converge, got %+v", s)
+	}
+	if s.ShiftRollbacks != rollbacks {
+		t.Fatalf("rollback count is lifetime (%d), got %+v", rollbacks, s)
+	}
+}
+
 // A pin whose transition task fails still takes effect: the failure is
 // recorded in status and the orchestrator retries every tick.
 func TestPinWithFailingShiftRetries(t *testing.T) {

@@ -2,9 +2,12 @@ package fleet
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"incod/internal/core"
 	"incod/internal/daemon"
@@ -73,6 +76,81 @@ func TestClientServicesAndPin(t *testing.T) {
 	st, err = c.Pin(ctx, "kvs", "host")
 	if err != nil || st.Placement != "host" {
 		t.Fatalf("after unpin-to-host: %+v, %v", st, err)
+	}
+}
+
+// flakyServer answers 5xx for the first fails requests, then delegates to
+// ok. It returns the client and a counter of requests seen.
+func flakyServer(t *testing.T, fails int, ok http.HandlerFunc) (*Client, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fails) {
+			http.Error(w, `{"error":"warming up"}`, http.StatusInternalServerError)
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return NewClient(strings.TrimPrefix(srv.URL, "http://")), &calls
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	c, calls := flakyServer(t, 2, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`[{"name":"kvs","placement":"host"}]`))
+	})
+	all, err := c.Services(context.Background())
+	if err != nil {
+		t.Fatalf("call should survive two 500s: %v", err)
+	}
+	if len(all) != 1 || all[0].Name != "kvs" {
+		t.Fatalf("Services = %+v", all)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two failures + success)", got)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestClientFailsFastOnPermanent4xx(t *testing.T) {
+	_, c := newDaemon(t, "kvs")
+	if _, err := c.Service(context.Background(), "nope"); err == nil {
+		t.Fatal("404 must error")
+	}
+	if got := c.Retries(); got != 0 {
+		t.Fatalf("4xx must not be retried, Retries() = %d", got)
+	}
+}
+
+func TestClientRetriesExhaustTransportError(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens there
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Services(ctx); err == nil {
+		t.Fatal("dead server must error")
+	}
+	if got := c.Retries(); got != retryAttempts-1 {
+		t.Fatalf("Retries() = %d, want %d (all backed-off attempts)", got, retryAttempts-1)
+	}
+	// Backoff must have actually slept between attempts, but capped: well
+	// under the sum of caps.
+	if d := time.Since(start); d > 4*time.Second {
+		t.Fatalf("retry loop took %v, backoff cap not honored", d)
+	}
+}
+
+func TestClientRetryStopsOnCanceledContext(t *testing.T) {
+	c := NewClient("127.0.0.1:1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Services(ctx); err == nil {
+		t.Fatal("canceled context must error")
+	}
+	if got := c.Retries(); got > 1 {
+		t.Fatalf("canceled context must stop the retry loop, Retries() = %d", got)
 	}
 }
 

@@ -114,6 +114,12 @@ type Snapshot struct {
 	BudgetViolations    int `json:"budget_violations"`
 	ConcurrentShiftsMax int `json:"concurrent_shifts_max"`
 
+	// RetriesTotal counts transient-failure retries the controller's
+	// member clients spent (backoff policy in client.go) — a cheap fleet
+	// health signal: rising retries with steady Healthy means members are
+	// flapping faster than the poll notices.
+	RetriesTotal uint64 `json:"retries_total"`
+
 	Energy EnergyTotals   `json:"energy"`
 	Roster []MemberStatus `json:"roster"`
 }
@@ -417,9 +423,14 @@ func (c *Controller) pollMember(ctx context.Context, m *Member) sample {
 // Snapshot returns the latest fleet snapshot.
 func (c *Controller) Snapshot() Snapshot {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.snap
 	s.Roster = append([]MemberStatus(nil), c.snap.Roster...)
+	c.mu.Unlock()
+	for i := range c.cfg.Members {
+		if cl := c.cfg.Members[i].client; cl != nil {
+			s.RetriesTotal += cl.Retries()
+		}
+	}
 	return s
 }
 

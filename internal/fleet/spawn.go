@@ -139,7 +139,9 @@ func (s *Spawner) SpawnMix(kinds []string) ([]Member, error) {
 }
 
 // WaitHealthy blocks until every member's /v1/healthz answers 200 — the
-// dataplane engine is serving — or the deadline passes.
+// dataplane engine is serving — or the deadline passes. The probe cadence
+// backs off exponentially (10ms doubling to a 500ms cap) per member, so a
+// fast boot is noticed within milliseconds while a slow one isn't hammered.
 func WaitHealthy(ctx context.Context, members []Member, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for i := range members {
@@ -147,6 +149,7 @@ func WaitHealthy(ctx context.Context, members []Member, timeout time.Duration) e
 		if m.client == nil {
 			m.client = NewClient(m.Ctrl)
 		}
+		probe := 10 * time.Millisecond
 		for {
 			hctx, cancel := context.WithTimeout(ctx, time.Second)
 			ok := m.client.Healthy(hctx)
@@ -157,10 +160,11 @@ func WaitHealthy(ctx context.Context, members []Member, timeout time.Duration) e
 			if time.Now().After(deadline) {
 				return fmt.Errorf("fleet: %s (%s) not healthy after %v", m.Name, m.Ctrl, timeout)
 			}
-			select {
-			case <-ctx.Done():
+			if !sleepCtx(ctx, probe) {
 				return ctx.Err()
-			case <-time.After(100 * time.Millisecond):
+			}
+			if probe *= 2; probe > 500*time.Millisecond {
+				probe = 500 * time.Millisecond
 			}
 		}
 	}

@@ -32,9 +32,10 @@ type KVSTier struct {
 	store *kvs.ShardedStore // host store of record (warm-up source)
 	epoch time.Time         // shared with the host handler's virtual clock
 
-	l1, l2 *kvs.ShardedStore
-	active atomic.Bool
-	meter  *telemetry.AtomicRateMeter
+	l1, l2       *kvs.ShardedStore
+	l1Cap, l2Cap int // entry bounds, reused by Park's reset
+	active       atomic.Bool
+	meter        *telemetry.AtomicRateMeter
 
 	// The deletion log: while warming, write-through deletes are
 	// recorded so the final warm pass can undo any snapshot install
@@ -54,14 +55,31 @@ type KVSTier struct {
 }
 
 // NewKVS returns a LaKe-style tier in front of h's store, sharing h's
-// expiry clock.
+// expiry clock, with the board-default cache capacities.
 func NewKVS(h *kvs.Handler) *KVSTier {
+	return NewKVSSized(h, fpga.OnChipValueEntries, kvs.L2DefaultCapacity)
+}
+
+// NewKVSSized is NewKVS with explicit L1/L2 entry bounds (<= 0 selects
+// the board default for that layer). The bounds also size the backing
+// tables, so small ones keep tier construction and Park's cache reset
+// cheap — the chaos harness builds and parks thousands of tiers per
+// sweep, where the default DRAM-scale L2 table would dominate the run.
+func NewKVSSized(h *kvs.Handler, l1Cap, l2Cap int) *KVSTier {
+	if l1Cap <= 0 {
+		l1Cap = fpga.OnChipValueEntries
+	}
+	if l2Cap <= 0 {
+		l2Cap = kvs.L2DefaultCapacity
+	}
 	c := telemetry.NewAtomicCounters()
 	return &KVSTier{
 		store:       h.Store(),
 		epoch:       h.Epoch(),
-		l1:          kvs.NewShardedStore(0, fpga.OnChipValueEntries),
-		l2:          kvs.NewShardedStore(0, kvs.L2DefaultCapacity),
+		l1:          kvs.NewShardedStore(0, l1Cap),
+		l2:          kvs.NewShardedStore(0, l2Cap),
+		l1Cap:       l1Cap,
+		l2Cap:       l2Cap,
 		meter:       telemetry.NewAtomicRateMeter(meterBucket, meterBuckets),
 		counters:    c,
 		l1Hits:      c.Handle("l1_hit"),
@@ -164,8 +182,8 @@ func (t *KVSTier) Warm() error {
 // state lost.
 func (t *KVSTier) Park() error {
 	t.active.Store(false)
-	t.l1 = kvs.NewShardedStore(0, fpga.OnChipValueEntries)
-	t.l2 = kvs.NewShardedStore(0, kvs.L2DefaultCapacity)
+	t.l1 = kvs.NewShardedStore(0, t.l1Cap)
+	t.l2 = kvs.NewShardedStore(0, t.l2Cap)
 	t.delMu.Lock()
 	t.warming = false
 	t.delLog = nil

@@ -10,6 +10,23 @@ import (
 	"incod/internal/dataplane"
 )
 
+// Dataplane is the slice of a serving engine a placement shift drives:
+// install the offload tier on dispatch, drain it back out, and fence
+// in-flight host work. *dataplane.Engine implements it for the live
+// daemons; internal/chaos implements it over the deterministic simnet
+// substrate so the same Service code shifts under fault injection.
+type Dataplane interface {
+	// SetFastPath atomically interposes fp on dispatch (nil clears).
+	SetFastPath(fp dataplane.FastPath)
+	// ClearFastPath uninstalls the tier and drains it: no call may still
+	// be inside the tier when it returns.
+	ClearFastPath()
+	// Barrier returns once every datagram dequeued before the call has
+	// fully landed — the fence between flipping dispatch and snapshotting
+	// host state.
+	Barrier()
+}
+
 // Service binds a Tier to a serving engine as a core.Service: Shift is
 // no longer advisory. Shifting to the network stages the tier, flips
 // engine dispatch, fences pre-flip host work, and warms (the §9.2
@@ -19,7 +36,7 @@ import (
 // any other core.Service — same policies, same /v1 API.
 type Service struct {
 	name string
-	eng  *dataplane.Engine
+	eng  Dataplane
 	tier Tier
 
 	// shiftMu serializes transitions only. Placement and the transition
@@ -36,7 +53,7 @@ var _ core.CostReporter = (*Service)(nil)
 
 // NewService binds tier to eng under name. The service starts on the
 // host (tier parked, host handler serving everything).
-func NewService(name string, eng *dataplane.Engine, tier Tier) *Service {
+func NewService(name string, eng Dataplane, tier Tier) *Service {
 	return &Service{name: name, eng: eng, tier: tier}
 }
 
@@ -86,6 +103,11 @@ func (s *Service) Shift(to core.Placement) error {
 		// answered — then park (state flushed or handed back).
 		s.eng.ClearFastPath()
 		if err := s.tier.Park(); err != nil {
+			// Roll the drain back: reinstall the tier so dispatch matches
+			// the placement still being reported (network). Without this a
+			// failed park strands the service between placements — status
+			// says network while every datagram already bypasses the tier.
+			s.eng.SetFastPath(s.tier)
 			return fmt.Errorf("nictier: park %s: %w", s.tier.Name(), err)
 		}
 		s.lastDrain.Store(int64(time.Since(start)))

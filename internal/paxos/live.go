@@ -644,6 +644,12 @@ func (l *LiveLearner) Start(gapEvery time.Duration) {
 // Stop ends the gap scanner. It is idempotent.
 func (l *LiveLearner) Stop() { l.stopOnce.Do(func() { close(l.stop) }) }
 
+// ScanGaps runs one synchronous gap scan — the body of the Start ticker —
+// so a virtual-time driver (the chaos harness schedules it on the
+// simulator's clock) gets §9.2 gap recovery without the wall-clock
+// goroutine that would break determinism.
+func (l *LiveLearner) ScanGaps() { l.requestGaps() }
+
 func (l *LiveLearner) requestGaps() {
 	l.mu.Lock()
 	var gaps []uint64

@@ -1,0 +1,32 @@
+// Package simnet provides a deterministic discrete-event simulation engine
+// with a simple packet network on top. All experiments in this repository
+// run in virtual time: the simulator owns a virtual clock, an event queue,
+// and a registry of nodes connected by links with bandwidth, propagation
+// delay and bounded queues.
+//
+// The engine is single-goroutine and fully deterministic: two runs with the
+// same seed and the same schedule of events produce identical results. That
+// property replaces the paper's physical OSNT traffic generator and DAG
+// capture card with something reproducible on any machine.
+//
+// # Fault plans
+//
+// A FaultPlan turns the network into a chaos substrate. Per link (or as a
+// network-wide default) it injects packet loss, duplication, bounded
+// reordering, latency jitter and stragglers; on top of the plan the
+// network supports bidirectional partitions (Partition/Heal) and node
+// crash/restart (Crash/Restart), which also kill packets already in
+// flight. Every probabilistic choice is drawn from the simulator's seeded
+// random source in a fixed order, so an entire faulted run — including
+// every drop, duplicate and delay — is a pure function of (seed, plan).
+//
+// The network maintains an order-sensitive hash of every packet event
+// (TraceHash) and an optional Tracer callback. The chaos harness in
+// internal/chaos sweeps seeds, asserts properties, and on a violation
+// prints the exact seed to replay; re-running with that seed reproduces
+// the failure byte-for-byte, and SetTracer dumps the full schedule.
+//
+// Fault accounting surfaces per link in LinkStats (Duplicated, Reordered
+// next to the existing Delivered/Drops/Bytes) and network-wide in
+// FaultStats (partition and crash drops).
+package simnet

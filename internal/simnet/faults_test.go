@@ -1,0 +1,159 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chatter runs a fixed request/reply workload between two nodes over a
+// faulted network and returns the network for inspection.
+func chatter(seed int64, plan FaultPlan, packets int) (*Simulator, *Network, *int) {
+	sim := New(seed)
+	net := NewNetwork(sim, LinkConfig{Delay: 10 * time.Microsecond})
+	net.SetFaultPlan(plan)
+	received := 0
+	net.Attach(&NodeFunc{Address: "server", Handler: func(pkt *Packet) {
+		reply := &Packet{Src: "server", Dst: pkt.Src, Payload: append([]byte("re:"), pkt.Payload...)}
+		net.Send(reply)
+	}})
+	net.Attach(&NodeFunc{Address: "client", Handler: func(pkt *Packet) { received++ }})
+	for i := 0; i < packets; i++ {
+		i := i
+		sim.Schedule(time.Duration(i)*time.Microsecond, func() {
+			net.Send(&Packet{Src: "client", Dst: "server", Payload: []byte(fmt.Sprintf("req-%d", i))})
+		})
+	}
+	sim.Run()
+	return sim, net, &received
+}
+
+func TestFaultPlanSeededDeterminism(t *testing.T) {
+	plan := FaultPlan{Default: Faults{
+		LossRate: 0.1, DupRate: 0.15, ReorderRate: 0.3,
+		ReorderWindow: 50 * time.Microsecond, JitterMax: 20 * time.Microsecond,
+		StraggleRate: 0.05, StraggleDelay: 300 * time.Microsecond,
+	}}
+	_, netA, recvA := chatter(42, plan, 500)
+	_, netB, recvB := chatter(42, plan, 500)
+	if netA.TraceHash() != netB.TraceHash() {
+		t.Fatalf("same seed diverged: trace hashes %x vs %x", netA.TraceHash(), netB.TraceHash())
+	}
+	if *recvA != *recvB {
+		t.Fatalf("same seed diverged: %d vs %d replies", *recvA, *recvB)
+	}
+	_, netC, _ := chatter(43, plan, 500)
+	if netA.TraceHash() == netC.TraceHash() {
+		t.Fatalf("different seeds produced identical trace hash %x", netA.TraceHash())
+	}
+}
+
+func TestReorderWindowBoundsDelay(t *testing.T) {
+	const window = 40 * time.Microsecond
+	sim := New(7)
+	net := NewNetwork(sim, LinkConfig{Delay: 10 * time.Microsecond})
+	net.SetFaultPlan(FaultPlan{Default: Faults{ReorderRate: 1, ReorderWindow: window}})
+	var worst time.Duration
+	net.Attach(&NodeFunc{Address: "sink", Handler: func(pkt *Packet) {
+		if d := sim.Now().Sub(pkt.SentAt); d > worst {
+			worst = d
+		}
+	}})
+	for i := 0; i < 200; i++ {
+		sim.Schedule(time.Duration(i)*time.Microsecond, func() {
+			net.Send(&Packet{Src: "src", Dst: "sink", Payload: []byte("x")})
+		})
+	}
+	sim.Run()
+	if max := 10*time.Microsecond + window; worst > max {
+		t.Fatalf("reordered packet delayed %v, beyond propagation+window bound %v", worst, max)
+	}
+	if st := net.Stats("src", "sink"); st.Reordered != 200 {
+		t.Fatalf("Reordered = %d, want 200 at rate 1", st.Reordered)
+	}
+}
+
+func TestDuplicationAccounting(t *testing.T) {
+	sim := New(11)
+	net := NewNetwork(sim, LinkConfig{})
+	net.SetFaultPlan(FaultPlan{Default: Faults{DupRate: 0.5}})
+	delivered := 0
+	net.Attach(&NodeFunc{Address: "sink", Handler: func(*Packet) { delivered++ }})
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		sim.Schedule(time.Duration(i)*time.Microsecond, func() {
+			net.Send(&Packet{Src: "src", Dst: "sink", Payload: []byte("d")})
+		})
+	}
+	sim.Run()
+	st := net.Stats("src", "sink")
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates injected at rate 0.5")
+	}
+	if want := sent + int(st.Duplicated); delivered != want {
+		t.Fatalf("delivered %d, want sent(%d) + duplicated(%d) = %d", delivered, sent, st.Duplicated, want)
+	}
+	if st.Delivered != uint64(delivered) {
+		t.Fatalf("LinkStats.Delivered = %d, node saw %d", st.Delivered, delivered)
+	}
+	if fs := net.FaultStats(); fs.Duplicated != st.Duplicated {
+		t.Fatalf("FaultStats.Duplicated = %d, link says %d", fs.Duplicated, st.Duplicated)
+	}
+}
+
+func TestPartitionHeal(t *testing.T) {
+	sim := New(3)
+	net := NewNetwork(sim, LinkConfig{Delay: time.Microsecond})
+	got := 0
+	net.Attach(&NodeFunc{Address: "b", Handler: func(*Packet) { got++ }})
+	send := func() { net.Send(&Packet{Src: "a", Dst: "b", Payload: []byte("p")}) }
+
+	send()
+	sim.Run()
+	if got != 1 {
+		t.Fatalf("pre-partition delivery failed: got %d", got)
+	}
+	net.Partition("a", "b")
+	// One packet blocked at send, one already in flight when the
+	// partition lands mid-flight.
+	sim.Schedule(0, send)
+	sim.Run()
+	net.Heal("a", "b")
+	if got != 1 {
+		t.Fatalf("partitioned packet delivered: got %d", got)
+	}
+	if fs := net.FaultStats(); fs.PartitionDrops == 0 {
+		t.Fatal("partition drop not accounted")
+	}
+	send()
+	sim.Run()
+	if got != 2 {
+		t.Fatalf("post-heal delivery failed: got %d", got)
+	}
+}
+
+func TestCrashRestartDropsInFlight(t *testing.T) {
+	sim := New(5)
+	net := NewNetwork(sim, LinkConfig{Delay: 100 * time.Microsecond})
+	got := 0
+	net.Attach(&NodeFunc{Address: "b", Handler: func(*Packet) { got++ }})
+	net.Send(&Packet{Src: "a", Dst: "b", Payload: []byte("inflight")})
+	// Crash lands while the packet is still in the air.
+	sim.Schedule(10*time.Microsecond, func() { net.Crash("b") })
+	sim.Run()
+	if got != 0 {
+		t.Fatalf("in-flight packet survived a crash: got %d", got)
+	}
+	if !net.Crashed("b") {
+		t.Fatal("Crashed not reported")
+	}
+	net.Restart("b")
+	net.Send(&Packet{Src: "a", Dst: "b", Payload: []byte("after")})
+	sim.Run()
+	if got != 1 {
+		t.Fatalf("post-restart delivery failed: got %d", got)
+	}
+	if fs := net.FaultStats(); fs.CrashDrops == 0 {
+		t.Fatal("crash drop not accounted")
+	}
+}

@@ -75,11 +75,13 @@ var FortyGigE = LinkConfig{Bandwidth: 40e9, Delay: 500 * time.Nanosecond, QueueL
 type link struct {
 	cfg LinkConfig
 	// busyUntil is when the transmitter finishes the current packet.
-	busyUntil Time
-	inFlight  int
-	drops     uint64
-	delivered uint64
-	bytes     uint64
+	busyUntil  Time
+	inFlight   int
+	drops      uint64
+	delivered  uint64
+	bytes      uint64
+	duplicated uint64
+	reordered  uint64
 }
 
 // LinkStats is a snapshot of one direction of a link.
@@ -87,6 +89,10 @@ type LinkStats struct {
 	Delivered uint64
 	Drops     uint64
 	Bytes     uint64
+	// Duplicated counts packets the fault plan delivered twice;
+	// Reordered counts packets it held back past their natural slot.
+	Duplicated uint64
+	Reordered  uint64
 }
 
 // Network connects nodes with point-to-point links and delivers packets
@@ -99,6 +105,15 @@ type Network struct {
 	defaultLink LinkConfig
 	dropped     uint64
 	unroutable  uint64
+
+	// Fault-injection state (see faults.go).
+	plan           FaultPlan
+	partitioned    map[[2]Addr]bool
+	crashed        map[Addr]bool
+	partitionDrops uint64
+	crashDrops     uint64
+	hash           uint64
+	tracer         Tracer
 }
 
 // NewNetwork returns an empty network attached to sim. Packets between
@@ -147,19 +162,42 @@ func (n *Network) linkFor(src, dst Addr) *link {
 }
 
 // Send transmits pkt from pkt.Src to pkt.Dst. Delivery happens after the
-// link's serialization and propagation delay; packets beyond the link's
-// queue limit are dropped. Send reports whether the packet was accepted
-// onto the link.
+// link's serialization and propagation delay plus any fault-plan delay
+// terms; packets beyond the link's queue limit, lost to the loss rate, or
+// blocked by a partition or crashed endpoint are dropped. Send reports
+// whether the packet was accepted onto the link.
 func (n *Network) Send(pkt *Packet) bool {
+	n.trace(TraceSend, pkt.Src, pkt.Dst, pkt.Payload)
+	if n.crashed[pkt.Src] || n.crashed[pkt.Dst] {
+		n.crashDrops++
+		n.dropped++
+		n.trace(TraceDropCrash, pkt.Src, pkt.Dst, nil)
+		return false
+	}
+	if n.partitioned[[2]Addr{pkt.Src, pkt.Dst}] {
+		n.partitionDrops++
+		n.dropped++
+		n.trace(TraceDropPart, pkt.Src, pkt.Dst, nil)
+		return false
+	}
 	l := n.linkFor(pkt.Src, pkt.Dst)
 	if l.cfg.QueueLimit > 0 && l.inFlight >= l.cfg.QueueLimit {
 		l.drops++
 		n.dropped++
+		n.trace(TraceDropQueue, pkt.Src, pkt.Dst, nil)
 		return false
 	}
 	if l.cfg.LossRate > 0 && n.sim.Rand().Float64() < l.cfg.LossRate {
 		l.drops++
 		n.dropped++
+		n.trace(TraceDropLoss, pkt.Src, pkt.Dst, nil)
+		return false
+	}
+	f := n.plan.For(pkt.Src, pkt.Dst)
+	if f.LossRate > 0 && n.sim.Rand().Float64() < f.LossRate {
+		l.drops++
+		n.dropped++
+		n.trace(TraceDropLoss, pkt.Src, pkt.Dst, nil)
 		return false
 	}
 	now := n.sim.Now()
@@ -175,19 +213,59 @@ func (n *Network) Send(pkt *Packet) bool {
 	}
 	l.busyUntil = start.Add(ser)
 	deliver := l.busyUntil.Add(l.cfg.Delay)
-	l.inFlight++
-	n.sim.ScheduleAt(deliver, func() {
-		l.inFlight--
-		l.delivered++
-		l.bytes += uint64(pkt.WireSize())
-		node, ok := n.nodes[pkt.Dst]
-		if !ok {
-			n.unroutable++
-			return
+	// Fault-plan delay terms, all drawn from the seeded RNG in fixed
+	// order: jitter on every packet, then the straggler hold, then the
+	// reordering hold (which lets naturally later packets overtake).
+	if f.active() {
+		if f.JitterMax > 0 {
+			deliver = deliver.Add(time.Duration(n.sim.Rand().Int63n(int64(f.JitterMax))))
 		}
-		node.Receive(pkt)
-	})
+		if f.StraggleRate > 0 && n.sim.Rand().Float64() < f.StraggleRate {
+			deliver = deliver.Add(f.StraggleDelay)
+		}
+		if f.ReorderRate > 0 && n.sim.Rand().Float64() < f.ReorderRate {
+			deliver = deliver.Add(time.Duration(1 + n.sim.Rand().Int63n(int64(f.reorderWindow()))))
+			l.reordered++
+		}
+	}
+	l.inFlight++
+	n.sim.ScheduleAt(deliver, func() { n.deliver(l, pkt, TraceDeliver) })
+	if f.DupRate > 0 && n.sim.Rand().Float64() < f.DupRate {
+		l.duplicated++
+		l.inFlight++
+		dup := deliver.Add(time.Duration(1 + n.sim.Rand().Int63n(int64(f.reorderWindow()))))
+		n.sim.ScheduleAt(dup, func() { n.deliver(l, pkt, TraceDup) })
+	}
 	return true
+}
+
+// deliver lands one (possibly duplicated) copy of pkt, re-checking the
+// partition and crash state at delivery time so a fault injected while
+// the packet was in flight still kills it.
+func (n *Network) deliver(l *link, pkt *Packet, kind string) {
+	l.inFlight--
+	if n.crashed[pkt.Dst] || n.crashed[pkt.Src] {
+		n.crashDrops++
+		n.dropped++
+		n.trace(TraceDropCrash, pkt.Src, pkt.Dst, nil)
+		return
+	}
+	if n.partitioned[[2]Addr{pkt.Src, pkt.Dst}] {
+		n.partitionDrops++
+		n.dropped++
+		n.trace(TraceDropPart, pkt.Src, pkt.Dst, nil)
+		return
+	}
+	l.delivered++
+	l.bytes += uint64(pkt.WireSize())
+	node, ok := n.nodes[pkt.Dst]
+	if !ok {
+		n.unroutable++
+		n.trace(TraceUnroutable, pkt.Src, pkt.Dst, nil)
+		return
+	}
+	n.trace(kind, pkt.Src, pkt.Dst, pkt.Payload)
+	node.Receive(pkt)
 }
 
 // Stats returns a snapshot of the src->dst link.
@@ -196,7 +274,8 @@ func (n *Network) Stats(src, dst Addr) LinkStats {
 	if !ok {
 		return LinkStats{}
 	}
-	return LinkStats{Delivered: l.delivered, Drops: l.drops, Bytes: l.bytes}
+	return LinkStats{Delivered: l.delivered, Drops: l.drops, Bytes: l.bytes,
+		Duplicated: l.duplicated, Reordered: l.reordered}
 }
 
 // Dropped reports the total packets dropped at link queues.

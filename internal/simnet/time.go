@@ -1,13 +1,3 @@
-// Package simnet provides a deterministic discrete-event simulation engine
-// with a simple packet network on top. All experiments in this repository
-// run in virtual time: the simulator owns a virtual clock, an event queue,
-// and a registry of nodes connected by links with bandwidth, propagation
-// delay and bounded queues.
-//
-// The engine is single-goroutine and fully deterministic: two runs with the
-// same seed and the same schedule of events produce identical results. That
-// property replaces the paper's physical OSNT traffic generator and DAG
-// capture card with something reproducible on any machine.
 package simnet
 
 import (

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Chaos sweep smoke: run the deterministic property harness — the live
+# kvs/dns/paxos handlers, NIC tiers and orchestrator on the simulated
+# network under seeded fault injection — across CHAOS_SEEDS consecutive
+# seeds. Any violation prints the exact `incchaos -prop ... -seed ...`
+# command that replays it byte-for-byte and fails the script.
+#
+# CHAOS_SEEDS (default 1000) and CHAOS_EXTRA_FLAGS tune the run; the
+# default sweep finishes in well under a minute.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN" ./cmd/incchaos
+
+# shellcheck disable=SC2086  # extra flags are intentionally word-split
+"$BIN/incchaos" -seeds "${CHAOS_SEEDS:-1000}" -quick ${CHAOS_EXTRA_FLAGS:-}

@@ -21,7 +21,22 @@ CTRL=127.0.0.1:18080
 "$BIN/inckvsd" -addr "$ADDR" -ctrl "$CTRL" -nictier -crossover 2 -shards 2 \
   ${INCKVSD_EXTRA_FLAGS:-} &
 KVSD_PID=$!
-sleep 0.5
+
+# Wait for the control API to report the dataplane serving, with
+# exponential backoff instead of a fixed boot sleep: fast machines move on
+# after ~20ms, slow CI gets a full 10s budget.
+wait_healthy() {
+  local url=$1 deadline=$((SECONDS + 10)) pause=0.02
+  until curl -sf -o /dev/null "$url"; do
+    if [ "$SECONDS" -ge "$deadline" ]; then
+      echo "FAIL: $url not healthy after 10s" >&2
+      return 1
+    fi
+    sleep "$pause"
+    pause=$(awk -v p="$pause" 'BEGIN { p *= 2; print (p > 0.5) ? 0.5 : p }')
+  done
+}
+wait_healthy "http://$CTRL/v1/healthz"
 
 # Ramp over the 2.2 kpps to-network threshold, hold, ramp back under the
 # 1.4 kpps to-host threshold.
@@ -30,10 +45,15 @@ sleep 0.5
   ${INCLOADGEN_EXTRA_FLAGS:-} \
   -profile 'ramp:0-8000:2s,hold:8000:3s,ramp:8000-0:2s'
 
-# Let the orchestrator observe the quiet tail (to-host window is 2s).
-sleep 4
-
-status=$(curl -sf "http://$CTRL/v1/services/kvs")
+# Let the orchestrator observe the quiet tail (to-host window is 2s):
+# poll for the return to host instead of guessing with a fixed sleep.
+deadline=$((SECONDS + 10))
+while :; do
+  status=$(curl -sf "http://$CTRL/v1/services/kvs")
+  echo "$status" | grep -q '"placement":"host"' && break
+  [ "$SECONDS" -ge "$deadline" ] && break # asserts below still diagnose
+  sleep 0.25
+done
 echo "service status: $status"
 dataplane=$(curl -sf "http://$CTRL/v1/services/kvs/dataplane")
 echo "dataplane: $dataplane"
